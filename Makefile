@@ -1,0 +1,20 @@
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures: bench
+	@ls -1 results/
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf results .benchmarks .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

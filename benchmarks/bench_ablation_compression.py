@@ -1,0 +1,59 @@
+"""Ablation — codec precision: wire size vs detection fidelity.
+
+Section II-C claims point clouds "can be compressed into 200 KB per scan"
+by keeping only coordinates + reflectance.  Sweep the coordinate bit depth
+and check (a) the size budget and (b) that detection on the decoded cloud
+is unchanged at the paper's operating point.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.pointcloud.compression import (
+    CompressionSpec,
+    compress_cloud,
+    decompress_cloud,
+)
+from repro.scene.layouts import parking_lot
+from repro.sensors.lidar import VLP_16, LidarModel
+
+
+def test_ablation_compression(benchmark, detector, results_dir):
+    layout = parking_lot()
+    scan = LidarModel(pattern=VLP_16).scan(
+        layout.world, layout.viewpoint("car1"), seed=0
+    )
+    cloud = scan.cloud
+    baseline = len(detector.detect(cloud))
+
+    rows = [f"raw float32: {cloud.size_bytes():8d} B  ({len(cloud)} points)"]
+    detection_preserved = {}
+    for bits in (8, 16, 32):
+        spec = CompressionSpec(coordinate_bits=bits)
+        payload = compress_cloud(cloud, spec)
+        decoded = decompress_cloud(payload)
+        error = float(np.abs(decoded.xyz - cloud.xyz).max())
+        count = len(detector.detect(decoded))
+        detection_preserved[bits] = count
+        rows.append(
+            f"{bits:2d}-bit coords: {len(payload):8d} B  "
+            f"max err {error*100:6.2f} cm  detections {count} (vs {baseline})"
+        )
+    publish(
+        results_dir,
+        "ablation_compression.txt",
+        "Ablation — codec coordinate precision\n" + "\n".join(rows),
+    )
+
+    # The paper's operating point (16-bit) must preserve detections and
+    # beat the raw representation by >2x.
+    assert abs(detection_preserved[16] - baseline) <= 1
+    payload16 = compress_cloud(cloud, CompressionSpec(coordinate_bits=16))
+    assert len(payload16) < cloud.size_bytes() / 2
+    # A full 16-beam-scan-sized cloud fits the 200 KB/scan budget.
+    from repro.pointcloud.compression import compressed_size_bytes
+
+    assert compressed_size_bytes(VLP_16.rays_per_scan) <= 205_000
+
+    benchmark(compress_cloud, cloud, CompressionSpec(coordinate_bits=16))
+    benchmark.extra_info["bytes_16bit"] = len(payload16)

@@ -1,0 +1,48 @@
+"""Ablation — fusion level: raw (Cooper) vs feature vs object level.
+
+The paper's Section I-B taxonomy made measurable.  Raw fusion is the only
+level that can recover objects *neither* vehicle detected alone; object
+level can only union per-vehicle results.
+
+Shape: detections(raw) >= detections(feature) >= detections(object) - slack,
+and raw strictly beats object level on hard-object recoveries.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.matching import match_detections
+from repro.fusion.align import merge_packages
+from repro.fusion.baselines import feature_level_fusion, object_level_fusion
+
+
+def test_ablation_fusion_levels(benchmark, detector, tj_case_list, results_dir):
+    case = next(c for c in tj_case_list if c.name == "tj-2/car4+car5")
+    pose = case.receiver_measured_pose()
+    native = case.cloud_of(case.receiver)
+    packages = case.packages_for_receiver()
+    gts = case.ground_truth_in(case.receiver)
+
+    merged = merge_packages(native, packages, pose)
+    raw = detector.detect(merged)
+    feature = feature_level_fusion(detector, native, pose, packages)
+    object_level = benchmark.pedantic(
+        object_level_fusion, args=(detector, native, pose, packages),
+        rounds=3, iterations=1,
+    )
+
+    counts = {}
+    for label, dets in [
+        ("raw (Cooper)", raw),
+        ("feature-level", feature),
+        ("object-level", object_level),
+    ]:
+        counts[label] = match_detections(dets, gts).num_matched
+
+    lines = ["Ablation — fusion level (matched ground-truth cars)"]
+    lines += [f"  {label:14s}: {count}" for label, count in counts.items()]
+    publish(results_dir, "ablation_fusion_level.txt", "\n".join(lines))
+
+    # Raw fusion strictly beats object-level on this case: it recovers a
+    # car below every single vehicle's threshold (Section I-B's argument).
+    assert counts["raw (Cooper)"] > counts["object-level"]
+    assert counts["raw (Cooper)"] >= counts["feature-level"] - 1
+    benchmark.extra_info["counts"] = counts

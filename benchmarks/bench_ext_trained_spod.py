@@ -1,0 +1,106 @@
+"""Extension — SPOD trained end-to-end vs the analytic weights.
+
+The production reproduction runs SPOD with analytically constructed
+weights; the original SPOD was *trained* (SECOND-style).  This bench runs
+the full training loop on the numpy substrate — focal loss on the anchor
+map, smooth-L1 on positive regression — and evaluates the trained detector
+against held-out frames, side by side with the analytic path.
+
+Shape: the focal loss collapses by an order of magnitude; the trained
+heads reach high held-out recall (trained-detector probabilities sit low
+in absolute terms — the classic focal-loss calibration effect — so the
+learned path runs with a lower operating threshold); the analytic path
+remains at least as good without any training.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.detection.spod import SPOD, SPODConfig
+from repro.detection.train import SpodTrainer
+from repro.geometry.boxes import Box3D
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.voxel import VoxelGridSpec
+
+SPEC = VoxelGridSpec(
+    point_range=(0.0, -8.0, -3.0, 16.0, 8.0, 1.0), voxel_size=(1.0, 1.0, 0.8)
+)
+GROUND = -1.73
+
+
+def _car_points(rng, cx, cy, density=10.0):
+    points = []
+    for u, v in ((2.1, None), (-2.1, None), (None, 0.9), (None, -0.9)):
+        count = int(density * (1.8 if u is not None else 4.2))
+        for _ in range(count):
+            lu = u if u is not None else rng.uniform(-2.1, 2.1)
+            lv = v if v is not None else rng.uniform(-0.9, 0.9)
+            points.append([cx + lu, cy + lv, rng.uniform(GROUND + 0.3, GROUND + 1.5)])
+    return np.array(points)
+
+
+def _frame(rng, num_cars=2):
+    chunks, boxes = [], []
+    xs = rng.choice(np.arange(3, 14, 5), size=num_cars, replace=False)
+    for x in xs:
+        y = float(rng.uniform(-5, 5))
+        chunks.append(_car_points(rng, float(x), y))
+        boxes.append(Box3D(np.array([x, y, GROUND + 0.8]), 4.2, 1.8, 1.6, 0.0))
+    ground = np.column_stack(
+        [rng.uniform(0, 16, 800), rng.uniform(-8, 8, 800),
+         rng.normal(GROUND, 0.02, 800)]
+    )
+    return PointCloud.from_xyz(np.vstack([ground, *chunks])), boxes
+
+
+def _recall(detector, seeds):
+    found = total = 0
+    for seed in seeds:
+        cloud, boxes = _frame(np.random.default_rng(seed))
+        detections = detector.detect_all(cloud)
+        for box in boxes:
+            total += 1
+            if any(
+                np.linalg.norm(d.box.center[:2] - box.center[:2]) < 2.5
+                for d in detections
+            ):
+                found += 1
+    return found, total
+
+
+def test_ext_trained_spod(benchmark, results_dir):
+    rng = np.random.default_rng(0)
+    trained_cfg = SPODConfig(
+        voxel_spec=SPEC, use_learned_heads=True,
+        vfe_channels=8, hidden_channels=8,
+        candidate_threshold=0.2, detection_threshold=0.3,
+    )
+    trained = SPOD(trained_cfg)
+    trainer = SpodTrainer(trained, lr=3e-3)
+    frames = [_frame(rng) for _ in range(8)]
+    history = trainer.fit(frames, epochs=15, shuffle_seed=1)
+    first = float(np.mean([s.total_loss for s in history[:8]]))
+    last = float(np.mean([s.total_loss for s in history[-8:]]))
+
+    analytic = SPOD.pretrained(SPODConfig(voxel_spec=SPEC))
+    held_out = range(100, 105)
+    trained_found, total = _recall(trained, held_out)
+    analytic_found, _ = _recall(analytic, held_out)
+
+    lines = [
+        "Extension — SPOD trained end-to-end on the numpy substrate",
+        f"  focal+smooth-L1 loss: {first:.4f} -> {last:.4f} "
+        f"({len(history)} steps)",
+        f"  held-out recall: trained {trained_found}/{total}, "
+        f"analytic {analytic_found}/{total}",
+    ]
+    publish(results_dir, "ext_trained_spod.txt", "\n".join(lines))
+
+    assert last < first * 0.25  # the loop genuinely optimises
+    assert trained_found >= 0.8 * total  # trained heads detect held-out cars
+    assert analytic_found >= trained_found - 1  # analytic path stays strong
+
+    cloud, _boxes = _frame(np.random.default_rng(200))
+    benchmark.pedantic(trained.detect_all, args=(cloud,), rounds=3, iterations=1)
+    benchmark.extra_info["trained_recall"] = f"{trained_found}/{total}"
+    benchmark.extra_info["loss"] = {"first": round(first, 4), "last": round(last, 4)}

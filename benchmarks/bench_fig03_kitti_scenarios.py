@@ -1,0 +1,32 @@
+"""Fig. 3 — per-car detection grids for the four KITTI scenarios.
+
+Each grid row is a ground-truth car; the columns are the two single shots
+and the cooperative merge.  Cells hold the detection score (with a
+near/medium/far band mark), X for a miss, blank when out of the detection
+area — the same semantics as the paper's figure.
+
+Paper shape: cooperative counts equal or exceed each single shot in every
+scenario, and cooperative clouds never drop a single-shot detection.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.experiments import run_case
+from repro.eval.reporting import render_detection_grid
+
+
+def test_fig03_grids(benchmark, detector, kitti_case_list, kitti_results, results_dir):
+    grids = [render_detection_grid(result) for result in kitti_results]
+    publish(results_dir, "fig03_kitti_scenarios.txt", "\n\n".join(grids))
+
+    for result in kitti_results:
+        singles = [v for k, v in result.counts.items() if k != "cooper"]
+        assert result.counts["cooper"] >= max(singles)
+        assert result.cooper_superset
+
+    # Benchmark one full case evaluation (2 single shots + 1 merge + match).
+    benchmark.pedantic(
+        run_case, args=(kitti_case_list[0], detector), rounds=3, iterations=1
+    )
+    benchmark.extra_info["cooper_counts"] = [
+        r.counts["cooper"] for r in kitti_results
+    ]

@@ -1,0 +1,30 @@
+"""Fig. 4 — number of detected cars and detection accuracy, KITTI cases.
+
+Paper shape: the Cooper bars dominate the single-shot bars in both panels
+(counts and accuracy) for all four cases.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.matching import match_detections
+from repro.eval.reporting import render_case_summary
+
+
+def test_fig04_summary(benchmark, detector, kitti_case_list, kitti_results, results_dir):
+    publish(
+        results_dir, "fig04_kitti_summary.txt", render_case_summary(kitti_results)
+    )
+
+    for result in kitti_results:
+        singles_counts = [v for k, v in result.counts.items() if k != "cooper"]
+        singles_acc = [v for k, v in result.accuracies.items() if k != "cooper"]
+        assert result.counts["cooper"] >= max(singles_counts)
+        assert result.accuracies["cooper"] >= max(singles_acc) - 1e-9
+
+    # Benchmark the metric computation itself (matching dominates).
+    case = kitti_case_list[0]
+    detections = detector.detect(case.cloud_of(case.receiver))
+    gts = case.ground_truth_in(case.receiver)
+    benchmark(match_detections, detections, gts)
+    benchmark.extra_info["cooper_accuracy"] = [
+        round(r.accuracies["cooper"], 1) for r in kitti_results
+    ]

@@ -1,0 +1,28 @@
+"""Fig. 7 — detected-car counts and detection accuracy, T&J cases.
+
+Paper shape: "the number of cars detected based on the fused data is much
+higher than either of the cars alone", across all four scenarios.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.eval.reporting import render_case_summary
+
+
+def test_fig07_summary(benchmark, tj_results, results_dir):
+    publish(results_dir, "fig07_tj_summary.txt", render_case_summary(tj_results))
+
+    gains = []
+    for result in tj_results:
+        singles = [v for k, v in result.counts.items() if k != "cooper"]
+        gains.append(result.counts["cooper"] - max(singles))
+        singles_acc = [v for k, v in result.accuracies.items() if k != "cooper"]
+        # Cooperative accuracy dominates in the typical case.
+        assert result.accuracies["cooper"] >= min(singles_acc)
+
+    # On average cooperation adds cars beyond the best single shot.
+    assert float(np.mean(gains)) > 0.5
+
+    benchmark(render_case_summary, tj_results)
+    benchmark.extra_info["mean_extra_cars"] = round(float(np.mean(gains)), 2)

@@ -1,0 +1,52 @@
+"""Fig. 9 — detection time: single shot vs cooperative, KITTI and T&J.
+
+Paper shape: running SPOD on the merged cloud costs a *small additive*
+amount over the single shot (the paper measured ~5 ms on a 1080 Ti; our
+substrate is CPU numpy, so absolute numbers differ but the relative
+overhead stays small — well under 2x, not proportional to the doubled
+point count, because the network works on voxels, not raw points).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.eval.experiments import timing_experiment
+from repro.fusion.align import merge_packages
+
+
+def _mean_times(cases, detector, repeats=2):
+    timings = timing_experiment(cases, detector, repeats=repeats)
+    single = float(np.mean([t["single"] for t in timings.values()]))
+    cooper = float(np.mean([t["cooper"] for t in timings.values()]))
+    return single, cooper
+
+
+def test_fig09_detection_time(
+    benchmark, detector, kitti_case_list, tj_case_list, results_dir
+):
+    kitti_single, kitti_cooper = _mean_times(kitti_case_list, detector)
+    tj_single, tj_cooper = _mean_times(tj_case_list[:4], detector)
+
+    lines = [
+        "Fig. 9 analogue — mean detection time (ms), single vs cooperative",
+        f"KITTI (64-beam): single {kitti_single*1e3:7.1f}  cooper {kitti_cooper*1e3:7.1f}",
+        f"T&J   (16-beam): single {tj_single*1e3:7.1f}  cooper {tj_cooper*1e3:7.1f}",
+    ]
+    publish(results_dir, "fig09_detection_time.txt", "\n".join(lines))
+
+    # Shape: cooperative detection is at most modestly slower, never ~2x
+    # the point count's worth.
+    assert kitti_cooper < kitti_single * 2.0
+    assert tj_cooper < tj_single * 2.5
+
+    # Benchmark the merged-cloud detection itself on a KITTI case.
+    case = kitti_case_list[0]
+    merged = merge_packages(
+        case.cloud_of(case.receiver),
+        case.packages_for_receiver(),
+        case.receiver_measured_pose(),
+    )
+    benchmark.pedantic(detector.detect, args=(merged,), rounds=3, iterations=1)
+    benchmark.extra_info["kitti_overhead_ms"] = round(
+        (kitti_cooper - kitti_single) * 1e3, 1
+    )

@@ -1,0 +1,59 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Heavy artefacts (the evaluated KITTI and T&J case sets) are session-scoped
+and computed once; each bench file then renders its figure from them and
+benchmarks the representative operation.  Rendered tables are written to
+``results/figXX_*.txt`` so the regenerated figures persist as artefacts
+(run pytest with ``-s`` to also see them inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datasets.synthetic_kitti import kitti_cases
+from repro.datasets.tj import tj_cases
+from repro.detection.spod import SPOD
+from repro.eval.experiments import run_cases
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def detector() -> SPOD:
+    return SPOD.pretrained()
+
+
+@pytest.fixture(scope="session")
+def kitti_case_list():
+    return kitti_cases()
+
+
+@pytest.fixture(scope="session")
+def tj_case_list():
+    return tj_cases()
+
+
+@pytest.fixture(scope="session")
+def kitti_results(detector, kitti_case_list):
+    return run_cases(kitti_case_list, detector)
+
+
+@pytest.fixture(scope="session")
+def tj_results(detector, tj_case_list):
+    return run_cases(tj_case_list, detector)
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a rendered figure to results/ and echo it (visible with -s)."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Multi-class cooperative perception at a crosswalk (the Uber case).
+
+The paper's motivation cites the Uber incident: a pedestrian crossing
+mid-block, perceived too late.  This example stages it — a pedestrian
+hidden from the approaching vehicle by a kerb-side car — and shows one
+cooperator package recovering a confident, correctly-labelled pedestrian
+detection, alongside cars and a cyclist.
+
+Run:  python examples/crosswalk_multiclass.py
+"""
+
+import numpy as np
+
+from repro.detection.spod import SPOD
+from repro.fusion.align import merge_packages
+from repro.fusion.package import ExchangePackage
+from repro.scene.layouts import crosswalk
+from repro.sensors.lidar import HDL_64E, LidarModel
+from repro.sensors.rig import SensorRig
+
+
+def describe(layout, detections, pose, title):
+    print(title)
+    for actor in layout.world.targets():
+        local = actor.box.transformed(pose.from_world())
+        near = [
+            (d.score, d.label)
+            for d in detections
+            if np.linalg.norm(d.box.center[:2] - local.center[:2]) < 1.5
+        ]
+        if near:
+            score, label = max(near)
+            print(f"   {actor.name:14s} detected as {label:10s} score {score:.2f}")
+        else:
+            print(f"   {actor.name:14s} MISSED")
+
+
+def main() -> None:
+    layout = crosswalk()
+    rig = SensorRig(lidar=LidarModel(pattern=HDL_64E))
+    approach = rig.observe(layout.world, layout.viewpoint("approach"), seed=0)
+    opposite = rig.observe(layout.world, layout.viewpoint("opposite"), seed=1)
+    detector = SPOD.pretrained()
+
+    hidden_hits = approach.scan.points_per_actor().get("ped-hidden", 0)
+    print(
+        f"the kerb-side car leaves only {hidden_hits} LiDAR returns on the "
+        "crossing pedestrian\n"
+    )
+    describe(
+        layout,
+        detector.detect(approach.scan.cloud),
+        approach.true_pose,
+        "approaching vehicle, single shot:",
+    )
+
+    package = ExchangePackage(
+        opposite.scan.cloud, opposite.measured_pose, sender="opposite"
+    )
+    merged = merge_packages(approach.scan.cloud, [package], approach.measured_pose)
+    print()
+    describe(
+        layout,
+        detector.detect(merged),
+        approach.true_pose,
+        "after one package from the vehicle across the crossing:",
+    )
+
+
+if __name__ == "__main__":
+    main()

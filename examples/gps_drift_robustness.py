@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fusion robustness against GPS drift (paper Fig. 10).
+
+Skews the transmitting vehicle's GPS per the paper's three protocols —
+both axes at the drift bound, one axis at the bound, and double the bound
+— then compares cooperative per-car scores against the unskewed baseline.
+
+Run:  python examples/gps_drift_robustness.py
+"""
+
+from repro import SPOD
+from repro.eval.experiments import gps_drift_experiment
+from repro.scene.layouts import parking_lot
+from repro.sensors.gps import GpsSkew
+from repro.sensors.lidar import VLP_16
+
+
+def main() -> None:
+    skews = {
+        "baseline": GpsSkew.NONE,
+        "both-axes-max": GpsSkew.BOTH_AXES_MAX,
+        "one-axis-max": GpsSkew.ONE_AXIS_MAX,
+        "double-max": GpsSkew.DOUBLE_MAX,
+    }
+    print("Running the four GPS-skew protocols on a parking-lot pair...\n")
+    results = gps_drift_experiment(
+        parking_lot, ("car1", "car2"), VLP_16, skews, detector=SPOD.pretrained()
+    )
+
+    cars = sorted(
+        results["baseline"], key=lambda c: -results["baseline"].get(c, 0.0)
+    )
+    print("car".ljust(12) + "".join(label.rjust(15) for label in skews))
+    for car in cars:
+        if all(results[label].get(car, 0.0) == 0.0 for label in skews):
+            continue  # known-undetected either way; the paper excludes these
+        row = car.ljust(12)
+        for label in skews:
+            score = results[label].get(car, 0.0)
+            row += (f"{score:.2f}" if score > 0 else "miss").rjust(15)
+        print(row)
+
+    baseline = results["baseline"]
+    improved = sum(
+        1
+        for label in ("both-axes-max", "one-axis-max", "double-max")
+        for car, score in results[label].items()
+        if score > baseline.get(car, 0.0) + 1e-9 and baseline.get(car, 0.0) > 0
+    )
+    lost = sum(
+        1
+        for car, score in results["double-max"].items()
+        if score == 0.0 and baseline.get(car, 0.0) > 0
+    )
+    print(
+        f"\nskewed runs that *improved* a score: {improved} "
+        "(the paper notes skew can mask inherent drift)"
+    )
+    print(f"detections lost under double drift: {lost}")
+
+
+if __name__ == "__main__":
+    main()

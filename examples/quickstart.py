@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: cooperative perception in ~40 lines.
+
+Builds a small scene, scans it from two vehicle poses, exchanges a Cooper
+package, and compares single-shot vs cooperative detection.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Cooper, ExchangePackage, SPOD
+from repro.scene.layouts import parking_lot
+from repro.sensors.lidar import VLP_16, LidarModel
+from repro.sensors.rig import SensorRig
+
+
+def main() -> None:
+    # A parking lot with two connected vehicles in different aisles.
+    layout = parking_lot(seed=7)
+    receiver_pose = layout.viewpoint("car1")
+    sender_pose = layout.viewpoint("car2")
+
+    # Each vehicle scans with a 16-beam LiDAR and reads its GPS + IMU.
+    rig = SensorRig(lidar=LidarModel(pattern=VLP_16), name="demo")
+    receiver_obs = rig.observe(layout.world, receiver_pose, seed=0)
+    sender_obs = rig.observe(layout.world, sender_pose, seed=1)
+
+    # The sender packs its cloud + measured pose into an exchange package.
+    package = ExchangePackage(
+        cloud=sender_obs.scan.cloud,
+        pose=sender_obs.measured_pose,
+        sender="car2",
+        beam_count=16,
+    )
+    print(f"package wire size: {package.size_megabits():.2f} Mbit "
+          f"(DSRC offers 6-27 Mbit/s)")
+
+    # One SPOD detector serves single shots and merged clouds alike.
+    cooper = Cooper(detector=SPOD.pretrained())
+    single = cooper.perceive_single(receiver_obs.scan.cloud)
+    fused = cooper.perceive(
+        receiver_obs.scan.cloud, receiver_obs.measured_pose, [package]
+    )
+
+    print(f"\nsingle shot : {len(single.detections)} cars")
+    for det in sorted(single.detections, key=lambda d: -d.score):
+        print(f"   score {det.score:.2f} at {np.round(det.box.center[:2], 1)}")
+    print(f"cooperative : {len(fused.detections)} cars "
+          f"(+{len(fused.detections) - len(single.detections)} from fusion, "
+          f"detection took {fused.detect_seconds * 1e3:.0f} ms)")
+    for det in sorted(fused.detections, key=lambda d: -d.score):
+        print(f"   score {det.score:.2f} at {np.round(det.box.center[:2], 1)}")
+
+
+if __name__ == "__main__":
+    main()

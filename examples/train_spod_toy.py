@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Training SPOD's learned heads on toy data (the SECOND-style loop).
+
+The production reproduction runs SPOD with analytically constructed
+weights, but every layer of the numpy NN substrate has a backward pass.
+This example trains the RPN trunk + classification head with a focal loss
+on synthetic BEV occupancy maps — a miniature of the end-to-end training
+the original SPOD/SECOND models undergo.
+
+Run:  python examples/train_spod_toy.py
+"""
+
+import numpy as np
+
+from repro.detection.nn.losses import sigmoid_focal_loss
+from repro.detection.nn.optim import Adam
+from repro.detection.rpn import RegionProposalNetwork
+
+
+def toy_scene(rng, size=16, nz=3, channels=2, num_objects=2):
+    """A BEV map with car-like occupancy blobs and a per-cell label mask."""
+    bev = np.zeros((1, channels * nz, size, size))
+    labels = np.zeros((1, size, size))
+    for _ in range(num_objects):
+        cx, cy = rng.integers(2, size - 2, size=2)
+        bev[0, :nz, cx - 1 : cx + 2, cy - 1 : cy + 2] += rng.uniform(0.4, 1.0)
+        labels[0, cx, cy] = 1.0
+    # Clutter: a wall-like line that must stay below threshold.
+    row = rng.integers(1, size - 1)
+    bev[0, : nz + 1, row, :] += 0.3
+    return bev, labels
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    nz, channels = 3, 2
+    rpn = RegionProposalNetwork(
+        in_channels=channels * nz, hidden_channels=8, num_yaws=1, seed=1
+    )
+    optimiser = Adam(rpn.parameters(), lr=5e-3)
+
+    print(f"training RPN ({rpn.num_parameters()} parameters) with focal loss")
+    for step in range(300):
+        bev, labels = toy_scene(rng)
+        cls_logits, _reg = rpn(bev)
+        loss, grad = sigmoid_focal_loss(cls_logits[0, 0], labels[0])
+        optimiser.zero_grad()
+        rpn.backward(grad[None, None, :, :])
+        optimiser.step()
+        if step % 50 == 0:
+            print(f"  step {step:4d}: focal loss {loss:.5f}")
+
+    # Evaluate ranking quality on held-out scenes.
+    correct = 0
+    trials = 50
+    eval_rng = np.random.default_rng(123)
+    for _ in range(trials):
+        bev, labels = toy_scene(eval_rng)
+        cls_logits, _ = rpn(bev)
+        predicted = np.unravel_index(
+            np.argmax(cls_logits[0, 0]), cls_logits[0, 0].shape
+        )
+        if labels[0][predicted] > 0.5 or any(
+            labels[0][predicted[0] + dx, predicted[1] + dy] > 0.5
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if 0 <= predicted[0] + dx < labels.shape[1]
+            and 0 <= predicted[1] + dy < labels.shape[2]
+        ):
+            correct += 1
+    print(f"\ntop-1 proposal lands on an object blob in {correct}/{trials} scenes")
+
+
+if __name__ == "__main__":
+    main()

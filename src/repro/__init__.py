@@ -1,0 +1,55 @@
+"""Cooper: cooperative perception for connected autonomous vehicles.
+
+A full reproduction of *Cooper: Cooperative Perception for Connected
+Autonomous Vehicles based on 3D Point Clouds* (Chen, Tang, Yang, Fu —
+ICDCS 2019), built on pure numpy/scipy substrates:
+
+* :mod:`repro.geometry` — rotations (Eq. 1), rigid transforms, 3D boxes.
+* :mod:`repro.pointcloud` — clouds, voxels, spherical projection, ROI, codec.
+* :mod:`repro.sensors` — ray-cast LiDAR (VLP-16/HDL-64E), GPS, IMU.
+* :mod:`repro.scene` — procedural worlds for the paper's scenarios.
+* :mod:`repro.detection` — SPOD (VFE -> sparse CNN -> SSD-style RPN) with a
+  from-scratch numpy neural-network stack.
+* :mod:`repro.fusion` — the Cooper exchange/align/merge pipeline + baselines.
+* :mod:`repro.network` — DSRC channel, ROI policies, exchange simulation.
+* :mod:`repro.eval` — the harness regenerating every evaluation figure.
+* :mod:`repro.datasets` — synthetic KITTI-like and T&J-like cases.
+
+Quickstart::
+
+    from repro import Cooper, SPOD, kitti_cases, run_case
+
+    case = kitti_cases()[0]
+    result = run_case(case, SPOD.pretrained())
+    print(result.counts)           # singles vs cooperative detection counts
+"""
+
+from repro.detection import SPOD, SPODConfig, Detection
+from repro.fusion import Cooper, CooperResult, ExchangePackage
+from repro.datasets import kitti_cases, tj_cases, CooperativeCase, make_case
+from repro.eval import run_case, run_cases
+from repro.pointcloud import PointCloud, merge_clouds
+from repro.geometry import Pose, RigidTransform, Box3D
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPOD",
+    "SPODConfig",
+    "Detection",
+    "Cooper",
+    "CooperResult",
+    "ExchangePackage",
+    "kitti_cases",
+    "tj_cases",
+    "CooperativeCase",
+    "make_case",
+    "run_case",
+    "run_cases",
+    "PointCloud",
+    "merge_clouds",
+    "Pose",
+    "RigidTransform",
+    "Box3D",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface for the Cooper reproduction.
+
+``python -m repro.cli <command>`` (or the ``cooper-repro`` console script)
+regenerates the paper's experiments from a terminal:
+
+* ``kitti``    — Figs. 2-4: the four 64-beam road scenarios.
+* ``tj``       — Figs. 5-7: the fifteen 16-beam parking-lot cases.
+* ``cdf``      — Fig. 8: the improvement CDF over all 19 cases.
+* ``timing``   — Fig. 9: single vs cooperative detection time.
+* ``drift``    — Fig. 10: GPS skew robustness.
+* ``network``  — Figs. 11-12: ROI volumes vs DSRC capacity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_kitti(args: argparse.Namespace) -> int:
+    from repro import SPOD, kitti_cases
+    from repro.eval import render_case_summary, render_detection_grid, run_cases
+
+    results = run_cases(kitti_cases(seed=args.seed), SPOD.pretrained())
+    for result in results:
+        print(render_detection_grid(result))
+        print()
+    print(render_case_summary(results))
+    return 0
+
+
+def _cmd_tj(args: argparse.Namespace) -> int:
+    from repro import SPOD, tj_cases
+    from repro.eval import render_case_summary, render_detection_grid, run_cases
+
+    results = run_cases(tj_cases(seed=args.seed), SPOD.pretrained())
+    if args.grids:
+        for result in results:
+            print(render_detection_grid(result))
+            print()
+    print(render_case_summary(results))
+    return 0
+
+
+def _cmd_cdf(args: argparse.Namespace) -> int:
+    from repro import SPOD, kitti_cases, tj_cases
+    from repro.eval import improvement_samples, render_cdf_table, run_cases
+
+    detector = SPOD.pretrained()
+    results = run_cases(kitti_cases(seed=args.seed), detector)
+    results += run_cases(tj_cases(seed=args.seed), detector)
+    print(render_cdf_table(improvement_samples(results)))
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import SPOD, kitti_cases, tj_cases
+    from repro.eval.experiments import timing_experiment
+
+    detector = SPOD.pretrained()
+    for label, cases in (
+        ("KITTI (64-beam)", kitti_cases(seed=args.seed)),
+        ("T&J (16-beam)", tj_cases(seed=args.seed)[:4]),
+    ):
+        timings = timing_experiment(cases, detector, repeats=args.repeats)
+        single = np.mean([t["single"] for t in timings.values()])
+        cooper = np.mean([t["cooper"] for t in timings.values()])
+        print(
+            f"{label}: single {single * 1e3:7.1f} ms   "
+            f"cooper {cooper * 1e3:7.1f} ms"
+        )
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro import SPOD
+    from repro.eval.experiments import gps_drift_experiment
+    from repro.scene.layouts import parking_lot
+    from repro.sensors.gps import GpsSkew
+    from repro.sensors.lidar import VLP_16
+
+    skews = {
+        "baseline": GpsSkew.NONE,
+        "both-axes": GpsSkew.BOTH_AXES_MAX,
+        "one-axis": GpsSkew.ONE_AXIS_MAX,
+        "double": GpsSkew.DOUBLE_MAX,
+    }
+    results = gps_drift_experiment(
+        parking_lot, ("car1", "car2"), VLP_16, skews,
+        seed=args.seed, detector=SPOD.pretrained(),
+    )
+    cars = sorted(results["baseline"], key=lambda c: -results["baseline"][c])
+    print("car".ljust(12) + "".join(k.rjust(12) for k in skews))
+    for car in cars:
+        if all(results[k].get(car, 0.0) == 0.0 for k in skews):
+            continue
+        print(
+            car.ljust(12)
+            + "".join(
+                (f"{results[k].get(car, 0.0):.2f}"
+                 if results[k].get(car, 0.0) > 0 else "miss").rjust(12)
+                for k in skews
+            )
+        )
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.network.dsrc import DsrcChannel
+    from repro.network.roi_policy import RoiCategory, RoiPolicy
+    from repro.network.simulator import ExchangeSimulator
+    from repro.scene.layouts import two_lane_road
+    from repro.scene.trajectories import StationaryTrajectory
+    from repro.sensors.lidar import VLP_16, LidarModel
+    from repro.sensors.rig import SensorRig
+
+    layout = two_lane_road()
+    simulator = ExchangeSimulator(
+        world=layout.world,
+        rig_a=SensorRig(lidar=LidarModel(pattern=VLP_16), name="a"),
+        rig_b=SensorRig(lidar=LidarModel(pattern=VLP_16), name="b"),
+    )
+    ego = StationaryTrajectory(layout.viewpoint("ego"))
+    other = StationaryTrajectory(layout.viewpoint("oncoming"))
+    channel = DsrcChannel(bandwidth_mbps=6.0)
+    for category in RoiCategory:
+        subtract = category is not RoiCategory.FULL_FRAME
+        policy = RoiPolicy(category=category, subtract_known_background=subtract)
+        trace = simulator.run(ego, other, policy, duration_seconds=args.seconds)
+        print(
+            f"{category.name:17s}: mean {trace.mean_volume_megabits:5.2f} Mbit/s, "
+            f"peak {trace.peak_volume_megabits:5.2f}, "
+            f"within DSRC: {'yes' if trace.within_capacity(channel) else 'NO'}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cooper-repro",
+        description="Regenerate the Cooper (ICDCS 2019) experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kitti", help="Figs. 2-4 on the synthetic KITTI cases")
+    tj = sub.add_parser("tj", help="Figs. 5-7 on the synthetic T&J cases")
+    tj.add_argument("--grids", action="store_true", help="print all 15 grids")
+    sub.add_parser("cdf", help="Fig. 8 improvement CDF")
+    timing = sub.add_parser("timing", help="Fig. 9 detection timing")
+    timing.add_argument("--repeats", type=int, default=1)
+    sub.add_parser("drift", help="Fig. 10 GPS drift robustness")
+    network = sub.add_parser("network", help="Figs. 11-12 ROI volumes")
+    network.add_argument("--seconds", type=float, default=8.0)
+    return parser
+
+
+_HANDLERS = {
+    "kitti": _cmd_kitti,
+    "tj": _cmd_tj,
+    "cdf": _cmd_cdf,
+    "timing": _cmd_timing,
+    "drift": _cmd_drift,
+    "network": _cmd_network,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

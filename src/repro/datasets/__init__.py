@@ -1,0 +1,26 @@
+"""Synthetic stand-ins for the paper's two datasets.
+
+KITTI and the authors' T&J recordings are not redistributable here, so we
+generate procedurally what Cooper's evaluation actually consumes: pairs (or
+small sets) of LiDAR scans of one scene taken from different poses, plus
+ground truth.  ``synthetic_kitti`` mirrors the four 64-beam road scenarios
+of Fig. 3 (T-junction, stop sign, left turn, curve, with the paper's
+delta-d separations); ``tj`` mirrors the 16-beam parking-lot scenarios of
+Fig. 6 with distance-swept cooperator pairs.
+"""
+
+from repro.datasets.base import CooperativeCase, make_case
+from repro.datasets.synthetic_kitti import kitti_cases, KITTI_SCENARIOS
+from repro.datasets.tj import tj_cases, TJ_SCENARIOS
+from repro.datasets.safety import safety_cases, SAFETY_SCENARIOS
+
+__all__ = [
+    "CooperativeCase",
+    "make_case",
+    "kitti_cases",
+    "KITTI_SCENARIOS",
+    "tj_cases",
+    "TJ_SCENARIOS",
+    "safety_cases",
+    "SAFETY_SCENARIOS",
+]

@@ -1,0 +1,49 @@
+"""SPOD: Sparse Point-cloud Object Detection (paper Section III).
+
+The detector follows the paper's three-component architecture (Fig. 1):
+
+1. **Preprocessing** — range crop, ground removal and the spherical
+   densification of [27] (:mod:`repro.detection.preprocess`).
+2. **Voxel feature extraction** — VoxelNet-style grouping + voxel feature
+   encoding (:mod:`repro.detection.vfe`) followed by sparse convolutional
+   middle layers (:mod:`repro.detection.middle`).
+3. **Region proposal network** — an SSD-style single-shot head over the
+   BEV feature map (:mod:`repro.detection.rpn`) with anchor decoding,
+   point-evidence confidence calibration and rotated NMS.
+
+Two weight regimes are supported.  ``SPOD.pretrained()`` installs
+analytically constructed weights that make the network compute
+density/height evidence — deterministic, training-free, and matching the
+paper's qualitative score behaviour (more points => higher score, too-sparse
+objects => missed).  The same modules also expose ``backward`` passes, so
+the test suite trains small instances end-to-end with the losses in
+:mod:`repro.detection.nn.losses`.
+"""
+
+from repro.detection.detections import Detection
+from repro.detection.spod import SPOD, SPODConfig
+from repro.detection.nms import rotated_nms
+from repro.detection.anchors import AnchorGrid, encode_boxes, decode_boxes
+from repro.detection.classes import CAR, CYCLIST, PEDESTRIAN, CLASSES, ObjectClass, classify_cluster
+from repro.detection.targets import AnchorTargets, assign_targets
+from repro.detection.train import SpodTrainer, TrainStep
+
+__all__ = [
+    "Detection",
+    "SPOD",
+    "SPODConfig",
+    "rotated_nms",
+    "AnchorGrid",
+    "encode_boxes",
+    "decode_boxes",
+    "CAR",
+    "CYCLIST",
+    "PEDESTRIAN",
+    "CLASSES",
+    "ObjectClass",
+    "classify_cluster",
+    "AnchorTargets",
+    "assign_targets",
+    "SpodTrainer",
+    "TrainStep",
+]

@@ -1,0 +1,115 @@
+"""Anchor grid and box residual encoding for the RPN.
+
+Following the VoxelNet/SECOND convention the paper builds on: one anchor
+per BEV cell per orientation (0 and 90 degrees), sized to the mean car, and
+regression targets are the normalised residuals between ground-truth and
+anchor boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.boxes import Box3D
+from repro.pointcloud.voxel import VoxelGridSpec
+
+__all__ = ["AnchorGrid", "encode_boxes", "decode_boxes", "CAR_ANCHOR_SIZE"]
+
+#: Mean KITTI car size used for anchors: (length, width, height).
+CAR_ANCHOR_SIZE = (4.2, 1.8, 1.6)
+
+
+@dataclass(frozen=True)
+class AnchorGrid:
+    """Anchors laid out on the BEV grid of a :class:`VoxelGridSpec`.
+
+    Attributes:
+        spec: the voxel grid the BEV map derives from.
+        anchor_size: (length, width, height) of every anchor.
+        yaws: anchor orientations per cell.
+        anchor_z: anchor centre height (sensor frame).
+    """
+
+    spec: VoxelGridSpec
+    anchor_size: tuple[float, float, float] = CAR_ANCHOR_SIZE
+    yaws: tuple[float, ...] = (0.0, np.pi / 2)
+    anchor_z: float = -1.0
+
+    @property
+    def bev_shape(self) -> tuple[int, int]:
+        """The (nx, ny) BEV cell grid."""
+        nx, ny, _ = self.spec.grid_shape
+        return nx, ny
+
+    @property
+    def num_anchors(self) -> int:
+        """Total anchor count: nx * ny * len(yaws)."""
+        nx, ny = self.bev_shape
+        return nx * ny * len(self.yaws)
+
+    def cell_centers(self) -> np.ndarray:
+        """World (x, y) centres of all BEV cells, shape ``(nx, ny, 2)``."""
+        nx, ny = self.bev_shape
+        x0, y0 = self.spec.point_range[0], self.spec.point_range[1]
+        vx, vy = self.spec.voxel_size[0], self.spec.voxel_size[1]
+        xs = x0 + (np.arange(nx) + 0.5) * vx
+        ys = y0 + (np.arange(ny) + 0.5) * vy
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        return np.stack([gx, gy], axis=-1)
+
+    def all_anchors(self) -> np.ndarray:
+        """Every anchor as ``(N, 7)`` rows ``[x, y, z, l, w, h, yaw]``.
+
+        Ordered cell-major then yaw: index = (ix * ny + iy) * len(yaws) + k.
+        """
+        centers = self.cell_centers().reshape(-1, 2)
+        l, w, h = self.anchor_size
+        rows = []
+        for cx, cy in centers:
+            for yaw in self.yaws:
+                rows.append([cx, cy, self.anchor_z, l, w, h, yaw])
+        return np.array(rows)
+
+    def anchor_box(self, cell_x: int, cell_y: int, yaw_index: int = 0) -> Box3D:
+        """The anchor box at one BEV cell."""
+        centers = self.cell_centers()
+        cx, cy = centers[cell_x, cell_y]
+        l, w, h = self.anchor_size
+        return Box3D(
+            np.array([cx, cy, self.anchor_z]), l, w, h, self.yaws[yaw_index]
+        )
+
+
+def encode_boxes(gt: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    """Encode ground-truth boxes as residuals against anchors.
+
+    Both arrays are ``(N, 7)`` rows ``[x, y, z, l, w, h, yaw]``.  Uses the
+    VoxelNet normalisation: positions by the anchor BEV diagonal / height,
+    sizes by log-ratio, yaw by difference.
+    """
+    gt = np.atleast_2d(np.asarray(gt, dtype=float))
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=float))
+    diag = np.sqrt(anchors[:, 3] ** 2 + anchors[:, 4] ** 2)
+    out = np.empty_like(gt)
+    out[:, 0] = (gt[:, 0] - anchors[:, 0]) / diag
+    out[:, 1] = (gt[:, 1] - anchors[:, 1]) / diag
+    out[:, 2] = (gt[:, 2] - anchors[:, 2]) / anchors[:, 5]
+    out[:, 3:6] = np.log(gt[:, 3:6] / anchors[:, 3:6])
+    out[:, 6] = gt[:, 6] - anchors[:, 6]
+    return out
+
+
+def decode_boxes(residuals: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`encode_boxes`."""
+    residuals = np.atleast_2d(np.asarray(residuals, dtype=float))
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=float))
+    diag = np.sqrt(anchors[:, 3] ** 2 + anchors[:, 4] ** 2)
+    out = np.empty_like(residuals)
+    out[:, 0] = residuals[:, 0] * diag + anchors[:, 0]
+    out[:, 1] = residuals[:, 1] * diag + anchors[:, 1]
+    out[:, 2] = residuals[:, 2] * anchors[:, 5] + anchors[:, 2]
+    out[:, 3:6] = np.exp(residuals[:, 3:6]) * anchors[:, 3:6]
+    out[:, 6] = residuals[:, 6] + anchors[:, 6]
+    return out

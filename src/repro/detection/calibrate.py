@@ -1,0 +1,238 @@
+"""Point-evidence confidence calibration.
+
+The paper's detection scores (Figs. 3, 6) track how much LiDAR evidence an
+object has: dense, multi-view objects score high; objects with "scarcity or
+blockage of point clouds" fall below the reporting threshold and show as X.
+The calibrator makes that relationship explicit: the final confidence is a
+logistic function of
+
+* the log point count inside the candidate box (evidence quantity),
+* the angular coverage of those points around the box centre — which is
+  exactly what a second viewpoint improves,
+* a penalty for returns *above car height* over the footprint (walls,
+  trees and trucks carry mass where no car has any), and
+* a penalty for structure that continues contiguously past a car's length
+  in any direction (walls and trucks are long and unbroken; rows of parked
+  cars are broken by the gaps between vehicles and survive).
+
+The score is deliberately *monotone in evidence*, which is why Cooper's
+merged clouds raise it: merging adds points (count term) and new viewing
+angles (coverage term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry.boxes import Box3D, points_in_box
+
+__all__ = ["ConfidenceCalibrator", "CalibratorWeights", "BoxEvidence"]
+
+#: No real car carries LiDAR mass this far above the ground.
+CAR_MAX_HEIGHT = 2.0
+
+#: Grid cell size for structural clustering.  With 8-connected labelling,
+#: sub-cell gaps merge (one physical object) while the >1 m spaces between
+#: parked cars stay separate.
+CLUSTER_CELL = 0.35
+
+
+@dataclass(frozen=True)
+class CalibratorWeights:
+    """Logistic-model weights mapping evidence to confidence.
+
+    Defaults are calibrated so that typical single-shot scores land in the
+    paper's reported 0.5-0.9 band, objects with under ~40 supporting points
+    fall below the 0.5 reporting threshold, and doubling the evidence (one
+    extra viewpoint) raises the score by roughly 10%.
+    """
+
+    count_weight: float = 0.6
+    coverage_weight: float = 1.2
+    tall_penalty: float = 1.0
+    overrun_penalty: float = 1.2
+    bias: float = 2.5
+    count_cap: int = 500
+    coverage_bins: int = 8
+    neighborhood_radius: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.coverage_bins < 1:
+            raise ValueError("coverage_bins must be positive")
+        if self.neighborhood_radius <= 0:
+            raise ValueError("neighborhood_radius must be positive")
+
+
+@dataclass
+class BoxEvidence:
+    """The raw evidence features for one candidate box.
+
+    Attributes:
+        num_points: obstacle points inside the box.
+        coverage: fraction of azimuth bins (around the box centre) occupied.
+        tall_count: footprint-column points above car height.
+        length_overrun: metres by which the contiguous structure through
+            the box exceeds a car's bounding-diagonal extent.
+    """
+
+    num_points: int
+    coverage: float
+    tall_count: int
+    length_overrun: float = 0.0
+
+
+class ConfidenceCalibrator:
+    """Scores candidate boxes from the obstacle cloud around them."""
+
+    def __init__(
+        self,
+        obstacle_xyz: np.ndarray,
+        ground_z: float,
+        weights: CalibratorWeights | None = None,
+    ) -> None:
+        self.points = np.asarray(obstacle_xyz, dtype=float).reshape(-1, 3)
+        self.ground_z = float(ground_z)
+        self.weights = weights or CalibratorWeights()
+        self._tree = cKDTree(self.points[:, :2]) if len(self.points) else None
+        self._cluster_ids, self._cluster_extents, self._cluster_minors = (
+            _label_clusters(self.points[:, :2])
+        )
+
+    def evidence(self, box: Box3D) -> BoxEvidence:
+        """Measure the point evidence supporting ``box``."""
+        if self._tree is None:
+            return BoxEvidence(0, 0.0, 0, 0.0)
+        w = self.weights
+        neighbors_idx = self._tree.query_ball_point(
+            box.center[:2], w.neighborhood_radius
+        )
+        neighborhood = self.points[neighbors_idx]
+        if len(neighborhood) == 0:
+            return BoxEvidence(0, 0.0, 0, 0.0)
+        pts4 = np.column_stack([neighborhood, np.zeros(len(neighborhood))])
+
+        # Column test ignoring height: catches wall points above the box.
+        column = Box3D(
+            np.array([box.center[0], box.center[1], box.center[2] + 2.0]),
+            box.length,
+            box.width,
+            box.height + 6.0,
+            box.yaw,
+        )
+        in_column = points_in_box(pts4, column, margin=0.1)
+        column_points = neighborhood[in_column]
+        tall_count = int(
+            (column_points[:, 2] > self.ground_z + CAR_MAX_HEIGHT).sum()
+        )
+        inside = points_in_box(pts4, box, margin=0.1)
+        box_points = neighborhood[inside]
+        if len(box_points) == 0:
+            return BoxEvidence(0, 0.0, tall_count, 0.0)
+
+        neighbor_indices = np.asarray(neighbors_idx, dtype=int)
+        overrun = self._contiguous_overrun(box, neighbor_indices[inside])
+        rel = box_points[:, :2] - box.center[:2]
+        azimuth = np.arctan2(rel[:, 1], rel[:, 0])
+        bins = ((azimuth + np.pi) / (2 * np.pi) * w.coverage_bins).astype(int)
+        bins = np.clip(bins, 0, w.coverage_bins - 1)
+        coverage = len(np.unique(bins)) / w.coverage_bins
+        return BoxEvidence(
+            int(len(box_points)), float(coverage), tall_count, overrun
+        )
+
+    def _contiguous_overrun(
+        self, box: Box3D, box_point_indices: np.ndarray
+    ) -> float:
+        """Extent of the contiguous structure through the box, over car size.
+
+        Points were clustered once at construction time (grid-based
+        connected components, true 2D — a truck parked a metre away stays a
+        *separate* object).  Walls, building corners and trucks form
+        clusters far longer than any car; a car bounded by air (or by the
+        gaps between parked vehicles) does not.
+        """
+        if len(box_point_indices) == 0:
+            return 0.0
+        clusters = np.unique(self._cluster_ids[box_point_indices])
+        # Only *thin* structure counts against a car hypothesis: building
+        # walls are long and under ~1 m deep, while a row of parked cars —
+        # which can fuse into one long cluster once two viewpoints fill in
+        # the gaps — is several metres deep and must not be penalised.
+        thin = clusters[self._cluster_minors[clusters] < 1.0]
+        if len(thin) == 0:
+            return 0.0
+        extent = float(self._cluster_extents[thin].max())
+        car_limit = float(np.hypot(box.length, box.width)) + 0.6
+        return max(0.0, extent - car_limit)
+
+    def score(self, box: Box3D, object_class=None) -> float:
+        """Confidence in [0, 1] for ``box`` (optionally class-aware)."""
+        return self.score_from_evidence(self.evidence(box), object_class)
+
+    def score_from_evidence(self, ev: BoxEvidence, object_class=None) -> float:
+        """Apply the logistic model to measured evidence.
+
+        ``object_class`` (a :class:`repro.detection.classes.ObjectClass`)
+        shifts the bias and the evidence cap: a pedestrian is fully
+        confirmed by far fewer points than a car.
+        """
+        w = self.weights
+        bias = w.bias
+        count_cap = w.count_cap
+        if object_class is not None:
+            bias += object_class.bias_offset
+            count_cap = min(count_cap, object_class.count_cap)
+        # Evidence saturates: past ~count_cap points an object is as
+        # confirmed as it gets, keeping scores inside the paper's band.
+        logit = (
+            w.count_weight * np.log1p(min(ev.num_points, count_cap))
+            + w.coverage_weight * ev.coverage
+            - w.tall_penalty * np.log1p(ev.tall_count)
+            - w.overrun_penalty * ev.length_overrun
+            - bias
+        )
+        return float(1.0 / (1.0 + np.exp(-np.clip(logit, -60, 60))))
+
+
+
+def _label_clusters(
+    xy: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cluster BEV points by grid connected components.
+
+    Returns per-point cluster ids plus, per cluster, the extent along the
+    principal axis (how *long* the structure is) and along the secondary
+    axis (how *deep* it is — thin means wall-like).
+    """
+    from scipy import ndimage
+
+    if len(xy) == 0:
+        return np.zeros(0, dtype=int), np.zeros(1), np.zeros(1)
+    origin = xy.min(axis=0)
+    cells = np.floor((xy - origin) / CLUSTER_CELL).astype(int)
+    shape = cells.max(axis=0) + 1
+    occupancy = np.zeros(shape + 1, dtype=bool)
+    occupancy[cells[:, 0], cells[:, 1]] = True
+    labels, _count = ndimage.label(occupancy, structure=np.ones((3, 3), dtype=int))
+    point_labels = labels[cells[:, 0], cells[:, 1]]
+    num = int(point_labels.max()) + 1
+    majors = np.zeros(num)
+    minors = np.zeros(num)
+    order = np.argsort(point_labels, kind="stable")
+    sorted_labels = point_labels[order]
+    boundaries = np.searchsorted(sorted_labels, np.arange(num + 1))
+    for label in range(num):
+        members = xy[order[boundaries[label] : boundaries[label + 1]]]
+        if len(members) < 2:
+            continue
+        centered = members - members.mean(axis=0)
+        cov = centered.T @ centered / len(members)
+        _evals, evecs = np.linalg.eigh(cov)
+        projected = centered @ evecs
+        spans = projected.max(axis=0) - projected.min(axis=0)
+        minors[label] = float(spans[0])
+        majors[label] = float(spans[1])
+    return point_labels, majors, minors

@@ -1,0 +1,79 @@
+"""Object classes for multi-class SPOD (§III-A's car/pedestrian/cyclist).
+
+The paper quotes VoxelNet's per-class average precisions — cars ~89.6%,
+pedestrians ~65.9%, cyclists ~74.4% easy — precisely because small classes
+carry far less LiDAR evidence.  This module gives SPOD the same class
+vocabulary: per-class box templates, evidence expectations (fewer points
+suffice for a pedestrian than for a car) and a geometric classifier that
+decides the class from the local cluster's footprint and height.
+
+Class confusion at range is expected and realistic (a far car fragment can
+look like a cyclist); the per-class evaluation quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ObjectClass", "CAR", "CYCLIST", "PEDESTRIAN", "CLASSES", "classify_cluster"]
+
+
+@dataclass(frozen=True)
+class ObjectClass:
+    """One detectable class.
+
+    Attributes:
+        name: label carried by detections.
+        template: (length, width, height) of the fitted box.
+        bias_offset: added to the calibrator bias — negative for small
+            classes whose full evidence is inherently fewer points.
+        count_cap: evidence saturation point (a pedestrian is as confirmed
+            as it gets long before 500 points).
+    """
+
+    name: str
+    template: tuple[float, float, float]
+    bias_offset: float = 0.0
+    count_cap: int = 500
+
+    @property
+    def diagonal(self) -> float:
+        """BEV diagonal of the template footprint."""
+        return float(np.hypot(self.template[0], self.template[1]))
+
+
+#: The three classes the paper's §III-A discussion covers.
+CAR = ObjectClass("car", (4.2, 1.8, 1.6), bias_offset=0.0, count_cap=500)
+CYCLIST = ObjectClass("cyclist", (1.8, 0.7, 1.85), bias_offset=-0.8, count_cap=200)
+PEDESTRIAN = ObjectClass("pedestrian", (0.7, 0.7, 1.8), bias_offset=-1.0, count_cap=120)
+
+CLASSES: tuple[ObjectClass, ...] = (CAR, CYCLIST, PEDESTRIAN)
+
+
+def classify_cluster(
+    major_extent: float,
+    minor_extent: float,
+    height_span: float,
+) -> ObjectClass:
+    """Pick the class a local point cluster most plausibly belongs to.
+
+    Geometry-only rules mirroring how the templates differ:
+
+    * tiny footprint (< ~1.1 m across) standing person-height -> pedestrian,
+    * short-but-elongated, thin, and taller than car bodywork -> cyclist
+      (the rider's torso/head rise above any sedan roof),
+    * everything else -> car (including partial car faces, which dominate
+      the ambiguous region — the cause of the small-class confusion the
+      paper's quoted APs reflect).
+    """
+    if major_extent < 1.1 and 1.64 < height_span <= 2.2:
+        return PEDESTRIAN
+    if (
+        1.1 <= major_extent <= 2.4
+        and minor_extent < 1.0
+        and 1.64 < height_span <= 2.2
+    ):
+        return CYCLIST
+    return CAR

@@ -1,0 +1,38 @@
+"""Detection result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.geometry.boxes import Box3D
+from repro.geometry.transforms import RigidTransform
+
+__all__ = ["Detection"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A single detected object.
+
+    Attributes:
+        box: the detected oriented box (sensor/receiver frame).
+        score: detection confidence in [0, 1] — the quantity reported in
+            the paper's Figs. 3 and 6 grids.
+        label: class name; SPOD here detects "car".
+    """
+
+    box: Box3D
+    score: float
+    label: str = "car"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")
+
+    def transformed(self, transform: RigidTransform) -> "Detection":
+        """Map the detection into another frame."""
+        return replace(self, box=self.box.transformed(transform))
+
+    def with_score(self, score: float) -> "Detection":
+        """Return a copy with a different confidence."""
+        return replace(self, score=float(score))

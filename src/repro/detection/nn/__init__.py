@@ -1,0 +1,48 @@
+"""A from-scratch numpy neural-network substrate for SPOD.
+
+The paper's SPOD detector is a PyTorch + spconv model; neither is available
+offline, so this package implements the required machinery directly on
+numpy arrays: dense layers, 2D convolutions, batch norm, submanifold sparse
+3D convolutions over voxel hash maps, SGD/Adam optimisers and the focal /
+smooth-L1 losses the SECOND/VoxelNet lineage trains with.  Every layer has
+an explicit ``forward``/``backward`` pair, so small models are trainable
+end-to-end (the test suite does exactly that) while SPOD's production path
+uses analytically constructed weights.
+"""
+
+from repro.detection.nn.module import Module, Parameter, Sequential
+from repro.detection.nn.layers import (
+    Linear,
+    ReLU,
+    Sigmoid,
+    BatchNorm1d,
+    Conv2d,
+    MaxPool2d,
+)
+from repro.detection.nn.sparse import SparseTensor3d, SubmanifoldConv3d, SparseToDense
+from repro.detection.nn.losses import (
+    sigmoid_binary_cross_entropy,
+    sigmoid_focal_loss,
+    smooth_l1_loss,
+)
+from repro.detection.nn.optim import SGD, Adam
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "BatchNorm1d",
+    "Conv2d",
+    "MaxPool2d",
+    "SparseTensor3d",
+    "SubmanifoldConv3d",
+    "SparseToDense",
+    "sigmoid_binary_cross_entropy",
+    "sigmoid_focal_loss",
+    "smooth_l1_loss",
+    "SGD",
+    "Adam",
+]

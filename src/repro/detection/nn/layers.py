@@ -1,0 +1,286 @@
+"""Dense layers: Linear, activations, BatchNorm, Conv2d, MaxPool2d.
+
+Conv2d uses im2col + matmul, the standard way to get acceptable CPU
+throughput out of numpy; its backward pass is the transposed col2im.
+Shapes follow the PyTorch convention ``(N, C, H, W)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.nn.module import Module, Parameter
+
+__all__ = ["Linear", "ReLU", "Sigmoid", "BatchNorm1d", "Conv2d", "MaxPool2d"]
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over the last axis."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True, seed: int = 0
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(
+            _he_init(rng, (out_features, in_features), in_features), "linear.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        out = x @ self.weight.value.T
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._input
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_g = grad_output.reshape(-1, grad_output.shape[-1])
+        self.weight.grad += flat_g.T @ flat_x
+        if self.bias is not None:
+            self.bias.grad += flat_g.sum(axis=0)
+        return grad_output @ self.weight.value
+
+
+class ReLU(Module):
+    """Elementwise ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class Sigmoid(Module):
+    """Elementwise logistic function."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        s = self._output
+        return grad_output * s * (1.0 - s)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the first axis of an ``(N, C)`` input."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        self.gamma = Parameter(np.ones(num_features), "bn.gamma")
+        self.beta = Parameter(np.zeros(num_features), "bn.beta")
+        self.eps = eps
+        self.momentum = momentum
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self.training = True
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        n = grad_output.shape[0]
+        self.gamma.grad += (grad_output * x_hat).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        g_hat = grad_output * self.gamma.value
+        if not self.training or n <= 1:
+            return g_hat * inv_std
+        return (
+            inv_std
+            / n
+            * (n * g_hat - g_hat.sum(axis=0) - x_hat * (g_hat * x_hat).sum(axis=0))
+        )
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, out_h*out_w)`` columns."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    return (
+        windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w),
+        out_h,
+        out_w,
+    )
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold columns back, summing overlaps — the adjoint of :func:`_im2col`."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    x = np.zeros((n, c, hp, wp))
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
+                :, :, i, j
+            ]
+    if pad:
+        x = x[:, :, pad:-pad, pad:-pad]
+    return x
+
+
+class Conv2d(Module):
+    """2D convolution via im2col.  Input and output are ``(N, C, H, W)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        bias: bool = True,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            _he_init(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            "conv2d.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), "conv2d.bias") if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.kernel_size = kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        w_mat = self.weight.value.reshape(self.weight.shape[0], -1)
+        out = np.einsum("oc,ncp->nop", w_mat, cols)
+        if self.bias is not None:
+            out = out + self.bias.value[None, :, None]
+        self._cache = (x.shape, cols)
+        return out.reshape(x.shape[0], -1, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_shape, cols = self._cache
+        n = grad_output.shape[0]
+        out_ch = grad_output.shape[1]
+        grad_mat = grad_output.reshape(n, out_ch, -1)
+        w_mat = self.weight.value.reshape(out_ch, -1)
+        self.weight.grad += np.einsum("nop,ncp->oc", grad_mat, cols).reshape(
+            self.weight.shape
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_mat.sum(axis=(0, 2))
+        grad_cols = np.einsum("oc,nop->ncp", w_mat, grad_mat)
+        return _col2im(
+            grad_cols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows; input ``(N, C, H, W)``."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        strides = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, k, k),
+            strides=(
+                strides[0],
+                strides[1],
+                strides[2] * s,
+                strides[3] * s,
+                strides[2],
+                strides[3],
+            ),
+            writeable=False,
+        )
+        flat = windows.reshape(n, c, out_h, out_w, k * k)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, argmax, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_shape, argmax, out_h, out_w = self._cache
+        n, c, h, w = x_shape
+        k, s = self.kernel_size, self.stride
+        grad_input = np.zeros(x_shape)
+        rows = argmax // k
+        cols = argmax % k
+        oy, ox = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+        abs_rows = oy[None, None] * s + rows
+        abs_cols = ox[None, None] * s + cols
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(
+            grad_input,
+            (
+                np.broadcast_to(n_idx, abs_rows.shape),
+                np.broadcast_to(c_idx, abs_rows.shape),
+                abs_rows,
+                abs_cols,
+            ),
+            grad_output,
+        )
+        return grad_input

@@ -1,0 +1,137 @@
+"""Parameter and Module base classes for the numpy NN substrate.
+
+Modules cache whatever their backward pass needs during forward; gradients
+accumulate into :attr:`Parameter.grad` and are consumed by the optimisers
+in :mod:`repro.detection.nn.optim`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: a callable with parameters and a backward pass.
+
+    Subclasses implement ``forward`` (caching what backward needs on
+    ``self``) and ``backward`` (returning the gradient with respect to the
+    forward input and accumulating parameter gradients).
+    """
+
+    def forward(self, x):
+        """Compute the layer output, caching whatever backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_output):
+        """Given dLoss/dOutput, accumulate parameter gradients and
+        return dLoss/dInput."""
+        raise NotImplementedError
+
+    def __call__(self, x):
+        return self.forward(x)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield this module's parameters, recursing into sub-modules."""
+        seen: set[int] = set()
+        for value in vars(self).values():
+            yield from _parameters_of(value, seen)
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total count of scalar weights."""
+        return sum(p.value.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> array snapshot of all parameters."""
+        return {
+            f"{i}:{p.name}": p.value.copy() for i, p in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict` (order-based)."""
+        params = list(self.parameters())
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(params)}"
+            )
+        for (key, value), p in zip(sorted(state.items(), key=_state_key), params):
+            if value.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {value.shape} vs {p.value.shape}"
+                )
+            p.value[...] = value
+
+
+def _state_key(item: tuple[str, np.ndarray]) -> int:
+    return int(item[0].split(":", 1)[0])
+
+
+def _parameters_of(value, seen: set[int]) -> Iterator[Parameter]:
+    if id(value) in seen:
+        return
+    if isinstance(value, Parameter):
+        seen.add(id(value))
+        yield value
+    elif isinstance(value, Module):
+        seen.add(id(value))
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _parameters_of(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _parameters_of(item, seen)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad_output):
+        for module in reversed(self.modules):
+            grad_output = module.backward(grad_output)
+        return grad_output
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def __len__(self) -> int:
+        return len(self.modules)

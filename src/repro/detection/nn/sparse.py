@@ -1,0 +1,225 @@
+"""Submanifold sparse 3D convolution over voxel hash maps.
+
+The paper's middle layers use sparse CNNs [15] because voxelised LiDAR is
+overwhelmingly empty: "output points are not computed if there is no
+related input point".  A :class:`SparseTensor3d` stores only the active
+sites — integer coordinates plus a feature row each — and
+:class:`SubmanifoldConv3d` convolves them without ever materialising the
+dense grid: for each kernel offset it gathers the (input, output) site
+pairs related by that offset and applies one matmul.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.nn.module import Module, Parameter
+
+__all__ = ["SparseTensor3d", "SubmanifoldConv3d", "SparseToDense"]
+
+
+@dataclass
+class SparseTensor3d:
+    """Active voxel sites with features.
+
+    Attributes:
+        coords: ``(V, 3)`` integer coordinates (ix, iy, iz).
+        features: ``(V, C)`` feature rows.
+        grid_shape: dense extent ``(nx, ny, nz)`` the coordinates live in.
+    """
+
+    coords: np.ndarray
+    features: np.ndarray
+    grid_shape: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.int64).reshape(-1, 3)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if len(self.coords) != len(self.features):
+            raise ValueError("coords and features row counts differ")
+
+    @property
+    def num_active(self) -> int:
+        """Number of active sites."""
+        return len(self.coords)
+
+    @property
+    def num_channels(self) -> int:
+        """Feature dimensionality."""
+        return self.features.shape[1] if self.features.ndim == 2 else 0
+
+    def linear_index(self) -> np.ndarray:
+        """Linearised coordinates, usable as dict keys / sort keys."""
+        nx, ny, nz = self.grid_shape
+        c = self.coords
+        return c[:, 0] * (ny * nz) + c[:, 1] * nz + c[:, 2]
+
+    def densify(self) -> np.ndarray:
+        """Materialise the dense ``(C, nx, ny, nz)`` array (tests only)."""
+        nx, ny, nz = self.grid_shape
+        dense = np.zeros((self.num_channels, nx, ny, nz))
+        dense[:, self.coords[:, 0], self.coords[:, 1], self.coords[:, 2]] = (
+            self.features.T
+        )
+        return dense
+
+
+def _build_pairs(
+    in_tensor: SparseTensor3d,
+    out_coords: np.ndarray,
+    out_grid: tuple[int, int, int],
+    kernel_size: int,
+    stride: int,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """For each kernel offset, the (offset, in_rows, out_rows) gather lists.
+
+    An output site ``o`` receives input site ``i`` through offset ``k`` when
+    ``i = o * stride + k - pad`` (pad centres the kernel).
+    """
+    pad = (kernel_size - 1) // 2
+    nx, ny, nz = in_tensor.grid_shape
+    lin_in = in_tensor.linear_index()
+    order = np.argsort(lin_in)
+    lin_sorted = lin_in[order]
+    offsets = list(itertools.product(range(kernel_size), repeat=3))
+    pairs = []
+    out = out_coords
+    for k, offset in enumerate(offsets):
+        shift = np.array(offset) - pad
+        candidate = out * stride + shift
+        in_bounds = (
+            (candidate[:, 0] >= 0)
+            & (candidate[:, 0] < nx)
+            & (candidate[:, 1] >= 0)
+            & (candidate[:, 1] < ny)
+            & (candidate[:, 2] >= 0)
+            & (candidate[:, 2] < nz)
+        )
+        lin_cand = (
+            candidate[:, 0] * (ny * nz) + candidate[:, 1] * nz + candidate[:, 2]
+        )
+        pos = np.searchsorted(lin_sorted, lin_cand)
+        pos_clipped = np.minimum(pos, len(lin_sorted) - 1) if len(lin_sorted) else pos
+        found = (
+            in_bounds
+            & (pos < len(lin_sorted))
+            & (len(lin_sorted) > 0)
+            & (lin_sorted[pos_clipped] == lin_cand)
+        )
+        if found.any():
+            pairs.append(
+                (
+                    k,
+                    order[pos_clipped[found]].astype(np.int64),
+                    np.nonzero(found)[0].astype(np.int64),
+                )
+            )
+    return pairs
+
+
+class SubmanifoldConv3d(Module):
+    """Sparse 3D convolution.
+
+    With ``stride == 1`` this is *submanifold*: the output active set equals
+    the input active set, so sparsity never dilates (the property that makes
+    deep sparse CNNs tractable).  With ``stride > 1`` it is a regular sparse
+    convolution whose output sites are the distinct downsampled input sites.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        bias: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd")
+        rng = np.random.default_rng(seed)
+        k3 = kernel_size**3
+        fan_in = in_channels * k3
+        self.weight = Parameter(
+            rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(k3, in_channels, out_channels)),
+            "sparseconv.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), "sparseconv.bias") if bias else None
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._cache: tuple | None = None
+
+    def _output_sites(
+        self, tensor: SparseTensor3d
+    ) -> tuple[np.ndarray, tuple[int, int, int]]:
+        if self.stride == 1:
+            return tensor.coords.copy(), tensor.grid_shape
+        down = tensor.coords // self.stride
+        out_grid = tuple(
+            int(np.ceil(g / self.stride)) for g in tensor.grid_shape
+        )
+        unique = np.unique(down, axis=0)
+        return unique, out_grid  # type: ignore[return-value]
+
+    def forward(self, tensor: SparseTensor3d) -> SparseTensor3d:
+        out_coords, out_grid = self._output_sites(tensor)
+        pairs = _build_pairs(
+            tensor, out_coords, out_grid, self.kernel_size, self.stride
+        )
+        out_features = np.zeros((len(out_coords), self.weight.shape[2]))
+        for k, in_rows, out_rows in pairs:
+            np.add.at(
+                out_features,
+                out_rows,
+                tensor.features[in_rows] @ self.weight.value[k],
+            )
+        if self.bias is not None:
+            out_features += self.bias.value
+        self._cache = (tensor, pairs, len(out_coords))
+        return SparseTensor3d(out_coords, out_features, out_grid)
+
+    def backward(self, grad_output: SparseTensor3d | np.ndarray) -> SparseTensor3d:
+        tensor, pairs, num_out = self._cache
+        grad_feat = (
+            grad_output.features
+            if isinstance(grad_output, SparseTensor3d)
+            else np.asarray(grad_output)
+        )
+        grad_in = np.zeros_like(tensor.features)
+        for k, in_rows, out_rows in pairs:
+            g = grad_feat[out_rows]
+            self.weight.grad[k] += tensor.features[in_rows].T @ g
+            np.add.at(grad_in, in_rows, g @ self.weight.value[k].T)
+        if self.bias is not None:
+            self.bias.grad += grad_feat.sum(axis=0)
+        return SparseTensor3d(tensor.coords, grad_in, tensor.grid_shape)
+
+
+class SparseToDense(Module):
+    """Scatter a sparse tensor to a dense BEV map, stacking z into channels.
+
+    Output shape is ``(1, C * nz, nx, ny)`` — the standard trick the SECOND
+    lineage uses to hand the 3D feature volume to a 2D RPN.
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple | None = None
+
+    def forward(self, tensor: SparseTensor3d) -> np.ndarray:
+        nx, ny, nz = tensor.grid_shape
+        c = tensor.num_channels
+        dense = np.zeros((c, nz, nx, ny))
+        coords = tensor.coords
+        dense[:, coords[:, 2], coords[:, 0], coords[:, 1]] = tensor.features.T
+        self._cache = (tensor, (nx, ny, nz, c))
+        return dense.reshape(1, c * nz, nx, ny)
+
+    def backward(self, grad_output: np.ndarray) -> SparseTensor3d:
+        tensor, (nx, ny, nz, c) = self._cache
+        grad = grad_output.reshape(c, nz, nx, ny)
+        coords = tensor.coords
+        grad_feat = grad[:, coords[:, 2], coords[:, 0], coords[:, 1]].T
+        return SparseTensor3d(tensor.coords, grad_feat, tensor.grid_shape)

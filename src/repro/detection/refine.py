@@ -1,0 +1,296 @@
+"""Point-evidence box refinement for RPN proposals.
+
+The analytic inference path decodes a proposal by fitting a car-template
+box to the obstacle points around the proposing BEV cell: re-centre on the
+local centroid, orient along the principal axis of the local point spread,
+and rest the box on the estimated ground.  This replaces the learned
+regression head when SPOD runs with analytic weights (the learned head is
+used when the network has been trained).
+
+Refinement is *cluster-scoped*: points are first grouped into contiguous
+structures (same grid clustering the calibrator uses), and a proposal only
+fits to the cluster(s) directly under it.  Without this, a dense neighbour
+two metres away drags the centroid off the actual object — visible as
+detections "migrating" between adjacent parked cars on merged clouds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.detection.anchors import CAR_ANCHOR_SIZE
+from repro.detection.classes import CAR, ObjectClass, classify_cluster
+from repro.geometry.boxes import Box3D, points_in_box
+
+__all__ = ["BoxRefiner", "RefinementSpec", "Fit"]
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A refined proposal: the fitted box, its supporting points and class."""
+
+    box: Box3D
+    points: np.ndarray
+    object_class: ObjectClass = CAR
+
+    def __iter__(self):
+        # Unpacks as (box, points) for backwards compatibility; the class
+        # rides along as an attribute.
+        yield self.box
+        yield self.points
+
+
+@dataclass(frozen=True)
+class RefinementSpec:
+    """Tuning knobs of the point-based box fit.
+
+    Attributes:
+        gather_radius: BEV radius (m) of points considered around a proposal.
+        seed_radius: radius locating the cluster(s) under the proposal.
+        min_points: proposals with fewer local points are dropped.
+        template_size: (l, w, h) of the fitted box (mean car).
+    """
+
+    gather_radius: float = 2.4
+    seed_radius: float = 1.4
+    multi_class: bool = True
+    meanshift_radius: float = 1.5
+    meanshift_iterations: int = 3
+    min_points: int = 4
+    template_size: tuple[float, float, float] = CAR_ANCHOR_SIZE
+
+
+class BoxRefiner:
+    """Fits car-template boxes to local obstacle points.
+
+    Build once per cloud (it indexes the points in a KD-tree and labels
+    structural clusters), then call :meth:`refine` per proposal.
+    """
+
+    def __init__(
+        self,
+        obstacle_xyz: np.ndarray,
+        ground_z: float,
+        spec: RefinementSpec | None = None,
+        ground_xyz: np.ndarray | None = None,
+    ) -> None:
+        from repro.detection.calibrate import _label_clusters
+
+        self.spec = spec or RefinementSpec()
+        self.points = np.asarray(obstacle_xyz, dtype=float).reshape(-1, 3)
+        self.ground_z = float(ground_z)
+        # Ground returns disambiguate partial views: the ground beneath a
+        # real vehicle is shadowed, so of two candidate box placements the
+        # one covering fewer ground returns is the physical one.
+        if ground_xyz is not None and len(ground_xyz):
+            self._ground_tree = cKDTree(
+                np.asarray(ground_xyz, dtype=float)[:, :2]
+            )
+        else:
+            self._ground_tree = None
+        # Cars live below ~2.3 m above ground; taller returns (walls, trees)
+        # must not drag the fit.
+        car_band = self.points[:, 2] <= self.ground_z + 2.3
+        self._car_points = self.points[car_band]
+        if len(self._car_points):
+            self._tree = cKDTree(self._car_points[:, :2])
+            self._clusters, _majors, _minors = _label_clusters(self._car_points[:, :2])
+        else:
+            self._tree = None
+            self._clusters = np.zeros(0, dtype=int)
+
+    def refine(self, proposal_xy: np.ndarray) -> Fit | None:
+        """Fit a box near ``proposal_xy``.
+
+        Returns a :class:`Fit` (unpacks as ``(box, local_points)``) or None
+        when the neighbourhood is too sparse to support an object
+        hypothesis.
+        """
+        if self._tree is None:
+            return None
+        spec = self.spec
+        center = np.asarray(proposal_xy[:2], dtype=float)
+        seed_idx = np.asarray(
+            self._tree.query_ball_point(center, spec.seed_radius), dtype=int
+        )
+        if not len(seed_idx):
+            return None
+        # Adopt the *nearest* structure under the proposal, plus anything
+        # almost as close — but not a neighbouring object that merely grazes
+        # the seed radius (a pedestrian proposal must not adopt the car
+        # parked 1.2 m away).
+        distances = np.linalg.norm(self._car_points[seed_idx, :2] - center, axis=1)
+        cutoff = max(0.7, float(distances.min()) + 0.25)
+        seed_clusters = np.unique(self._clusters[seed_idx[distances <= cutoff]])
+        # Mean-shift with a sub-car radius: converge onto the local density
+        # mode (one vehicle's own point mass) instead of the centroid of
+        # whatever the proposal radius happens to cover.  Essential on
+        # merged clouds, where two viewpoints can fuse a whole row of
+        # parked cars into one connected cluster.
+        mode = center
+        for _ in range(spec.meanshift_iterations):
+            near = np.asarray(
+                self._tree.query_ball_point(mode, spec.meanshift_radius), dtype=int
+            )
+            near = near[np.isin(self._clusters[near], seed_clusters)]
+            if len(near) < spec.min_points:
+                break
+            mode = self._car_points[near][:, :2].mean(axis=0)
+        idx = np.asarray(
+            self._tree.query_ball_point(mode, spec.gather_radius), dtype=int
+        )
+        idx = idx[np.isin(self._clusters[idx], seed_clusters)]
+        if len(idx) < spec.min_points:
+            return None
+        local = self._car_points[idx]
+        object_class = CAR
+        if spec.multi_class:
+            major, minor = _planar_extents(local[:, :2])
+            height_span = float(local[:, 2].max() - self.ground_z)
+            object_class = classify_cluster(major, minor, height_span)
+            length, width, height = object_class.template
+        else:
+            length, width, height = spec.template_size
+        base_yaw = _principal_yaw(local[:, :2])
+        # PCA orientation is ambiguous on merged clouds: a row of parked
+        # cars fused into one cluster has its principal axis along the
+        # *row*, perpendicular to every car in it.  Fit both orientations
+        # and keep the box that explains the local points best (many
+        # inside, few left out).  For partial views the L-shape slide
+        # direction is itself ambiguous when the points were contributed by
+        # a *cooperator* (the receiver-frame origin is not their sensor):
+        # both slide directions are tried, tie-broken by the ground-shadow
+        # test — the real vehicle sits where the ground shows no returns.
+        pts4 = np.column_stack([local, np.zeros(len(local))])
+        best: tuple[float, float, Box3D] | None = None
+        for yaw in (base_yaw, base_yaw + np.pi / 2.0):
+            candidates = _l_shape_centers(local[:, :2], yaw, length, width)
+            boxes = [
+                Box3D(
+                    np.array([c[0], c[1], self.ground_z + height / 2.0]),
+                    length,
+                    width,
+                    height,
+                    yaw,
+                )
+                for c in candidates
+            ]
+            chosen = boxes[0]
+            flipped = 0.0
+            shadow = self._ground_points_under(chosen)
+            if len(boxes) == 2:
+                # Override the receiver-as-sensor slide only on decisive
+                # ground evidence: many returns under the default placement
+                # and clearly fewer under the mirrored one.  Doubly-shadowed
+                # ground (occluders on both sides) must not flip the box.
+                shadow_mirrored = self._ground_points_under(boxes[1])
+                if shadow >= 8 and shadow_mirrored * 2 <= shadow:
+                    chosen = boxes[1]
+                    shadow = shadow_mirrored
+                    flipped = 1.0
+            inside = int(points_in_box(pts4, chosen, margin=0.1).sum())
+            fitness = inside - 2 * (len(local) - inside)
+            # Orientation choice: best point fit first; then the placement
+            # whose footprint shadows the ground (a box sticking out over
+            # visible ground has the wrong yaw for this cluster); finally,
+            # prefer an unflipped candidate — where ground sampling is too
+            # sparse to decide, the receiver-as-sensor slide is the prior.
+            key = (fitness, -float(shadow), -flipped)
+            if best is None or key > best[:3]:
+                best = (fitness, -float(shadow), -flipped, chosen)
+        return Fit(best[3], local, object_class)
+
+    def _ground_points_under(self, box: Box3D) -> int:
+        """Ground returns inside the box footprint (0 without ground data)."""
+        if self._ground_tree is None:
+            return 0
+        radius = float(np.hypot(box.length, box.width)) / 2.0
+        idx = self._ground_tree.query_ball_point(box.center[:2], radius)
+        if not idx:
+            return 0
+        candidates = self._ground_tree.data[idx]
+        pts4 = np.column_stack(
+            [
+                candidates,
+                np.full(len(candidates), box.center[2]),
+                np.zeros(len(candidates)),
+            ]
+        )
+        # Interior only: returns hugging the box *edges* are object-face
+        # points grazing the ground band, not open ground.
+        return int(points_in_box(pts4, box, margin=-0.4).sum())
+
+
+def _l_shape_centers(
+    xy: np.ndarray, yaw: float, length: float, width: float
+) -> list[np.ndarray]:
+    """Candidate box centres for a partial view: both slide directions.
+
+    The first candidate follows the receiver-as-sensor assumption of
+    :func:`_l_shape_center`; the second slides the unseen half the opposite
+    way (correct when the points came from a cooperator on the far side).
+    Identical candidates (full views, no deficit) are deduplicated.
+    """
+    primary = _l_shape_center(xy, yaw, length, width)
+    mirrored = _l_shape_center(xy, yaw, length, width, flip=True)
+    if np.allclose(primary, mirrored, atol=1e-9):
+        return [primary]
+    return [primary, mirrored]
+
+
+def _l_shape_center(
+    xy: np.ndarray, yaw: float, length: float, width: float, flip: bool = False
+) -> np.ndarray:
+    """Estimate the box centre from partially observed faces.
+
+    A LiDAR sees only the faces turned towards it, so the raw centroid sits
+    *on* those faces rather than at the vehicle centre.  Classic L-shape
+    reasoning fixes this: in the box's yaw frame, wherever the observed
+    extent along an axis falls short of the template dimension, the box is
+    slid away from the sensor (the unseen half is on the far side).
+    """
+    centroid = xy.mean(axis=0)
+    cos_y, sin_y = np.cos(yaw), np.sin(yaw)
+    axes = np.array([[cos_y, sin_y], [-sin_y, cos_y]])  # rows: u, v
+    uv = (xy - centroid) @ axes.T
+    sensor_uv = (np.zeros(2) - centroid) @ axes.T  # sensor at the frame origin
+    norm = float(np.linalg.norm(sensor_uv))
+    # Continuous shift direction: the unseen half lies opposite the sensor.
+    # Scaling by the unit component (rather than its sign) keeps face-on
+    # views stable — a near-zero component must not flip a half-car shift.
+    sensor_unit = sensor_uv / norm if norm > 1e-9 else np.zeros(2)
+    if flip:
+        sensor_unit = -sensor_unit
+    center_uv = np.zeros(2)
+    for axis, dim in ((0, length), (1, width)):
+        lo, hi = float(uv[:, axis].min()), float(uv[:, axis].max())
+        observed_mid = (lo + hi) / 2.0
+        deficit = max(0.0, (dim - (hi - lo)) / 2.0)
+        center_uv[axis] = observed_mid - deficit * sensor_unit[axis]
+    return centroid + center_uv @ axes
+
+
+def _planar_extents(xy: np.ndarray) -> tuple[float, float]:
+    """(major, minor) extents of a 2D point set along its principal axes."""
+    if len(xy) < 2:
+        return 0.0, 0.0
+    centered = xy - xy.mean(axis=0)
+    cov = centered.T @ centered / len(xy)
+    _evals, evecs = np.linalg.eigh(cov)
+    projected = centered @ evecs
+    spans = projected.max(axis=0) - projected.min(axis=0)
+    return float(spans[1]), float(spans[0])
+
+
+def _principal_yaw(xy: np.ndarray) -> float:
+    """Yaw of the principal axis of a 2D point set (0 when degenerate)."""
+    if len(xy) < 3:
+        return 0.0
+    centered = xy - xy.mean(axis=0)
+    cov = centered.T @ centered / len(xy)
+    eigenvalues, eigenvectors = np.linalg.eigh(cov)
+    major = eigenvectors[:, int(np.argmax(eigenvalues))]
+    return float(np.arctan2(major[1], major[0]))

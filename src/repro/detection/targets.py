@@ -1,0 +1,99 @@
+"""Anchor target assignment for training SPOD's learned heads.
+
+The SECOND/VoxelNet recipe the paper builds on: every BEV anchor is
+labelled positive when its IoU with some ground-truth box exceeds the
+positive threshold (or it is the best anchor for a box), negative below
+the negative threshold, and ignored in between.  Positives get box
+regression residuals against their matched ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.anchors import AnchorGrid, encode_boxes
+from repro.geometry.boxes import Box3D, pairwise_iou_bev
+
+__all__ = ["AnchorTargets", "assign_targets"]
+
+
+@dataclass
+class AnchorTargets:
+    """Training targets for one frame.
+
+    Attributes:
+        cls_targets: ``(N,)`` with 1 positive, 0 negative, -1 ignore.
+        reg_targets: ``(N, 7)`` encoded residuals (zeros off-positives).
+        matched_gt: ``(N,)`` index of the matched ground-truth box (-1 when
+            unmatched).
+    """
+
+    cls_targets: np.ndarray
+    reg_targets: np.ndarray
+    matched_gt: np.ndarray
+
+    @property
+    def num_positive(self) -> int:
+        """Count of positive anchors."""
+        return int((self.cls_targets == 1).sum())
+
+    @property
+    def num_negative(self) -> int:
+        """Count of negative anchors."""
+        return int((self.cls_targets == 0).sum())
+
+    def positive_weights(self) -> np.ndarray:
+        """Per-anchor weights normalising the regression loss by positives."""
+        weights = np.zeros(len(self.cls_targets))
+        if self.num_positive:
+            weights[self.cls_targets == 1] = 1.0 / self.num_positive
+        return weights
+
+
+def assign_targets(
+    grid: AnchorGrid,
+    gt_boxes: list[Box3D],
+    positive_iou: float = 0.6,
+    negative_iou: float = 0.45,
+) -> AnchorTargets:
+    """Label every anchor of ``grid`` against the ground truth.
+
+    Follows the standard rules: IoU >= ``positive_iou`` -> positive;
+    IoU < ``negative_iou`` -> negative; otherwise ignored.  Additionally
+    the highest-IoU anchor of each ground-truth box is forced positive so
+    no object goes unsupervised.
+    """
+    if not 0.0 <= negative_iou <= positive_iou <= 1.0:
+        raise ValueError("need 0 <= negative_iou <= positive_iou <= 1")
+    anchors = grid.all_anchors()
+    n = len(anchors)
+    cls_targets = np.zeros(n)
+    reg_targets = np.zeros((n, 7))
+    matched = np.full(n, -1, dtype=int)
+    if not gt_boxes:
+        return AnchorTargets(cls_targets, reg_targets, matched)
+
+    anchor_boxes = [Box3D.from_vector(a) for a in anchors]
+    iou = pairwise_iou_bev(anchor_boxes, gt_boxes)  # (N, G)
+
+    best_gt = iou.argmax(axis=1)
+    best_iou = iou.max(axis=1)
+    cls_targets[:] = -1.0
+    cls_targets[best_iou < negative_iou] = 0.0
+    positive = best_iou >= positive_iou
+    # Force-match each ground truth's best anchor.
+    for g in range(len(gt_boxes)):
+        a = int(iou[:, g].argmax())
+        if iou[a, g] > 0:
+            positive[a] = True
+            best_gt[a] = g
+    cls_targets[positive] = 1.0
+    matched[positive] = best_gt[positive]
+
+    pos_idx = np.nonzero(positive)[0]
+    if len(pos_idx):
+        gt_vectors = np.array([gt_boxes[g].as_vector() for g in best_gt[pos_idx]])
+        reg_targets[pos_idx] = encode_boxes(gt_vectors, anchors[pos_idx])
+    return AnchorTargets(cls_targets, reg_targets, matched)

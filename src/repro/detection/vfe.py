@@ -1,0 +1,141 @@
+"""Voxel Feature Encoding (VoxelNet-style), with an analytic weight mode.
+
+Each non-empty voxel's points are augmented with their offsets from the
+voxel centroid plus normalised height / count channels, passed through a
+shared point-wise ``Linear -> ReLU`` and max-pooled over the voxel — the
+VFE layer of VoxelNet the paper builds on.
+
+``analytic_init`` installs weights under which the pooled features have a
+fixed physical meaning (occupancy, normalised max height, max reflectance,
+normalised count), which is what the analytic middle/RPN stages expect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.nn.layers import Linear, ReLU
+from repro.detection.nn.module import Module
+from repro.detection.nn.sparse import SparseTensor3d
+from repro.pointcloud.voxel import VoxelGrid
+
+__all__ = ["VoxelFeatureEncoder", "AUGMENTED_FEATURES"]
+
+#: Per-point input features: dx, dy, dz (offset from voxel centroid),
+#: normalised absolute height, reflectance, normalised voxel count.
+AUGMENTED_FEATURES = 6
+
+
+class VoxelFeatureEncoder(Module):
+    """Shared point-wise MLP + masked max-pool over each voxel.
+
+    Attributes:
+        out_channels: pooled feature dimensionality.
+        z_range: (zmin, zmax) used to normalise absolute height.
+    """
+
+    def __init__(
+        self,
+        out_channels: int = 8,
+        z_range: tuple[float, float] = (-3.0, 1.0),
+        seed: int = 0,
+    ) -> None:
+        self.out_channels = out_channels
+        self.z_range = z_range
+        self.linear = Linear(AUGMENTED_FEATURES, out_channels, seed=seed)
+        self.relu = ReLU()
+        self._cache: tuple | None = None
+
+    # -- feature augmentation ---------------------------------------------
+    def augment(self, grid: VoxelGrid) -> tuple[np.ndarray, np.ndarray]:
+        """Build the ``(V, T, AUGMENTED_FEATURES)`` input and validity mask."""
+        points = grid.points  # (V, T, 4)
+        counts = grid.counts
+        v, t, _ = points.shape
+        mask = np.arange(t)[None, :] < counts[:, None]
+        if v == 0:
+            return np.zeros((0, t, AUGMENTED_FEATURES)), mask
+
+        safe_counts = np.maximum(counts, 1)[:, None, None]
+        sums = (points[:, :, :3] * mask[:, :, None]).sum(axis=1, keepdims=True)
+        centroid = sums / safe_counts
+        offsets = (points[:, :, :3] - centroid) * mask[:, :, None]
+
+        zmin, zmax = self.z_range
+        z_norm = np.clip((points[:, :, 2] - zmin) / (zmax - zmin), 0.0, 1.0)
+        count_norm = np.broadcast_to(
+            (counts / points.shape[1])[:, None], (v, t)
+        )
+        features = np.concatenate(
+            [
+                offsets,
+                z_norm[:, :, None],
+                points[:, :, 3:4],
+                count_norm[:, :, None],
+            ],
+            axis=-1,
+        )
+        return features * mask[:, :, None], mask
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, grid: VoxelGrid) -> SparseTensor3d:
+        features, mask = self.augment(grid)
+        v, t, _ = features.shape
+        if v == 0:
+            self._cache = (0, t, np.zeros((0, self.out_channels), dtype=int), mask)
+            return SparseTensor3d(
+                grid.coords,
+                np.zeros((0, self.out_channels)),
+                grid.spec.grid_shape,
+            )
+        hidden = self.relu(self.linear(features.reshape(v * t, -1))).reshape(
+            v, t, self.out_channels
+        )
+        masked = np.where(mask[:, :, None], hidden, -np.inf)
+        if v == 0:
+            pooled = np.zeros((0, self.out_channels))
+            argmax = np.zeros((0, self.out_channels), dtype=int)
+        else:
+            argmax = masked.argmax(axis=1)
+            pooled = np.take_along_axis(masked, argmax[:, None, :], axis=1)[:, 0, :]
+            pooled = np.where(np.isfinite(pooled), pooled, 0.0)
+        self._cache = (v, t, argmax, mask)
+        return SparseTensor3d(grid.coords, pooled, grid.spec.grid_shape)
+
+    def backward(self, grad_output: SparseTensor3d | np.ndarray) -> np.ndarray:
+        v, t, argmax, mask = self._cache
+        grad_pooled = (
+            grad_output.features
+            if isinstance(grad_output, SparseTensor3d)
+            else np.asarray(grad_output)
+        )
+        grad_hidden = np.zeros((v, t, self.out_channels))
+        if v:
+            np.put_along_axis(
+                grad_hidden, argmax[:, None, :], grad_pooled[:, None, :], axis=1
+            )
+            # Voxels with zero valid points contributed nothing.
+            grad_hidden *= mask[:, :, None]
+        grad_flat = self.relu.backward(grad_hidden.reshape(v * t, -1))
+        return self.linear.backward(grad_flat).reshape(v, t, AUGMENTED_FEATURES)
+
+    # -- analytic weights ---------------------------------------------------
+    def analytic_init(self) -> None:
+        """Install weights making pooled channels physically meaningful.
+
+        channel 0: occupancy (constant 1 for any non-empty voxel),
+        channel 1: max normalised height of the voxel's points,
+        channel 2: max reflectance,
+        channel 3: normalised point count (count / max_points).
+        Remaining channels are zeroed.
+        """
+        if self.out_channels < 4:
+            raise ValueError("analytic VFE needs at least 4 output channels")
+        w = np.zeros_like(self.linear.weight.value)
+        b = np.zeros_like(self.linear.bias.value)
+        b[0] = 1.0  # occupancy
+        w[1, 3] = 1.0  # z_norm input
+        w[2, 4] = 1.0  # reflectance input
+        w[3, 5] = 1.0  # count_norm input
+        self.linear.weight.value[...] = w
+        self.linear.bias.value[...] = b

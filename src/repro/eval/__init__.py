@@ -1,0 +1,62 @@
+"""Evaluation harness: matching, metrics, difficulty classes, experiments.
+
+Everything needed to regenerate the paper's evaluation section: detection
+<-> ground-truth matching, the per-case detection grids of Figs. 3/6, the
+count/accuracy summaries of Figs. 4/7, the difficulty-stratified
+improvement CDF of Fig. 8, the timing comparison of Fig. 9 and the GPS
+drift study of Fig. 10.
+"""
+
+from repro.eval.matching import match_detections, MatchResult
+from repro.eval.metrics import (
+    detection_accuracy,
+    detection_count,
+    precision_recall,
+    average_precision,
+)
+from repro.eval.difficulty import Difficulty, classify_difficulty
+from repro.eval.cdf import empirical_cdf, improvement_percent
+from repro.eval.experiments import (
+    CaseResult,
+    CarRecord,
+    run_case,
+    run_cases,
+    improvement_samples,
+    timing_experiment,
+    gps_drift_experiment,
+)
+from repro.eval.reporting import (
+    render_detection_grid,
+    render_case_summary,
+    render_cdf_table,
+)
+from repro.eval.viz import BevCanvas, render_bev
+from repro.eval.bands import BandStats, band_analysis, render_band_table
+
+__all__ = [
+    "match_detections",
+    "MatchResult",
+    "detection_accuracy",
+    "detection_count",
+    "precision_recall",
+    "average_precision",
+    "Difficulty",
+    "classify_difficulty",
+    "empirical_cdf",
+    "improvement_percent",
+    "CaseResult",
+    "CarRecord",
+    "run_case",
+    "run_cases",
+    "improvement_samples",
+    "timing_experiment",
+    "gps_drift_experiment",
+    "render_detection_grid",
+    "render_case_summary",
+    "render_cdf_table",
+    "BevCanvas",
+    "render_bev",
+    "BandStats",
+    "band_analysis",
+    "render_band_table",
+]

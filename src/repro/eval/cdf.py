@@ -1,0 +1,36 @@
+"""Empirical CDFs and score-improvement percentages (paper Fig. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "improvement_percent"]
+
+#: Floor for the single-shot score when computing relative improvement;
+#: prevents division blow-ups for targets with essentially zero single-shot
+#: evidence (the paper's "hard" class).
+_SCORE_FLOOR = 0.05
+
+
+def improvement_percent(single_score: float, cooper_score: float) -> float:
+    """Percent increase in detection score from cooperation.
+
+    ``single_score`` is the best raw score any single shot gave the target
+    (sub-threshold candidates included); the relative increase is what the
+    paper's Fig. 8 x-axis plots.
+    """
+    base = max(single_score, _SCORE_FLOOR)
+    return 100.0 * (cooper_score - base) / base
+
+
+def empirical_cdf(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    Probabilities use the standard ``k / n`` convention so the last value
+    maps to 1.0.
+    """
+    values = np.sort(np.asarray(list(samples), dtype=float))
+    if len(values) == 0:
+        return values, np.zeros(0)
+    probabilities = np.arange(1, len(values) + 1) / len(values)
+    return values, probabilities

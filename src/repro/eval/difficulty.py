@@ -1,0 +1,41 @@
+"""Difficulty classes (paper Section IV-E).
+
+"Some of the targets in cooperative perception are detected by both, some
+by only one, and some are detected by neither.  Detection difficulty is
+thereby classified as easy, moderate and hard, respectively."
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+__all__ = ["Difficulty", "classify_difficulty"]
+
+
+class Difficulty(enum.Enum):
+    """How hard a target was for the individual vehicles."""
+
+    EASY = "easy"  # detected by two or more single shots
+    MODERATE = "moderate"  # detected by exactly one single shot
+    HARD = "hard"  # detected by none
+
+
+def classify_difficulty(
+    single_shot_detected: Sequence[bool], threshold_note: str | None = None
+) -> Difficulty:
+    """Classify a target from its per-single-shot detection outcomes.
+
+    Args:
+        single_shot_detected: for each cooperating vehicle, whether its own
+            single-shot detection found this target.
+        threshold_note: unused placeholder kept for API symmetry with the
+            experiment records (documents that "detected" means score at or
+            above the reporting threshold).
+    """
+    count = sum(bool(d) for d in single_shot_detected)
+    if count >= 2:
+        return Difficulty.EASY
+    if count == 1:
+        return Difficulty.MODERATE
+    return Difficulty.HARD

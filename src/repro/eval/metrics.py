@@ -1,0 +1,79 @@
+"""Detection metrics: counts, accuracy, precision/recall, AP.
+
+``detection_accuracy`` is the Figs. 4/7 bottom-panel quantity: the mean
+detection score over ground-truth cars in the evaluated area, counting
+misses as zero — so both missing a car and detecting it weakly lower it.
+Precision/recall and AP are provided for completeness (the VoxelNet-style
+quality numbers Section III-A quotes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.detections import Detection
+from repro.eval.matching import MatchResult, match_detections
+from repro.geometry.boxes import Box3D
+
+__all__ = [
+    "detection_count",
+    "detection_accuracy",
+    "precision_recall",
+    "average_precision",
+]
+
+
+def detection_count(match: MatchResult) -> int:
+    """Number of ground-truth cars detected (the Figs. 4/7 top panels)."""
+    return match.num_matched
+
+
+def detection_accuracy(match: MatchResult) -> float:
+    """Mean detection score over ground truth, in percent (0 for misses)."""
+    if len(match.gt_scores) == 0:
+        return 0.0
+    return float(match.gt_scores.mean()) * 100.0
+
+
+def precision_recall(
+    detections: list[Detection],
+    ground_truth: list[Box3D],
+    gate_distance: float = 2.5,
+) -> tuple[float, float]:
+    """Precision and recall of a detection set against ground truth."""
+    match = match_detections(detections, ground_truth, gate_distance)
+    tp = match.num_matched
+    precision = tp / len(detections) if detections else 0.0
+    recall = tp / len(ground_truth) if ground_truth else 0.0
+    return precision, recall
+
+
+def average_precision(
+    detections: list[Detection],
+    ground_truth: list[Box3D],
+    gate_distance: float = 2.5,
+) -> float:
+    """11-point interpolated AP (the KITTI-era convention VoxelNet reports).
+
+    Detections are swept by descending score; at each score threshold the
+    precision/recall point is computed, then precision is interpolated at
+    recalls 0.0, 0.1, ..., 1.0.
+    """
+    if not ground_truth:
+        return 0.0
+    if not detections:
+        return 0.0
+    ordered = sorted(detections, key=lambda d: d.score, reverse=True)
+    precisions = []
+    recalls = []
+    for k in range(1, len(ordered) + 1):
+        p, r = precision_recall(ordered[:k], ground_truth, gate_distance)
+        precisions.append(p)
+        recalls.append(r)
+    precisions = np.array(precisions)
+    recalls = np.array(recalls)
+    ap = 0.0
+    for level in np.linspace(0.0, 1.0, 11):
+        mask = recalls >= level - 1e-9
+        ap += float(precisions[mask].max()) if mask.any() else 0.0
+    return ap / 11.0

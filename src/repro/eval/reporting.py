@@ -1,0 +1,101 @@
+"""ASCII renderers for the paper's figures.
+
+The benches print these tables so a terminal run of the harness shows the
+same information the paper's figures carry: the per-car score grids with X
+for misses and distance bands (Figs. 3/6), the per-case count/accuracy
+summaries (Figs. 4/7) and CDF tables (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.cdf import empirical_cdf
+from repro.eval.experiments import CaseResult
+
+__all__ = ["render_detection_grid", "render_case_summary", "render_cdf_table"]
+
+_BAND_MARK = {"near": "n", "medium": "m", "far": "f", "out": " "}
+
+
+def _cell(score: float | None, detected: bool, band: str) -> str:
+    """Render one grid cell: '0.67m', 'X   f', or blank when out of area."""
+    if score is None or band == "out":
+        return "     "
+    mark = _BAND_MARK.get(band, "?")
+    if detected:
+        return f"{score:4.2f}{mark}"
+    return f"X   {mark}"
+
+
+def render_detection_grid(result: CaseResult) -> str:
+    """Fig. 3/6-style grid: rows are cars, columns are shots + cooper."""
+    observers = list(result.records[0].single_scores) if result.records else []
+    header = ["car".ljust(12)] + [o.center(6) for o in observers] + ["cooper".center(6)]
+    lines = [
+        f"case {result.case_name}  (delta-d = {result.delta_d:.1f} m)",
+        "  ".join(header),
+    ]
+    for record in result.records:
+        cells = [record.car_name.ljust(12)]
+        for observer in observers:
+            cells.append(
+                _cell(
+                    record.single_scores[observer],
+                    record.single_detected[observer],
+                    record.bands[observer],
+                ).center(6)
+            )
+        receiver = observers[0] if observers else ""
+        cooper_band = record.bands.get(receiver, "near")
+        if record.cooper_score is not None and cooper_band == "out":
+            cooper_band = "far"  # contributed by a cooperator's viewpoint
+        cells.append(
+            _cell(record.cooper_score, record.cooper_detected, cooper_band).center(6)
+        )
+        lines.append("  ".join(cells))
+    lines.append(
+        "  ".join(
+            ["detected".ljust(12)]
+            + [str(result.counts[o]).center(6) for o in observers]
+            + [str(result.counts["cooper"]).center(6)]
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_case_summary(results: list[CaseResult]) -> str:
+    """Fig. 4/7-style summary: counts and accuracy per case."""
+    lines = [
+        f"{'case':28s} {'singles (count)':>18s} {'cooper':>7s}"
+        f" {'singles (acc%)':>20s} {'cooper%':>8s}"
+    ]
+    for result in results:
+        observers = [k for k in result.counts if k != "cooper"]
+        single_counts = "/".join(str(result.counts[o]) for o in observers)
+        single_accs = "/".join(f"{result.accuracies[o]:.0f}" for o in observers)
+        lines.append(
+            f"{result.case_name:28s} {single_counts:>18s}"
+            f" {result.counts['cooper']:>7d}"
+            f" {single_accs:>20s} {result.accuracies['cooper']:>7.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_cdf_table(
+    samples: dict, percentiles: tuple[float, ...] = (0.1, 0.25, 0.5, 0.8, 0.9)
+) -> str:
+    """Fig. 8-style table: improvement percentiles per difficulty class."""
+    lines = [f"{'difficulty':12s} {'n':>4s} " + " ".join(f"p{int(p*100):02d}%".rjust(8) for p in percentiles)]
+    for difficulty, values in samples.items():
+        label = getattr(difficulty, "value", str(difficulty))
+        if not values:
+            lines.append(f"{label:12s} {0:>4d} " + " ".join("-".rjust(8) for _ in percentiles))
+            continue
+        sorted_vals, probs = empirical_cdf(values)
+        row = []
+        for p in percentiles:
+            idx = min(int(np.ceil(p * len(sorted_vals))) - 1, len(sorted_vals) - 1)
+            row.append(f"{sorted_vals[max(idx, 0)]:+8.1f}")
+        lines.append(f"{label:12s} {len(values):>4d} " + " ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Point-cloud alignment: the paper's Eq. (1)-(3) made executable.
+
+"A rotation matrix R will be generated in Equation 1 ... The transform is
+calculated by Equation 1, using the IMU value difference between the
+transmitter and the receiver."  The translation comes from the GPS
+difference, and the merged frame is the union of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.fusion.package import ExchangePackage
+from repro.geometry.transforms import Pose, RigidTransform
+from repro.pointcloud.cloud import PointCloud, merge_clouds
+
+__all__ = ["alignment_transform", "align_package", "merge_packages"]
+
+
+def alignment_transform(
+    transmitter_pose: Pose, receiver_pose: Pose
+) -> RigidTransform:
+    """The Eq. (3) transform mapping transmitter-frame points to receiver frame.
+
+    ``R`` is built from the yaw/pitch/roll difference of the two IMU
+    readings (Eq. 1); the translation is the GPS position difference
+    expressed in the receiver's frame.
+    """
+    return transmitter_pose.relative_to(receiver_pose)
+
+
+def align_package(
+    package: ExchangePackage, receiver_pose: Pose
+) -> PointCloud:
+    """Express a received package's points in the receiver's LiDAR frame."""
+    transform = alignment_transform(package.pose, receiver_pose)
+    return package.cloud.transformed(
+        transform, frame_id=f"{package.sender}->receiver"
+    )
+
+
+def merge_packages(
+    native: PointCloud,
+    packages: Sequence[ExchangePackage],
+    receiver_pose: Pose,
+) -> PointCloud:
+    """Produce the cooperative cloud: Eq. (2)'s union over all cooperators."""
+    aligned = [align_package(p, receiver_pose) for p in packages]
+    return merge_clouds([native, *aligned], frame_id="cooperative")

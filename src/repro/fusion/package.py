@@ -1,0 +1,91 @@
+"""The Cooper exchange package (paper Section II-D).
+
+"Additional information is encapsulated into the exchange package ...
+constituted from LiDAR sensor installation information and its GPS reading,
+which determines the center point position of every frame of point clouds.
+Vehicle's IMU reading is also required."
+
+An :class:`ExchangePackage` is exactly that: the (possibly ROI-cropped)
+cloud in the sender's LiDAR frame plus the sender's measured pose (GPS
+position + IMU attitude) and sensor metadata.  Packages serialise to the
+compact wire format used by the networking layer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.transforms import Pose
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.compression import (
+    CompressionSpec,
+    compress_cloud,
+    decompress_cloud,
+)
+
+__all__ = ["ExchangePackage"]
+
+_POSE_STRUCT = struct.Struct("<6d")
+_META_STRUCT = struct.Struct("<16sBd")
+
+
+@dataclass(frozen=True)
+class ExchangePackage:
+    """Everything one vehicle sends another for cooperative perception.
+
+    Attributes:
+        cloud: points in the *sender's* LiDAR frame.
+        pose: the sender's measured pose (GPS position, IMU attitude).
+        sender: vehicle identifier.
+        beam_count: sender's LiDAR beam count (sensor installation info —
+            lets the receiver reason about the incoming density).
+        timestamp: capture time in seconds.
+    """
+
+    cloud: PointCloud
+    pose: Pose
+    sender: str = "vehicle"
+    beam_count: int = 16
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beam_count < 1:
+            raise ValueError("beam_count must be positive")
+
+    def serialize(self, spec: CompressionSpec | None = None) -> bytes:
+        """Encode to the wire format: metadata + pose + compressed cloud."""
+        sender_bytes = self.sender.encode("utf-8")[:16].ljust(16, b"\0")
+        meta = _META_STRUCT.pack(sender_bytes, self.beam_count, self.timestamp)
+        pose = _POSE_STRUCT.pack(
+            *self.pose.position, self.pose.yaw, self.pose.pitch, self.pose.roll
+        )
+        return meta + pose + compress_cloud(self.cloud, spec)
+
+    @staticmethod
+    def deserialize(payload: bytes) -> "ExchangePackage":
+        """Decode the wire format produced by :meth:`serialize`."""
+        if len(payload) < _META_STRUCT.size + _POSE_STRUCT.size:
+            raise ValueError("payload too short for an exchange package")
+        sender_bytes, beam_count, timestamp = _META_STRUCT.unpack_from(payload)
+        offset = _META_STRUCT.size
+        x, y, z, yaw, pitch, roll = _POSE_STRUCT.unpack_from(payload, offset)
+        offset += _POSE_STRUCT.size
+        cloud = decompress_cloud(payload[offset:], frame_id="received")
+        return ExchangePackage(
+            cloud=cloud,
+            pose=Pose(np.array([x, y, z]), yaw=yaw, pitch=pitch, roll=roll),
+            sender=sender_bytes.rstrip(b"\0").decode("utf-8"),
+            beam_count=beam_count,
+            timestamp=timestamp,
+        )
+
+    def size_bytes(self, spec: CompressionSpec | None = None) -> int:
+        """Wire size of this package in bytes."""
+        return len(self.serialize(spec))
+
+    def size_megabits(self, spec: CompressionSpec | None = None) -> float:
+        """Wire size in megabits — the unit of the paper's Fig. 12."""
+        return self.size_bytes(spec) * 8 / 1e6

@@ -1,0 +1,53 @@
+"""Temporal self-fusion: one vehicle merging its own consecutive scans.
+
+The paper's Fig. 2 does exactly this — "by merging t1 and t2's point
+clouds, we emulate the cooperative sensing process between two vehicles" —
+and the left-turn scenario (delta-d = 0) is pure temporal redundancy.  The
+machinery is the same Eq. (1)-(3) alignment, with the vehicle's *own*
+earlier pose playing the transmitter.
+
+In a real system this runs on dead-reckoned ego-motion; here the measured
+GPS+IMU poses of the rig observations serve, so alignment error matches
+the cooperative case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.fusion.align import alignment_transform
+from repro.pointcloud.cloud import PointCloud, merge_clouds
+from repro.sensors.rig import RigObservation
+
+__all__ = ["merge_timeline"]
+
+
+def merge_timeline(
+    observations: Sequence[RigObservation],
+    reference_index: int = -1,
+) -> PointCloud:
+    """Merge a vehicle's scan history into one reference frame.
+
+    Args:
+        observations: the vehicle's rig observations in time order.
+        reference_index: which observation's frame hosts the result
+            (default: the latest — the frame the vehicle plans in).
+
+    Static structure accumulates density across the timeline exactly like a
+    cooperator's contribution; moving objects smear, which is why the paper
+    evaluates static scenes for this emulation.
+    """
+    observations = list(observations)
+    if not observations:
+        return PointCloud.empty(frame_id="timeline")
+    reference = observations[reference_index]
+    aligned = []
+    for obs in observations:
+        if obs is reference:
+            aligned.append(obs.scan.cloud)
+            continue
+        transform = alignment_transform(
+            obs.measured_pose, reference.measured_pose
+        )
+        aligned.append(obs.scan.cloud.transformed(transform))
+    return merge_clouds(aligned, frame_id="timeline")

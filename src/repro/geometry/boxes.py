@@ -1,0 +1,238 @@
+"""Oriented 3D bounding boxes, point containment and IoU.
+
+Vehicles in the scene substrate, anchors in the RPN, and detections in the
+evaluation harness are all oriented boxes: ``(cx, cy, cz)`` centre,
+``(length, width, height)`` size and a yaw about the z-axis.  ``length``
+runs along the heading direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geometry.rotations import normalize_angle, yaw_matrix_2d
+from repro.geometry.transforms import RigidTransform
+
+__all__ = [
+    "Box3D",
+    "box_corners_bev",
+    "box_corners_3d",
+    "points_in_box",
+    "iou_bev",
+    "iou_3d",
+    "pairwise_iou_bev",
+]
+
+
+@dataclass(frozen=True)
+class Box3D:
+    """An oriented 3D box: centre, size (length/width/height) and yaw.
+
+    The centre is the geometric centre of the box (not the bottom face).
+    ``yaw = 0`` points the length axis along +x.
+    """
+
+    center: np.ndarray
+    length: float
+    width: float
+    height: float
+    yaw: float = 0.0
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=float).reshape(3)
+        if min(self.length, self.width, self.height) <= 0:
+            raise ValueError("box dimensions must be positive")
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "length", float(self.length))
+        object.__setattr__(self, "width", float(self.width))
+        object.__setattr__(self, "height", float(self.height))
+        object.__setattr__(self, "yaw", normalize_angle(float(self.yaw)))
+
+    @property
+    def volume(self) -> float:
+        """Box volume in cubic metres."""
+        return self.length * self.width * self.height
+
+    @property
+    def bottom_z(self) -> float:
+        """z coordinate of the bottom face."""
+        return float(self.center[2] - self.height / 2.0)
+
+    @property
+    def top_z(self) -> float:
+        """z coordinate of the top face."""
+        return float(self.center[2] + self.height / 2.0)
+
+    def transformed(self, transform: RigidTransform) -> "Box3D":
+        """Apply a rigid transform.
+
+        Only yaw-preserving transforms keep the box axis-aligned in z; for
+        the planar motions used throughout the paper (vehicles on roads)
+        this is exact.  The new yaw adds the transform's in-plane rotation.
+        """
+        new_center = transform.apply(self.center)
+        heading = transform.apply_vector(
+            np.array([np.cos(self.yaw), np.sin(self.yaw), 0.0])
+        )
+        new_yaw = float(np.arctan2(heading[1], heading[0]))
+        return replace(self, center=new_center, yaw=new_yaw)
+
+    def translated(self, delta: np.ndarray) -> "Box3D":
+        """Return a copy shifted by ``delta``."""
+        return replace(self, center=self.center + np.asarray(delta, dtype=float))
+
+    def expanded(self, margin: float) -> "Box3D":
+        """Return a copy grown by ``margin`` metres on every side."""
+        return replace(
+            self,
+            length=self.length + 2 * margin,
+            width=self.width + 2 * margin,
+            height=self.height + 2 * margin,
+        )
+
+    def as_vector(self) -> np.ndarray:
+        """Return ``[cx, cy, cz, l, w, h, yaw]`` (the RPN regression target)."""
+        return np.array(
+            [*self.center, self.length, self.width, self.height, self.yaw]
+        )
+
+    @staticmethod
+    def from_vector(vector: np.ndarray) -> "Box3D":
+        """Inverse of :meth:`as_vector`."""
+        vector = np.asarray(vector, dtype=float).reshape(7)
+        return Box3D(vector[:3], vector[3], vector[4], vector[5], vector[6])
+
+
+def box_corners_bev(box: Box3D) -> np.ndarray:
+    """Return the four BEV (x, y) corners, counter-clockwise."""
+    half = np.array(
+        [
+            [box.length / 2, box.width / 2],
+            [-box.length / 2, box.width / 2],
+            [-box.length / 2, -box.width / 2],
+            [box.length / 2, -box.width / 2],
+        ]
+    )
+    return half @ yaw_matrix_2d(box.yaw).T + box.center[:2]
+
+
+def box_corners_3d(box: Box3D) -> np.ndarray:
+    """Return the eight 3D corners, bottom face first (matching BEV order)."""
+    bev = box_corners_bev(box)
+    bottom = np.column_stack([bev, np.full(4, box.bottom_z)])
+    top = np.column_stack([bev, np.full(4, box.top_z)])
+    return np.vstack([bottom, top])
+
+
+def points_in_box(points: np.ndarray, box: Box3D, margin: float = 0.0) -> np.ndarray:
+    """Return a boolean mask of the points inside the (optionally grown) box."""
+    points = np.asarray(points, dtype=float)
+    if points.size == 0:
+        return np.zeros(0, dtype=bool)
+    pts = points[:, :3] - box.center
+    rot = yaw_matrix_2d(-box.yaw)
+    xy = pts[:, :2] @ rot.T
+    half_l = box.length / 2 + margin
+    half_w = box.width / 2 + margin
+    half_h = box.height / 2 + margin
+    return (
+        (np.abs(xy[:, 0]) <= half_l)
+        & (np.abs(xy[:, 1]) <= half_w)
+        & (np.abs(pts[:, 2]) <= half_h)
+    )
+
+
+def _polygon_area(poly: np.ndarray) -> float:
+    """Shoelace area of a simple polygon given as an (N, 2) vertex array."""
+    if len(poly) < 3:
+        return 0.0
+    x, y = poly[:, 0], poly[:, 1]
+    return 0.5 * abs(float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))))
+
+
+def _clip_polygon(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
+    """Sutherland-Hodgman clipping of ``subject`` by convex ``clip`` polygon.
+
+    Both polygons must be counter-clockwise.  Returns the (possibly empty)
+    intersection polygon.
+    """
+    output = list(subject)
+    n = len(clip)
+    for i in range(n):
+        a = clip[i]
+        b = clip[(i + 1) % n]
+        edge = b - a
+        input_list = output
+        output = []
+        if not input_list:
+            break
+        for j, current in enumerate(input_list):
+            previous = input_list[j - 1]
+            current_inside = edge[0] * (current[1] - a[1]) - edge[1] * (current[0] - a[0]) >= 0
+            previous_inside = edge[0] * (previous[1] - a[1]) - edge[1] * (previous[0] - a[0]) >= 0
+            if current_inside:
+                if not previous_inside:
+                    output.append(_line_intersection(previous, current, a, b))
+                output.append(current)
+            elif previous_inside:
+                output.append(_line_intersection(previous, current, a, b))
+    return np.array(output) if output else np.zeros((0, 2))
+
+
+def _line_intersection(p1: np.ndarray, p2: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection point of segment p1-p2 with the infinite line a-b."""
+    d1 = p2 - p1
+    d2 = b - a
+    denom = d1[0] * d2[1] - d1[1] * d2[0]
+    if abs(denom) < 1e-12:
+        return p2
+    t = ((a[0] - p1[0]) * d2[1] - (a[1] - p1[1]) * d2[0]) / denom
+    return p1 + t * d1
+
+
+def _bev_intersection_area(box_a: Box3D, box_b: Box3D) -> float:
+    corners_a = box_corners_bev(box_a)
+    corners_b = box_corners_bev(box_b)
+    return _polygon_area(_clip_polygon(corners_a, corners_b))
+
+
+def iou_bev(box_a: Box3D, box_b: Box3D) -> float:
+    """Bird's-eye-view IoU of two oriented boxes."""
+    inter = _bev_intersection_area(box_a, box_b)
+    area_a = box_a.length * box_a.width
+    area_b = box_b.length * box_b.width
+    union = area_a + area_b - inter
+    return inter / union if union > 0 else 0.0
+
+
+def iou_3d(box_a: Box3D, box_b: Box3D) -> float:
+    """3D IoU: BEV intersection times vertical overlap over the union."""
+    inter_bev = _bev_intersection_area(box_a, box_b)
+    z_overlap = max(
+        0.0, min(box_a.top_z, box_b.top_z) - max(box_a.bottom_z, box_b.bottom_z)
+    )
+    inter = inter_bev * z_overlap
+    union = box_a.volume + box_b.volume - inter
+    return inter / union if union > 0 else 0.0
+
+
+def pairwise_iou_bev(boxes_a: list[Box3D], boxes_b: list[Box3D]) -> np.ndarray:
+    """Return the |A| x |B| matrix of BEV IoUs.
+
+    Uses a cheap circumscribed-radius rejection test before the exact
+    polygon clip, which matters when matching hundreds of anchors.
+    """
+    result = np.zeros((len(boxes_a), len(boxes_b)))
+    if not boxes_a or not boxes_b:
+        return result
+    centers_a = np.array([b.center[:2] for b in boxes_a])
+    centers_b = np.array([b.center[:2] for b in boxes_b])
+    radii_a = np.array([np.hypot(b.length, b.width) / 2 for b in boxes_a])
+    radii_b = np.array([np.hypot(b.length, b.width) / 2 for b in boxes_b])
+    dist = np.linalg.norm(centers_a[:, None, :] - centers_b[None, :, :], axis=-1)
+    candidates = dist <= radii_a[:, None] + radii_b[None, :]
+    for i, j in zip(*np.nonzero(candidates)):
+        result[i, j] = iou_bev(boxes_a[i], boxes_b[j])
+    return result

@@ -1,0 +1,113 @@
+"""Ray-casting primitives used by the LiDAR simulator.
+
+The LiDAR substrate fires one ray per (beam, azimuth) pair and needs the
+nearest hit against the scene's oriented boxes and the ground plane.  We
+implement the classic slab test against axis-aligned boxes and reduce the
+oriented case to it by rotating the ray into the box frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.boxes import Box3D
+from repro.geometry.rotations import rotation_z
+
+__all__ = [
+    "Ray",
+    "aabb_of_corners",
+    "ray_aabb_intersection",
+    "ray_box_intersection",
+    "ray_ground_intersection",
+]
+
+
+@dataclass(frozen=True)
+class Ray:
+    """A half-line ``origin + t * direction`` with ``t >= 0``.
+
+    ``direction`` is normalised on construction so returned ``t`` values are
+    metric distances.
+    """
+
+    origin: np.ndarray
+    direction: np.ndarray
+
+    def __post_init__(self) -> None:
+        origin = np.asarray(self.origin, dtype=float).reshape(3)
+        direction = np.asarray(self.direction, dtype=float).reshape(3)
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            raise ValueError("ray direction must be non-zero")
+        object.__setattr__(self, "origin", origin)
+        object.__setattr__(self, "direction", direction / norm)
+
+    def at(self, t: float) -> np.ndarray:
+        """Point at parameter ``t`` along the ray."""
+        return self.origin + t * self.direction
+
+
+def aabb_of_corners(corners: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(min_corner, max_corner)`` of a set of 3D points."""
+    corners = np.asarray(corners, dtype=float)
+    return corners.min(axis=0), corners.max(axis=0)
+
+
+def ray_aabb_intersection(
+    ray: Ray, box_min: np.ndarray, box_max: np.ndarray
+) -> float | None:
+    """Return the nearest non-negative hit distance against an AABB, or None.
+
+    Standard slab method.  A ray starting inside the box returns the exit
+    distance 0 clamp — we report ``t = 0`` for such rays (the sensor sits
+    inside its own mounting volume, which scenes must avoid anyway).
+    """
+    t_near = -np.inf
+    t_far = np.inf
+    for axis in range(3):
+        d = ray.direction[axis]
+        o = ray.origin[axis]
+        lo = box_min[axis]
+        hi = box_max[axis]
+        if abs(d) < 1e-12:
+            if o < lo or o > hi:
+                return None
+            continue
+        t1 = (lo - o) / d
+        t2 = (hi - o) / d
+        if t1 > t2:
+            t1, t2 = t2, t1
+        t_near = max(t_near, t1)
+        t_far = min(t_far, t2)
+        if t_near > t_far:
+            return None
+    if t_far < 0:
+        return None
+    return max(t_near, 0.0)
+
+
+def ray_box_intersection(ray: Ray, box: Box3D) -> float | None:
+    """Nearest hit distance of ``ray`` against an oriented :class:`Box3D`.
+
+    The ray is rotated into the box's yaw-aligned frame, where the box is an
+    AABB, and the slab test applies.
+    """
+    rot = rotation_z(-box.yaw)
+    local_origin = rot @ (ray.origin - box.center)
+    local_dir = rot @ ray.direction
+    half = np.array([box.length / 2, box.width / 2, box.height / 2])
+    local_ray = Ray.__new__(Ray)
+    object.__setattr__(local_ray, "origin", local_origin)
+    object.__setattr__(local_ray, "direction", local_dir)
+    return ray_aabb_intersection(local_ray, -half, half)
+
+
+def ray_ground_intersection(ray: Ray, ground_z: float = 0.0) -> float | None:
+    """Hit distance against the horizontal plane ``z = ground_z``, or None."""
+    dz = ray.direction[2]
+    if abs(dz) < 1e-12:
+        return None
+    t = (ground_z - ray.origin[2]) / dz
+    return t if t >= 0 else None

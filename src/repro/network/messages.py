@@ -1,0 +1,85 @@
+"""Message framing: fragmenting exchange packages into link-layer frames.
+
+DSRC frames carry at most ~2304 bytes of payload; a compressed ROI cloud of
+hundreds of kilobytes therefore crosses the air as an ordered fragment
+train.  The framer splits and reassembles, detecting missing fragments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["Frame", "MessageFramer"]
+
+_HEADER = struct.Struct("<IHH")  # message id, fragment index, fragment count
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One link-layer fragment of a message."""
+
+    message_id: int
+    index: int
+    total: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialise header + payload."""
+        return _HEADER.pack(self.message_id, self.index, self.total) + self.payload
+
+    @staticmethod
+    def decode(raw: bytes) -> "Frame":
+        """Parse a frame from the wire."""
+        if len(raw) < _HEADER.size:
+            raise ValueError("frame too short")
+        message_id, index, total = _HEADER.unpack_from(raw)
+        return Frame(message_id, index, total, raw[_HEADER.size :])
+
+
+class MessageFramer:
+    """Splits messages into MTU-sized frames and reassembles them."""
+
+    def __init__(self, mtu_bytes: int = 2304) -> None:
+        if mtu_bytes <= _HEADER.size:
+            raise ValueError("mtu must exceed the frame header size")
+        self.mtu_bytes = mtu_bytes
+        self._next_id = 0
+
+    @property
+    def payload_per_frame(self) -> int:
+        """Usable payload bytes per frame."""
+        return self.mtu_bytes - _HEADER.size
+
+    def fragment(self, message: bytes) -> list[Frame]:
+        """Split a message into an ordered fragment train."""
+        message_id = self._next_id
+        self._next_id = (self._next_id + 1) % (1 << 32)
+        chunk = self.payload_per_frame
+        total = max(1, -(-len(message) // chunk))
+        if total > 0xFFFF:
+            raise ValueError("message too large to fragment (65535 frames max)")
+        return [
+            Frame(message_id, i, total, message[i * chunk : (i + 1) * chunk])
+            for i in range(total)
+        ]
+
+    @staticmethod
+    def reassemble(frames: list[Frame]) -> bytes:
+        """Rebuild a message; raises if fragments are missing or mixed."""
+        if not frames:
+            raise ValueError("no frames to reassemble")
+        message_id = frames[0].message_id
+        total = frames[0].total
+        if any(f.message_id != message_id or f.total != total for f in frames):
+            raise ValueError("frames from different messages")
+        by_index = {f.index: f for f in frames}
+        missing = [i for i in range(total) if i not in by_index]
+        if missing:
+            raise ValueError(f"missing fragments: {missing}")
+        return b"".join(by_index[i].payload for i in range(total))
+
+    def frame_overhead_bits(self, message_bytes: int) -> int:
+        """Total header overhead (bits) to carry a message of given size."""
+        total = max(1, -(-message_bytes // self.payload_per_frame))
+        return total * _HEADER.size * 8

@@ -1,0 +1,33 @@
+"""KITTI-format point-cloud binary I/O.
+
+KITTI velodyne scans are flat little-endian float32 files of ``x, y, z,
+reflectance`` records.  We read and write that exact format so synthetic
+scans from :mod:`repro.sensors.lidar` are interchangeable with real KITTI
+files if a user supplies them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["read_kitti_bin", "write_kitti_bin"]
+
+
+def read_kitti_bin(path: str | os.PathLike, frame_id: str = "velodyne") -> PointCloud:
+    """Read a KITTI ``.bin`` velodyne scan."""
+    raw = np.fromfile(str(path), dtype=np.float32)
+    if raw.size % 4 != 0:
+        raise ValueError(
+            f"{path}: size {raw.size} floats is not a multiple of 4; "
+            "not a KITTI velodyne file"
+        )
+    return PointCloud(raw.reshape(-1, 4), frame_id)
+
+
+def write_kitti_bin(cloud: PointCloud, path: str | os.PathLike) -> None:
+    """Write a cloud as a KITTI ``.bin`` velodyne scan."""
+    cloud.data.astype(np.float32).tofile(str(path))

@@ -1,0 +1,140 @@
+"""Background self-mapping (paper §IV-G).
+
+"Background data like buildings, trees are subtract[ed] because these
+information can be constructed by each vehicle after several times mapping
+measurement."  This module performs that construction: scans taken over
+time are accumulated into a world-frame occupancy grid; columns occupied in
+(nearly) every pass are *static background*, and a mask derived from them
+drives the transmission-side subtraction — without anyone handing the
+vehicle a list of building boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.transforms import Pose
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["BackgroundMap", "BackgroundMapper"]
+
+
+@dataclass
+class BackgroundMap:
+    """The learned static-background mask.
+
+    Attributes:
+        origin: world (x, y) of grid cell (0, 0).
+        cell: metres per cell.
+        static_mask: (nx, ny) bool — True where the column is background.
+        passes: how many mapping passes produced it.
+    """
+
+    origin: np.ndarray
+    cell: float
+    static_mask: np.ndarray
+    passes: int
+
+    def is_background(self, points_world: np.ndarray) -> np.ndarray:
+        """Per-point mask: does the point fall in a static column?"""
+        points_world = np.atleast_2d(points_world)[:, :2]
+        cells = np.floor((points_world - self.origin) / self.cell).astype(int)
+        nx, ny = self.static_mask.shape
+        inside = (
+            (cells[:, 0] >= 0)
+            & (cells[:, 0] < nx)
+            & (cells[:, 1] >= 0)
+            & (cells[:, 1] < ny)
+        )
+        result = np.zeros(len(points_world), dtype=bool)
+        idx = cells[inside]
+        result[inside] = self.static_mask[idx[:, 0], idx[:, 1]]
+        return result
+
+    def subtract(self, cloud: PointCloud, pose: Pose) -> PointCloud:
+        """Drop a sensor-frame cloud's points that map to known background."""
+        if cloud.is_empty():
+            return cloud
+        world_xyz = pose.to_world().apply(cloud.xyz.astype(float))
+        return cloud.select(~self.is_background(world_xyz))
+
+    @property
+    def coverage_cells(self) -> int:
+        """Number of cells currently marked static."""
+        return int(self.static_mask.sum())
+
+
+@dataclass
+class BackgroundMapper:
+    """Accumulates mapping passes into a :class:`BackgroundMap`.
+
+    Attributes:
+        bounds: world extent ``(xmin, ymin, xmax, ymax)`` being mapped.
+        cell: grid resolution (metres).
+        min_height: only returns this far above the local ground count —
+            ground itself is not "background structure".
+        presence_threshold: fraction of passes a column must appear in to
+            be declared static (moving objects appear in few passes; keep
+            below ~0.7 — parallax means even a wall cell is not hit from
+            *every* vantage point).
+    """
+
+    bounds: tuple[float, float, float, float]
+    cell: float = 0.5
+    min_height: float = 0.4
+    presence_threshold: float = 0.6
+    _counts: np.ndarray = field(init=False, repr=False)
+    _passes: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.cell <= 0:
+            raise ValueError("cell must be positive")
+        if not 0.0 < self.presence_threshold <= 1.0:
+            raise ValueError("presence_threshold must be in (0, 1]")
+        nx = int(np.ceil((self.bounds[2] - self.bounds[0]) / self.cell))
+        ny = int(np.ceil((self.bounds[3] - self.bounds[1]) / self.cell))
+        if nx <= 0 or ny <= 0:
+            raise ValueError("bounds must span a positive area")
+        self._counts = np.zeros((nx, ny), dtype=np.int32)
+
+    @property
+    def num_passes(self) -> int:
+        """Mapping passes accumulated so far."""
+        return self._passes
+
+    def add_pass(self, cloud: PointCloud, pose: Pose) -> None:
+        """Fold one sensor-frame scan (with its pose) into the map."""
+        self._passes += 1
+        if cloud.is_empty():
+            return
+        world = pose.to_world().apply(cloud.xyz.astype(float))
+        ground_z = float(np.percentile(world[:, 2], 5))
+        elevated = world[world[:, 2] > ground_z + self.min_height]
+        if not len(elevated):
+            return
+        origin = np.array(self.bounds[:2])
+        cells = np.floor((elevated[:, :2] - origin) / self.cell).astype(int)
+        nx, ny = self._counts.shape
+        inside = (
+            (cells[:, 0] >= 0)
+            & (cells[:, 0] < nx)
+            & (cells[:, 1] >= 0)
+            & (cells[:, 1] < ny)
+        )
+        cells = np.unique(cells[inside], axis=0)
+        if len(cells):
+            self._counts[cells[:, 0], cells[:, 1]] += 1
+
+    def build(self) -> BackgroundMap:
+        """Derive the static mask from the accumulated passes."""
+        if self._passes == 0:
+            raise ValueError("no mapping passes accumulated")
+        needed = int(np.ceil(self.presence_threshold * self._passes))
+        return BackgroundMap(
+            origin=np.array(self.bounds[:2]),
+            cell=self.cell,
+            static_mask=self._counts >= max(needed, 1),
+            passes=self._passes,
+        )

@@ -1,0 +1,113 @@
+"""Spherical (range-image) projection of point clouds.
+
+SPOD's preprocessing projects the sparse cloud onto a sphere — the
+SqueezeSeg-style dense representation the paper cites as [27] — so that a
+cloud from any beam count becomes a fixed-size ``(H, W)`` range image.  The
+projection is also what lets Cooper reason about beam-level sparsity: a
+16-beam cloud fills a quarter of the rows a 64-beam cloud fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["SphericalProjection", "spherical_project"]
+
+
+@dataclass(frozen=True)
+class SphericalProjection:
+    """A dense range image plus companion channels.
+
+    Attributes:
+        ranges: ``(H, W)`` metres; 0 where no point landed.
+        reflectance: ``(H, W)`` reflectance of the nearest point per cell.
+        mask: ``(H, W)`` bool, True where a point landed.
+        fov_up / fov_down: vertical field of view bounds in radians.
+    """
+
+    ranges: np.ndarray
+    reflectance: np.ndarray
+    mask: np.ndarray
+    fov_up: float
+    fov_down: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Image shape (H, W)."""
+        return self.ranges.shape
+
+    def fill_ratio(self) -> float:
+        """Fraction of cells containing at least one point."""
+        return float(self.mask.mean()) if self.mask.size else 0.0
+
+    def to_cloud(self, frame_id: str = "reprojected") -> PointCloud:
+        """Back-project the image to a point cloud (one point per cell)."""
+        height, width = self.shape
+        rows, cols = np.nonzero(self.mask)
+        if len(rows) == 0:
+            return PointCloud.empty(frame_id)
+        pitch = self.fov_up - (rows + 0.5) / height * (self.fov_up - self.fov_down)
+        azimuth = np.pi - (cols + 0.5) / width * 2 * np.pi
+        r = self.ranges[rows, cols]
+        x = r * np.cos(pitch) * np.cos(azimuth)
+        y = r * np.cos(pitch) * np.sin(azimuth)
+        z = r * np.sin(pitch)
+        return PointCloud.from_xyz(
+            np.column_stack([x, y, z]),
+            self.reflectance[rows, cols],
+            frame_id,
+        )
+
+
+def spherical_project(
+    cloud: PointCloud,
+    height: int = 64,
+    width: int = 512,
+    fov_up_deg: float = 3.0,
+    fov_down_deg: float = -25.0,
+) -> SphericalProjection:
+    """Project a cloud onto an ``(height, width)`` spherical range image.
+
+    Default vertical field of view matches the Velodyne HDL-64E-class
+    sensors used by KITTI.  When several points fall into the same cell the
+    nearest one wins, mimicking a real scanner's first return.
+    """
+    fov_up = np.deg2rad(fov_up_deg)
+    fov_down = np.deg2rad(fov_down_deg)
+    if fov_up <= fov_down:
+        raise ValueError("fov_up_deg must exceed fov_down_deg")
+    ranges_img = np.zeros((height, width), dtype=np.float32)
+    refl_img = np.zeros((height, width), dtype=np.float32)
+    mask = np.zeros((height, width), dtype=bool)
+    if cloud.is_empty():
+        return SphericalProjection(ranges_img, refl_img, mask, fov_up, fov_down)
+
+    xyz = cloud.xyz.astype(np.float64)
+    r = np.linalg.norm(xyz, axis=1)
+    valid = r > 1e-6
+    xyz = xyz[valid]
+    r = r[valid]
+    refl = cloud.reflectance[valid]
+    if len(r) == 0:
+        return SphericalProjection(ranges_img, refl_img, mask, fov_up, fov_down)
+
+    azimuth = np.arctan2(xyz[:, 1], xyz[:, 0])
+    pitch = np.arcsin(np.clip(xyz[:, 2] / r, -1.0, 1.0))
+
+    cols = ((np.pi - azimuth) / (2 * np.pi) * width).astype(int)
+    rows = ((fov_up - pitch) / (fov_up - fov_down) * height).astype(int)
+    np.clip(cols, 0, width - 1, out=cols)
+    in_fov = (rows >= 0) & (rows < height)
+    rows, cols, r, refl = rows[in_fov], cols[in_fov], r[in_fov], refl[in_fov]
+
+    # Nearest-point-wins: process in decreasing range so closer overwrites.
+    order = np.argsort(-r)
+    rows, cols, r, refl = rows[order], cols[order], r[order], refl[order]
+    ranges_img[rows, cols] = r
+    refl_img[rows, cols] = refl
+    mask[rows, cols] = True
+    return SphericalProjection(ranges_img, refl_img, mask, fov_up, fov_down)

@@ -1,0 +1,60 @@
+"""Scene substrate: vehicles, obstacles, road layouts and scenarios.
+
+The paper evaluates Cooper on real recordings (KITTI, T&J).  Our substitute
+is a procedural world: actors are oriented 3D boxes placed by road-layout
+builders that mirror the paper's scenarios — T-junction, stop sign, left
+turn, curve (KITTI, Fig. 3) and parking lots (T&J, Fig. 6) — scanned by the
+simulated LiDARs in :mod:`repro.sensors`.
+"""
+
+from repro.scene.objects import (
+    Actor,
+    ActorKind,
+    make_car,
+    make_pedestrian,
+    make_cyclist,
+    make_truck,
+    make_building,
+    make_tree,
+    sample_car_dimensions,
+)
+from repro.scene.world import World
+from repro.scene.layouts import (
+    t_junction,
+    stop_sign,
+    left_turn,
+    curve,
+    parking_lot,
+    two_lane_road,
+    highway_overtake,
+    crosswalk,
+)
+from repro.scene.trajectories import (
+    StraightTrajectory,
+    ArcTrajectory,
+    StationaryTrajectory,
+)
+
+__all__ = [
+    "Actor",
+    "ActorKind",
+    "make_car",
+    "make_pedestrian",
+    "make_cyclist",
+    "make_truck",
+    "make_building",
+    "make_tree",
+    "sample_car_dimensions",
+    "World",
+    "t_junction",
+    "stop_sign",
+    "left_turn",
+    "curve",
+    "parking_lot",
+    "two_lane_road",
+    "highway_overtake",
+    "crosswalk",
+    "StraightTrajectory",
+    "ArcTrajectory",
+    "StationaryTrajectory",
+]

@@ -1,0 +1,177 @@
+"""Actors populating a simulated scene.
+
+Every physical thing a LiDAR ray can hit is an :class:`Actor`: a named,
+categorised oriented box with a reflectance.  Cars are the detection
+targets; buildings and trees are background (subtractable before
+transmission per Section IV-G); occluders of any kind create the blind
+zones cooperative perception exists to fill.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.geometry.boxes import Box3D
+
+__all__ = [
+    "ActorKind",
+    "Actor",
+    "make_car",
+    "make_pedestrian",
+    "make_cyclist",
+    "make_truck",
+    "make_building",
+    "make_tree",
+    "sample_car_dimensions",
+]
+
+_actor_counter = itertools.count()
+
+
+class ActorKind(enum.Enum):
+    """Category of a scene actor."""
+
+    CAR = "car"
+    TRUCK = "truck"
+    PEDESTRIAN = "pedestrian"
+    CYCLIST = "cyclist"
+    BUILDING = "building"
+    TREE = "tree"
+    BARRIER = "barrier"
+
+    @property
+    def is_detection_target(self) -> bool:
+        """True for the classes SPOD detects (cars, pedestrians, cyclists).
+
+        Trucks act as large occluders in our scenarios rather than targets;
+        the paper's detection grids (Figs. 3 and 6) count cars only, and the
+        standard layouts contain no pedestrians/cyclists — the multi-class
+        scenarios (crosswalk) add them explicitly.
+        """
+        return self in (ActorKind.CAR, ActorKind.PEDESTRIAN, ActorKind.CYCLIST)
+
+    @property
+    def is_background(self) -> bool:
+        """True for static structures subtracted before transmission."""
+        return self in (ActorKind.BUILDING, ActorKind.TREE, ActorKind.BARRIER)
+
+
+@dataclass(frozen=True)
+class Actor:
+    """A physical object in the world.
+
+    Attributes:
+        box: pose and extent in world coordinates.
+        kind: semantic category.
+        name: unique identifier (auto-generated when omitted).
+        reflectance: LiDAR return intensity in [0, 1].
+    """
+
+    box: Box3D
+    kind: ActorKind = ActorKind.CAR
+    name: str = ""
+    reflectance: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.kind.value}-{next(_actor_counter)}"
+            )
+        if not 0.0 <= self.reflectance <= 1.0:
+            raise ValueError("reflectance must be in [0, 1]")
+
+    def moved_to(self, center_xy: np.ndarray, yaw: float | None = None) -> "Actor":
+        """Return a copy relocated in the ground plane."""
+        center = self.box.center.copy()
+        center[:2] = np.asarray(center_xy, dtype=float)[:2]
+        new_box = replace(
+            self.box, center=center, yaw=self.box.yaw if yaw is None else yaw
+        )
+        return replace(self, box=new_box)
+
+
+# Nominal KITTI car statistics: mean l/w/h of the 'Car' class.
+_CAR_MEAN = np.array([4.2, 1.8, 1.6])
+_CAR_STD = np.array([0.4, 0.1, 0.1])
+
+
+def sample_car_dimensions(rng: np.random.Generator) -> tuple[float, float, float]:
+    """Sample realistic car (length, width, height) from KITTI-like stats."""
+    dims = rng.normal(_CAR_MEAN, _CAR_STD)
+    dims = np.clip(dims, [3.2, 1.5, 1.35], [5.2, 2.1, 1.55])
+    return float(dims[0]), float(dims[1]), float(dims[2])
+
+
+def make_car(
+    x: float,
+    y: float,
+    yaw: float = 0.0,
+    length: float = 4.2,
+    width: float = 1.8,
+    height: float = 1.6,
+    name: str = "",
+    reflectance: float = 0.6,
+) -> Actor:
+    """A car resting on the ground plane at ``(x, y)``."""
+    box = Box3D(np.array([x, y, height / 2.0]), length, width, height, yaw)
+    return Actor(box, ActorKind.CAR, name, reflectance)
+
+
+def make_pedestrian(
+    x: float,
+    y: float,
+    height: float = 1.8,
+    name: str = "",
+) -> Actor:
+    """A pedestrian: a slim person-sized box (the paper's Uber-case class)."""
+    box = Box3D(np.array([x, y, height / 2.0]), 0.5, 0.5, height, 0.0)
+    return Actor(box, ActorKind.PEDESTRIAN, name, reflectance=0.45)
+
+
+def make_cyclist(
+    x: float,
+    y: float,
+    yaw: float = 0.0,
+    name: str = "",
+) -> Actor:
+    """A cyclist: bicycle-length, person-height, person-width."""
+    box = Box3D(np.array([x, y, 0.925]), 1.8, 0.6, 1.85, yaw)
+    return Actor(box, ActorKind.CYCLIST, name, reflectance=0.5)
+
+
+def make_truck(
+    x: float,
+    y: float,
+    yaw: float = 0.0,
+    length: float = 8.5,
+    width: float = 2.5,
+    height: float = 3.2,
+    name: str = "",
+) -> Actor:
+    """A truck-sized occluder/target."""
+    box = Box3D(np.array([x, y, height / 2.0]), length, width, height, yaw)
+    return Actor(box, ActorKind.TRUCK, name, reflectance=0.55)
+
+
+def make_building(
+    x: float,
+    y: float,
+    length: float = 20.0,
+    width: float = 12.0,
+    height: float = 8.0,
+    yaw: float = 0.0,
+    name: str = "",
+) -> Actor:
+    """A building block: static background and a strong occluder."""
+    box = Box3D(np.array([x, y, height / 2.0]), length, width, height, yaw)
+    return Actor(box, ActorKind.BUILDING, name, reflectance=0.3)
+
+
+def make_tree(x: float, y: float, height: float = 6.0, name: str = "") -> Actor:
+    """A tree approximated by a slim vertical box."""
+    box = Box3D(np.array([x, y, height / 2.0]), 0.8, 0.8, height, 0.0)
+    return Actor(box, ActorKind.TREE, name, reflectance=0.35)

@@ -1,0 +1,78 @@
+"""Simple motion models for scenario stepping.
+
+The networking simulation (Fig. 12) plays out over an eight-second trace;
+trajectories move the cooperating vehicles (and optionally other actors)
+between frames.  Only planar motion is modelled — the paper's vehicles
+drive on roads.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.transforms import Pose
+
+__all__ = ["Trajectory", "StraightTrajectory", "ArcTrajectory", "StationaryTrajectory"]
+
+
+class Trajectory(abc.ABC):
+    """A time-parameterised pose curve."""
+
+    @abc.abstractmethod
+    def pose_at(self, t: float) -> Pose:
+        """Pose at time ``t`` seconds."""
+
+
+@dataclass(frozen=True)
+class StationaryTrajectory(Trajectory):
+    """A vehicle that does not move (parked cooperator)."""
+
+    pose: Pose
+
+    def pose_at(self, t: float) -> Pose:
+        return self.pose
+
+
+@dataclass(frozen=True)
+class StraightTrajectory(Trajectory):
+    """Constant-velocity straight-line motion from a starting pose.
+
+    The vehicle moves along its own heading at ``speed`` m/s.
+    """
+
+    start: Pose
+    speed: float = 8.0
+
+    def pose_at(self, t: float) -> Pose:
+        direction = np.array(
+            [np.cos(self.start.yaw), np.sin(self.start.yaw), 0.0]
+        )
+        return self.start.translated(direction * self.speed * t)
+
+
+@dataclass(frozen=True)
+class ArcTrajectory(Trajectory):
+    """Constant-speed motion along a circular arc.
+
+    Positive ``turn_rate`` (rad/s) turns left.  Used for the curve and
+    left-turn scenarios.
+    """
+
+    start: Pose
+    speed: float = 8.0
+    turn_rate: float = 0.1
+
+    def pose_at(self, t: float) -> Pose:
+        if abs(self.turn_rate) < 1e-9:
+            return StraightTrajectory(self.start, self.speed).pose_at(t)
+        radius = self.speed / self.turn_rate
+        yaw0 = self.start.yaw
+        yaw = yaw0 + self.turn_rate * t
+        # Integrate the unicycle model in closed form.
+        dx = radius * (np.sin(yaw) - np.sin(yaw0))
+        dy = radius * (-np.cos(yaw) + np.cos(yaw0))
+        moved = self.start.translated(np.array([dx, dy, 0.0]))
+        return Pose(moved.position, yaw=yaw, pitch=moved.pitch, roll=moved.roll)

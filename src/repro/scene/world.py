@@ -1,0 +1,83 @@
+"""The :class:`World`: a static snapshot of actors plus the ground plane.
+
+A world is what a LiDAR scans and what the evaluation harness reads ground
+truth from.  Worlds are cheap value objects: scenario builders create one
+per timestep rather than mutating in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.geometry.boxes import Box3D
+from repro.scene.objects import Actor, ActorKind
+
+__all__ = ["World"]
+
+
+@dataclass(frozen=True)
+class World:
+    """A snapshot of the simulated environment.
+
+    Attributes:
+        actors: every physical object (targets, occluders, background).
+        ground_z: height of the flat ground plane.
+    """
+
+    actors: tuple[Actor, ...] = ()
+    ground_z: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actors", tuple(self.actors))
+        names = [a.name for a in self.actors]
+        if len(set(names)) != len(names):
+            raise ValueError("actor names must be unique within a world")
+
+    def with_actor(self, actor: Actor) -> "World":
+        """Return a copy containing one more actor."""
+        return replace(self, actors=self.actors + (actor,))
+
+    def with_actors(self, actors: list[Actor]) -> "World":
+        """Return a copy containing additional actors."""
+        return replace(self, actors=self.actors + tuple(actors))
+
+    def without_actor(self, name: str) -> "World":
+        """Return a copy with the named actor removed."""
+        remaining = tuple(a for a in self.actors if a.name != name)
+        if len(remaining) == len(self.actors):
+            raise KeyError(f"no actor named {name!r}")
+        return replace(self, actors=remaining)
+
+    def actor(self, name: str) -> Actor:
+        """Look up an actor by name."""
+        for a in self.actors:
+            if a.name == name:
+                return a
+        raise KeyError(f"no actor named {name!r}")
+
+    def targets(self) -> list[Actor]:
+        """The detection targets (vehicles)."""
+        return [a for a in self.actors if a.kind.is_detection_target]
+
+    def background(self) -> list[Actor]:
+        """The static background actors (buildings, trees, barriers)."""
+        return [a for a in self.actors if a.kind.is_background]
+
+    def target_boxes(self) -> list[Box3D]:
+        """Ground-truth boxes of the detection targets, world frame."""
+        return [a.box for a in self.targets()]
+
+    def actors_of_kind(self, kind: ActorKind) -> list[Actor]:
+        """All actors of one category."""
+        return [a for a in self.actors if a.kind == kind]
+
+    def nearest_target_distance(self, point: np.ndarray) -> float | None:
+        """BEV distance from ``point`` to the closest target centre."""
+        targets = self.targets()
+        if not targets:
+            return None
+        point = np.asarray(point, dtype=float)[:2]
+        centers = np.array([t.box.center[:2] for t in targets])
+        return float(np.linalg.norm(centers - point, axis=1).min())

@@ -1,0 +1,196 @@
+"""Pinhole camera model and demand-driven image fragments (§II-C).
+
+The paper keeps image data out of the main exchange but notes that
+"image and LiDAR point clouds are aligned together in perception system's
+installation" and that for small-object cases (license plates) a vehicle
+can "locate the plates in point clouds and ask for its image data from
+connected vehicles ... it is necessary to extract a fragment of the image
+data in cooperative perception."
+
+This module provides that subsystem: a calibrated pinhole camera that
+projects LiDAR-frame points and boxes into pixels, a synthetic image
+renderer (actor-id + depth buffers, which is all the fragment logic
+needs), and the fragment extraction answering an image-ROI request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.boxes import Box3D, box_corners_3d
+from repro.geometry.transforms import Pose, RigidTransform
+from repro.scene.world import World
+
+__all__ = ["PinholeCamera", "CameraImage", "image_fragment_for_box"]
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """A front-mounted pinhole camera, calibrated against the LiDAR frame.
+
+    Attributes:
+        width / height: image resolution in pixels.
+        horizontal_fov_deg: full horizontal field of view (the paper's
+            front cameras cover a 120-degree view).
+        extrinsics: LiDAR-frame -> camera-frame rigid transform (identity
+            means co-located, camera looking along LiDAR +x).
+    """
+
+    width: int = 640
+    height: int = 400
+    horizontal_fov_deg: float = 120.0
+    extrinsics: RigidTransform = field(default_factory=RigidTransform.identity)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("resolution must be positive")
+        if not 0 < self.horizontal_fov_deg < 180:
+            raise ValueError("horizontal_fov_deg must be in (0, 180)")
+
+    @property
+    def focal_pixels(self) -> float:
+        """Focal length in pixels (square pixels assumed)."""
+        return (self.width / 2.0) / np.tan(
+            np.deg2rad(self.horizontal_fov_deg) / 2.0
+        )
+
+    def project(self, points_lidar: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project LiDAR-frame points to pixels.
+
+        Returns ``(uv, valid)``: ``(N, 2)`` pixel coordinates and a mask of
+        points in front of the camera and inside the image.
+        Camera convention: LiDAR x forward -> depth, y left -> -u, z up -> -v.
+        """
+        pts = np.atleast_2d(np.asarray(points_lidar, dtype=float))[:, :3]
+        cam = self.extrinsics.apply(pts)
+        depth = cam[:, 0]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = self.width / 2.0 - self.focal_pixels * cam[:, 1] / depth
+            v = self.height / 2.0 - self.focal_pixels * cam[:, 2] / depth
+        uv = np.column_stack([u, v])
+        valid = (
+            (depth > 0.1)
+            & (u >= 0)
+            & (u < self.width)
+            & (v >= 0)
+            & (v < self.height)
+        )
+        uv[~np.isfinite(uv)] = -1.0
+        return uv, valid
+
+    def project_box(self, box: Box3D) -> tuple[int, int, int, int] | None:
+        """Bounding pixel rectangle of a LiDAR-frame box, or None if unseen.
+
+        Returns ``(u_min, v_min, u_max, v_max)`` clipped to the image.
+        """
+        corners = box_corners_3d(box)
+        uv, valid = self.project(corners)
+        if not valid.any():
+            return None
+        visible = uv[valid]
+        u_min = int(max(0, np.floor(visible[:, 0].min())))
+        v_min = int(max(0, np.floor(visible[:, 1].min())))
+        u_max = int(min(self.width - 1, np.ceil(visible[:, 0].max())))
+        v_max = int(min(self.height - 1, np.ceil(visible[:, 1].max())))
+        if u_max <= u_min or v_max <= v_min:
+            return None
+        return u_min, v_min, u_max, v_max
+
+    def render(self, world: World, pose: Pose) -> "CameraImage":
+        """Render the world from ``pose`` into actor-id + depth buffers.
+
+        A coarse ray-cast rasteriser: one ray per pixel against the world's
+        boxes — enough fidelity for fragment extraction and occlusion.
+        """
+        from repro.geometry.rotations import rotation_z
+        from repro.sensors.lidar import _ray_box_batch
+
+        f = self.focal_pixels
+        us, vs = np.meshgrid(np.arange(self.width), np.arange(self.height))
+        directions_cam = np.stack(
+            [
+                np.ones(us.size),
+                (self.width / 2.0 - us.ravel()) / f,
+                (self.height / 2.0 - vs.ravel()) / f,
+            ],
+            axis=-1,
+        )
+        directions_cam /= np.linalg.norm(directions_cam, axis=1, keepdims=True)
+        cam_to_lidar = self.extrinsics.inverse()
+        directions_lidar = directions_cam @ cam_to_lidar.rotation.T
+        directions_world = directions_lidar @ pose.to_world().rotation.T
+        origin = pose.position
+
+        depth = np.full(us.size, np.inf)
+        actor_idx = np.full(us.size, -1, dtype=np.int32)
+        for index, actor in enumerate(world.actors):
+            t = _ray_box_batch(origin, directions_world, actor.box)
+            closer = t < depth
+            depth[closer] = t[closer]
+            actor_idx[closer] = index
+        names = np.array([a.name for a in world.actors] + [""])
+        labels = names[np.where(actor_idx < 0, len(world.actors), actor_idx)]
+        return CameraImage(
+            camera=self,
+            depth=depth.reshape(self.height, self.width),
+            actor_names=labels.reshape(self.height, self.width),
+        )
+
+
+@dataclass
+class CameraImage:
+    """A rendered frame: per-pixel depth and actor identity.
+
+    Attributes:
+        camera: the camera that produced it.
+        depth: ``(H, W)`` metres (inf where only sky/ground).
+        actor_names: ``(H, W)`` actor name per pixel ("" for background).
+    """
+
+    camera: PinholeCamera
+    depth: np.ndarray
+    actor_names: np.ndarray
+
+    def fragment(self, rect: tuple[int, int, int, int]) -> "CameraImage":
+        """Crop ``(u_min, v_min, u_max, v_max)`` into a smaller image."""
+        u_min, v_min, u_max, v_max = rect
+        if not (0 <= u_min < u_max and 0 <= v_min < v_max):
+            raise ValueError("invalid fragment rectangle")
+        return CameraImage(
+            camera=self.camera,
+            depth=self.depth[v_min : v_max + 1, u_min : u_max + 1].copy(),
+            actor_names=self.actor_names[
+                v_min : v_max + 1, u_min : u_max + 1
+            ].copy(),
+        )
+
+    @property
+    def size_pixels(self) -> int:
+        """Pixel count (proxy for fragment transfer cost)."""
+        return int(self.depth.size)
+
+    def contains_actor(self, name: str) -> bool:
+        """Whether any pixel belongs to the named actor."""
+        return bool((self.actor_names == name).any())
+
+
+def image_fragment_for_box(
+    image: CameraImage, box_lidar: Box3D, margin_px: int = 4
+) -> CameraImage | None:
+    """Answer a demand-driven image request: the crop covering ``box_lidar``.
+
+    The §II-C license-plate flow: the requester located an object in point
+    clouds; the cooperator projects that box through its *calibrated*
+    camera and returns only the covering fragment.
+    """
+    rect = image.camera.project_box(box_lidar)
+    if rect is None:
+        return None
+    u_min, v_min, u_max, v_max = rect
+    u_min = max(0, u_min - margin_px)
+    v_min = max(0, v_min - margin_px)
+    u_max = min(image.camera.width - 1, u_max + margin_px)
+    v_max = min(image.camera.height - 1, v_max + margin_px)
+    return image.fragment((u_min, v_min, u_max, v_max))

@@ -1,0 +1,95 @@
+"""GPS model with bounded drift and the Fig. 10 skewing protocol.
+
+The paper's integrated GPS/INS yields <10 cm positional error [6]; Fig. 10
+tests fusion robustness by *procedurally* skewing GPS readings three ways:
+
+* both x and y pushed to the maximum known drift bound,
+* a single axis pushed to the bound,
+* double the bound ("abnormal instances").
+
+:class:`GpsSkew` encodes those protocols; :class:`GpsModel` produces noisy
+readings from true poses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.transforms import Pose
+
+__all__ = ["GpsSkew", "GpsModel"]
+
+
+class GpsSkew(enum.Enum):
+    """The artificial skewing protocols of Fig. 10."""
+
+    NONE = "none"
+    BOTH_AXES_MAX = "both_axes_max"
+    ONE_AXIS_MAX = "one_axis_max"
+    DOUBLE_MAX = "double_max"
+
+    def offset(self, drift_bound: float, rng: np.random.Generator) -> np.ndarray:
+        """The (x, y, z) position offset this protocol applies."""
+        sign = lambda: rng.choice([-1.0, 1.0])  # noqa: E731 - tiny local helper
+        if self is GpsSkew.NONE:
+            return np.zeros(3)
+        if self is GpsSkew.BOTH_AXES_MAX:
+            return np.array([sign() * drift_bound, sign() * drift_bound, 0.0])
+        if self is GpsSkew.ONE_AXIS_MAX:
+            axis = rng.integers(0, 2)
+            out = np.zeros(3)
+            out[axis] = sign() * drift_bound
+            return out
+        if self is GpsSkew.DOUBLE_MAX:
+            return np.array(
+                [sign() * 2 * drift_bound, sign() * 2 * drift_bound, 0.0]
+            )
+        raise AssertionError(f"unhandled skew {self}")
+
+
+@dataclass(frozen=True)
+class GpsModel:
+    """Produces GPS position readings from true poses.
+
+    Attributes:
+        noise_std: white positional noise per axis (metres).
+        drift_bound: maximum integrated drift magnitude (metres); the paper
+            cites <10 cm for GPS/INS integration.
+    """
+
+    noise_std: float = 0.02
+    drift_bound: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0 or self.drift_bound < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+    def read(
+        self,
+        true_pose: Pose,
+        seed: int = 0,
+        skew: GpsSkew = GpsSkew.NONE,
+    ) -> Pose:
+        """Return the pose with GPS-corrupted position (attitude untouched).
+
+        The reading = truth + bounded random drift + white noise + the
+        requested skew protocol offset.
+        """
+        rng = np.random.default_rng(seed)
+        drift_direction = rng.normal(size=2)
+        norm = np.linalg.norm(drift_direction)
+        if norm > 0:
+            drift_direction = drift_direction / norm
+        drift_mag = rng.uniform(0.0, self.drift_bound)
+        drift = np.array([*(drift_direction * drift_mag), 0.0])
+        noise = rng.normal(0.0, self.noise_std, size=3) * np.array([1, 1, 0.3])
+        offset = drift + noise + skew.offset(self.drift_bound, rng)
+        return Pose(
+            true_pose.position + offset,
+            yaw=true_pose.yaw,
+            pitch=true_pose.pitch,
+            roll=true_pose.roll,
+        )

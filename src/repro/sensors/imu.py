@@ -1,0 +1,43 @@
+"""IMU attitude model.
+
+The exchange package carries the IMU's yaw/pitch/roll so the receiver can
+build the Eq. (1) rotation.  A real IMU reports attitude with small noise;
+we model zero-mean Gaussian errors per angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.transforms import Pose
+
+__all__ = ["ImuModel"]
+
+
+@dataclass(frozen=True)
+class ImuModel:
+    """Produces attitude readings from true poses.
+
+    Attributes:
+        angle_noise_std_deg: per-angle Gaussian noise (degrees).  Automotive
+            MEMS units integrated with GPS resolve heading to ~0.1 degrees.
+    """
+
+    angle_noise_std_deg: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.angle_noise_std_deg < 0:
+            raise ValueError("angle noise must be non-negative")
+
+    def read(self, true_pose: Pose, seed: int = 0) -> Pose:
+        """Return the pose with IMU-corrupted attitude (position untouched)."""
+        rng = np.random.default_rng(seed)
+        noise = np.deg2rad(rng.normal(0.0, self.angle_noise_std_deg, size=3))
+        return Pose(
+            true_pose.position,
+            yaw=true_pose.yaw + noise[0],
+            pitch=true_pose.pitch + noise[1],
+            roll=true_pose.roll + noise[2],
+        )

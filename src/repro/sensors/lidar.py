@@ -1,0 +1,240 @@
+"""Vectorised ray-casting LiDAR simulator.
+
+A :class:`LidarModel` fires one ray per (beam elevation, azimuth) pair from
+the sensor pose and keeps the nearest hit against the world's actor boxes
+and the ground plane — exactly the physics that produces the paper's two
+failure modes: *blind zones* behind occluders and *sparsity* that grows
+with range and shrinks with beam count.  The 16-beam VLP-16 produces a
+cloud ~4x sparser than the 64-beam HDL-64E, matching the paper's T&J vs
+KITTI contrast.
+
+Rays from one scan share an origin, so occlusion tests vectorise per actor:
+each box rotates the whole direction table into its own frame and runs the
+slab test on all rays at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.rotations import rotation_z
+from repro.geometry.transforms import Pose
+from repro.pointcloud.cloud import PointCloud
+from repro.scene.world import World
+
+__all__ = [
+    "BeamPattern",
+    "LidarModel",
+    "LidarScan",
+    "VLP_16",
+    "HDL_32E",
+    "HDL_64E",
+]
+
+_GROUND_LABEL = "__ground__"
+_GROUND_REFLECTANCE = 0.2
+
+
+@dataclass(frozen=True)
+class BeamPattern:
+    """The vertical beam table of a spinning LiDAR.
+
+    Attributes:
+        name: human-readable sensor name.
+        elevations_deg: per-beam elevation angles (degrees).
+        azimuth_resolution_deg: horizontal angular step (degrees).
+        max_range: metres beyond which returns are dropped.
+    """
+
+    name: str
+    elevations_deg: tuple[float, ...]
+    azimuth_resolution_deg: float = 0.4
+    max_range: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.elevations_deg:
+            raise ValueError("beam pattern needs at least one beam")
+        if self.azimuth_resolution_deg <= 0:
+            raise ValueError("azimuth resolution must be positive")
+
+    @property
+    def num_beams(self) -> int:
+        """Number of vertical beams."""
+        return len(self.elevations_deg)
+
+    @property
+    def rays_per_scan(self) -> int:
+        """Total rays fired per 360-degree revolution."""
+        return self.num_beams * int(round(360.0 / self.azimuth_resolution_deg))
+
+
+def _uniform_elevations(low: float, high: float, count: int) -> tuple[float, ...]:
+    return tuple(np.linspace(low, high, count))
+
+
+#: Velodyne VLP-16: 16 beams, +/-15 degrees — the T&J golf cart sensor.
+VLP_16 = BeamPattern("VLP-16", _uniform_elevations(-15.0, 15.0, 16), 0.4, 100.0)
+
+#: Velodyne HDL-32E: 32 beams, -30.67..+10.67 degrees.
+HDL_32E = BeamPattern("HDL-32E", _uniform_elevations(-30.67, 10.67, 32), 0.4, 100.0)
+
+#: Velodyne HDL-64E: 64 beams, -24.8..+2 degrees — the KITTI sensor.
+HDL_64E = BeamPattern("HDL-64E", _uniform_elevations(-24.8, 2.0, 64), 0.4, 120.0)
+
+
+@dataclass
+class LidarScan:
+    """One revolution of simulated LiDAR data.
+
+    Attributes:
+        cloud: points in the *sensor* frame (x forward at yaw 0).
+        labels: per-point actor name, ``"__ground__"`` for ground returns.
+        pose: the true sensor pose the scan was taken from.
+    """
+
+    cloud: PointCloud
+    labels: np.ndarray
+    pose: Pose
+
+    def points_labeled(self, name: str) -> PointCloud:
+        """Sub-cloud of returns from one actor."""
+        return self.cloud.select(self.labels == name)
+
+    def points_per_actor(self) -> dict[str, int]:
+        """Return counts of LiDAR hits per actor (ground excluded)."""
+        names, counts = np.unique(self.labels, return_counts=True)
+        return {
+            str(n): int(c) for n, c in zip(names, counts) if n != _GROUND_LABEL
+        }
+
+    def non_ground(self) -> PointCloud:
+        """The cloud with ground returns removed."""
+        return self.cloud.select(self.labels != _GROUND_LABEL)
+
+
+@dataclass(frozen=True)
+class LidarModel:
+    """A simulated spinning LiDAR.
+
+    Attributes:
+        pattern: the beam table (VLP_16, HDL_32E, HDL_64E or custom).
+        range_noise_std: Gaussian noise added to hit distances (metres).
+        dropout: probability that a valid return is lost.
+        min_range: blind radius around the sensor.
+        include_ground: whether ground-plane returns are produced.
+    """
+
+    pattern: BeamPattern = VLP_16
+    range_noise_std: float = 0.02
+    dropout: float = 0.05
+    min_range: float = 1.5
+    include_ground: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.range_noise_std < 0:
+            raise ValueError("range_noise_std must be non-negative")
+
+    def ray_directions(self) -> np.ndarray:
+        """The ``(N, 3)`` unit direction table in the sensor frame."""
+        elevations = np.deg2rad(np.array(self.pattern.elevations_deg))
+        steps = int(round(360.0 / self.pattern.azimuth_resolution_deg))
+        azimuths = np.linspace(-np.pi, np.pi, steps, endpoint=False)
+        elev_grid, az_grid = np.meshgrid(elevations, azimuths, indexing="ij")
+        cos_e = np.cos(elev_grid)
+        directions = np.stack(
+            [
+                cos_e * np.cos(az_grid),
+                cos_e * np.sin(az_grid),
+                np.sin(elev_grid),
+            ],
+            axis=-1,
+        )
+        return directions.reshape(-1, 3)
+
+    def scan(self, world: World, pose: Pose, seed: int = 0) -> LidarScan:
+        """Scan ``world`` from ``pose`` and return points in the sensor frame.
+
+        Occlusion falls out of nearest-hit selection: an actor behind
+        another receives no rays on the blocked arc, creating exactly the
+        blind zones that motivate cooperative perception.
+        """
+        rng = np.random.default_rng(seed)
+        directions_local = self.ray_directions()
+        to_world = pose.to_world()
+        directions = directions_local @ to_world.rotation.T
+        origin = pose.position.astype(float)
+        num_rays = len(directions)
+
+        best_t = np.full(num_rays, np.inf)
+        best_label = np.full(num_rays, -1, dtype=np.int64)
+        best_reflectance = np.zeros(num_rays, dtype=np.float32)
+
+        actors = list(world.actors)
+        for idx, actor in enumerate(actors):
+            t_hit = _ray_box_batch(origin, directions, actor.box)
+            better = t_hit < best_t
+            best_t[better] = t_hit[better]
+            best_label[better] = idx
+            best_reflectance[better] = actor.reflectance
+
+        if self.include_ground:
+            dz = directions[:, 2]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t_ground = (world.ground_z - origin[2]) / dz
+            t_ground = np.where((dz < -1e-9) & (t_ground > 0), t_ground, np.inf)
+            better = t_ground < best_t
+            best_t[better] = t_ground[better]
+            best_label[better] = -2  # ground sentinel
+            best_reflectance[better] = _GROUND_REFLECTANCE
+
+        valid = (
+            np.isfinite(best_t)
+            & (best_t >= self.min_range)
+            & (best_t <= self.pattern.max_range)
+        )
+        if self.dropout > 0:
+            valid &= rng.random(num_rays) >= self.dropout
+
+        t = best_t[valid]
+        if self.range_noise_std > 0:
+            t = t + rng.normal(0.0, self.range_noise_std, size=len(t))
+        hit_world = origin + directions[valid] * t[:, None]
+        hit_local = pose.from_world().apply(hit_world) if len(t) else hit_world
+        reflectance = best_reflectance[valid] + rng.normal(
+            0.0, 0.02, size=int(valid.sum())
+        ).astype(np.float32)
+        reflectance = np.clip(reflectance, 0.0, 1.0)
+
+        label_idx = best_label[valid]
+        names = np.array([a.name for a in actors] + [_GROUND_LABEL])
+        labels = names[np.where(label_idx == -2, len(actors), label_idx)]
+
+        cloud = PointCloud.from_xyz(hit_local, reflectance, frame_id="sensor")
+        return LidarScan(cloud=cloud, labels=labels, pose=pose)
+
+
+def _ray_box_batch(origin: np.ndarray, directions: np.ndarray, box) -> np.ndarray:
+    """Nearest-hit distances of many shared-origin rays against one box.
+
+    Vectorised slab test in the box's yaw-aligned frame.  Returns +inf for
+    misses and for hits behind the origin.
+    """
+    rot = rotation_z(-box.yaw)
+    local_origin = rot @ (np.asarray(origin, dtype=float) - box.center)
+    local_dirs = directions @ rot.T
+    half = np.array([box.length / 2.0, box.width / 2.0, box.height / 2.0])
+
+    d = np.where(np.abs(local_dirs) < 1e-12, 1e-12, local_dirs)
+    t_lo = (-half - local_origin) / d
+    t_hi = (half - local_origin) / d
+    t1 = np.minimum(t_lo, t_hi)
+    t2 = np.maximum(t_lo, t_hi)
+    t_near = t1.max(axis=1)
+    t_far = t2.min(axis=1)
+    hit = (t_near <= t_far) & (t_far >= 0)
+    t = np.where(t_near >= 0, t_near, t_far)  # inside-box rays exit forward
+    return np.where(hit, t, np.inf)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (scans, detectors, evaluated cases) are session-scoped:
+the suite exercises them from many angles without re-simulating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.spod import SPOD
+from repro.geometry.transforms import Pose
+from repro.scene.layouts import parking_lot, t_junction
+from repro.scene.objects import make_car
+from repro.scene.world import World
+from repro.sensors.lidar import BeamPattern, LidarModel, VLP_16
+
+
+@pytest.fixture(scope="session")
+def detector() -> SPOD:
+    """The analytic-weights SPOD used across integration tests."""
+    return SPOD.pretrained()
+
+
+@pytest.fixture(scope="session")
+def fast_lidar() -> LidarModel:
+    """A reduced-resolution LiDAR for cheap scans in unit tests."""
+    pattern = BeamPattern(
+        "test-16", tuple(np.linspace(-15, 15, 16)), azimuth_resolution_deg=1.0
+    )
+    return LidarModel(pattern=pattern, dropout=0.0, range_noise_std=0.0)
+
+
+@pytest.fixture(scope="session")
+def simple_world() -> World:
+    """One car 10 m ahead on flat ground."""
+    return World((make_car(10.0, 0.0, name="target"),))
+
+
+@pytest.fixture(scope="session")
+def sensor_pose() -> Pose:
+    """A KITTI-style sensor pose at the origin."""
+    return Pose(np.array([0.0, 0.0, 1.73]))
+
+
+@pytest.fixture(scope="session")
+def simple_scan(fast_lidar, simple_world, sensor_pose):
+    """A clean scan of the one-car world."""
+    return fast_lidar.scan(simple_world, sensor_pose, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tj_layout():
+    """A parking-lot layout reused by fusion tests."""
+    return parking_lot()
+
+
+@pytest.fixture(scope="session")
+def kitti_layout():
+    """The T-junction layout reused by fusion tests."""
+    return t_junction()

@@ -1,0 +1,140 @@
+"""Tests for anchors, the RPN and rotated NMS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.anchors import AnchorGrid, decode_boxes, encode_boxes
+from repro.detection.detections import Detection
+from repro.detection.nms import rotated_nms
+from repro.detection.rpn import RegionProposalNetwork
+from repro.geometry.boxes import Box3D
+from repro.pointcloud.voxel import VoxelGridSpec
+
+SPEC = VoxelGridSpec(
+    point_range=(0.0, -8.0, -3.0, 16.0, 8.0, 1.0),
+    voxel_size=(1.0, 1.0, 0.8),
+)
+
+
+class TestAnchors:
+    def test_counts(self):
+        grid = AnchorGrid(SPEC)
+        nx, ny = grid.bev_shape
+        assert grid.num_anchors == nx * ny * 2
+        assert grid.all_anchors().shape == (grid.num_anchors, 7)
+
+    def test_cell_centers_geometry(self):
+        grid = AnchorGrid(SPEC)
+        centers = grid.cell_centers()
+        np.testing.assert_allclose(centers[0, 0], [0.5, -7.5])
+        np.testing.assert_allclose(centers[-1, -1], [15.5, 7.5])
+
+    def test_anchor_box(self):
+        grid = AnchorGrid(SPEC)
+        box = grid.anchor_box(0, 0, 1)
+        assert box.yaw == pytest.approx(np.pi / 2)
+        assert box.length == pytest.approx(4.2)
+
+    @given(
+        st.floats(-2, 2), st.floats(-2, 2), st.floats(-0.5, 0.5),
+        st.floats(0.8, 1.2), st.floats(0.8, 1.2), st.floats(-0.5, 0.5),
+    )
+    @settings(max_examples=50)
+    def test_encode_decode_roundtrip(self, dx, dy, dz, sl, sw, dyaw):
+        anchor = np.array([[10.0, 0.0, -1.0, 4.2, 1.8, 1.6, 0.0]])
+        gt = anchor.copy()
+        gt[0, :3] += [dx, dy, dz]
+        gt[0, 3:6] *= [sl, sw, 1.0]
+        gt[0, 6] += dyaw
+        decoded = decode_boxes(encode_boxes(gt, anchor), anchor)
+        np.testing.assert_allclose(decoded, gt, atol=1e-9)
+
+    def test_encode_normalises_by_diagonal(self):
+        anchor = np.array([[0.0, 0.0, 0.0, 3.0, 4.0, 1.0, 0.0]])
+        gt = anchor.copy()
+        gt[0, 0] += 5.0  # diagonal = 5
+        residual = encode_boxes(gt, anchor)
+        assert residual[0, 0] == pytest.approx(1.0)
+
+
+class TestRpn:
+    def test_output_shapes(self):
+        rpn = RegionProposalNetwork(in_channels=10, hidden_channels=4, num_yaws=2)
+        bev = np.zeros((1, 10, 12, 14))
+        cls_logits, reg = rpn(bev)
+        assert cls_logits.shape == (1, 2, 12, 14)
+        assert reg.shape == (1, 14, 12, 14)
+
+    def test_analytic_scores_density(self):
+        nz = 5
+        rpn = RegionProposalNetwork(in_channels=8 * nz, hidden_channels=4)
+        rpn.analytic_init(nz, car_bins=(1, 2, 3), tall_bin=4)
+        bev = np.zeros((1, 8 * nz, 9, 9))
+        # Occupancy in car bins at the centre cell.
+        for z in (1, 2, 3):
+            bev[0, z, 3:6, 3:6] = 1.0
+        cls_logits, _ = rpn(bev)
+        assert cls_logits[0, 0, 4, 4] > cls_logits[0, 0, 0, 0]
+        assert cls_logits[0, 0, 4, 4] > 0
+
+    def test_analytic_tall_suppression(self):
+        nz = 5
+        rpn = RegionProposalNetwork(in_channels=8 * nz, hidden_channels=4)
+        rpn.analytic_init(nz, car_bins=(1, 2, 3), tall_bin=4)
+        bev = np.zeros((1, 8 * nz, 9, 9))
+        for z in (1, 2, 3, 4):  # wall: occupancy in every bin incl. the top
+            bev[0, z, 3:6, 3:6] = 1.0
+        cls_logits, _ = rpn(bev)
+        assert cls_logits[0, 0, 4, 4] < 0
+
+    def test_analytic_validates_bins(self):
+        rpn = RegionProposalNetwork(in_channels=8, hidden_channels=4)
+        with pytest.raises(ValueError):
+            rpn.analytic_init(nz=1, car_bins=(3,), tall_bin=0)
+
+    def test_backward_runs(self):
+        rpn = RegionProposalNetwork(in_channels=6, hidden_channels=4, seed=2)
+        bev = np.random.default_rng(0).normal(size=(1, 6, 5, 5))
+        cls_logits, reg = rpn(bev)
+        grad = rpn.backward(np.ones_like(cls_logits), np.ones_like(reg))
+        assert grad.shape == bev.shape
+
+
+def det(x, y, score, yaw=0.0) -> Detection:
+    return Detection(Box3D(np.array([x, y, 0.0]), 4.2, 1.8, 1.6, yaw), score)
+
+
+class TestNms:
+    def test_keeps_best_of_overlapping_pair(self):
+        kept = rotated_nms([det(0, 0, 0.9), det(0.5, 0, 0.7)], iou_threshold=0.3)
+        assert len(kept) == 1
+        assert kept[0].score == 0.9
+
+    def test_keeps_distant_detections(self):
+        kept = rotated_nms([det(0, 0, 0.9), det(20, 0, 0.7)])
+        assert len(kept) == 2
+
+    def test_ordering_by_score(self):
+        kept = rotated_nms([det(0, 0, 0.5), det(20, 0, 0.9)])
+        assert [d.score for d in kept] == [0.9, 0.5]
+
+    def test_threshold_zero_suppresses_any_overlap(self):
+        kept = rotated_nms([det(0, 0, 0.9), det(4.0, 0, 0.8)], iou_threshold=0.0)
+        assert len(kept) == 1
+
+    def test_empty(self):
+        assert rotated_nms([]) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            rotated_nms([], iou_threshold=1.5)
+
+    def test_rotated_overlap_detected(self):
+        # Two 4.2 x 1.8 boxes crossed at the same centre: IoU ~ 0.27.
+        kept = rotated_nms(
+            [det(0, 0, 0.9, yaw=0.0), det(0, 0, 0.8, yaw=np.pi / 2)],
+            iou_threshold=0.2,
+        )
+        assert len(kept) == 1

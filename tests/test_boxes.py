@@ -1,0 +1,153 @@
+"""Tests for oriented boxes, containment and IoU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.boxes import (
+    Box3D,
+    box_corners_3d,
+    box_corners_bev,
+    iou_3d,
+    iou_bev,
+    pairwise_iou_bev,
+    points_in_box,
+)
+from repro.geometry.transforms import RigidTransform
+
+
+def make_box(x=0.0, y=0.0, z=0.0, l=4.0, w=2.0, h=1.5, yaw=0.0) -> Box3D:
+    return Box3D(np.array([x, y, z]), l, w, h, yaw)
+
+
+class TestBox3D:
+    def test_volume(self):
+        assert make_box(l=2, w=3, h=4).volume == pytest.approx(24.0)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            make_box(l=0.0)
+
+    def test_bottom_top(self):
+        box = make_box(z=1.0, h=2.0)
+        assert box.bottom_z == pytest.approx(0.0)
+        assert box.top_z == pytest.approx(2.0)
+
+    def test_vector_roundtrip(self):
+        box = make_box(1, 2, 3, 4, 2, 1.5, 0.7)
+        recovered = Box3D.from_vector(box.as_vector())
+        np.testing.assert_allclose(recovered.center, box.center)
+        assert recovered.yaw == pytest.approx(box.yaw)
+
+    def test_translated(self):
+        moved = make_box().translated(np.array([1.0, 1.0, 1.0]))
+        np.testing.assert_allclose(moved.center, [1.0, 1.0, 1.0])
+
+    def test_expanded(self):
+        grown = make_box(l=4, w=2, h=1).expanded(0.5)
+        assert (grown.length, grown.width, grown.height) == (5.0, 3.0, 2.0)
+
+    def test_transformed_rotates_yaw(self):
+        box = make_box(x=1.0, yaw=0.0)
+        transform = RigidTransform.from_euler(yaw=np.pi / 2)
+        rotated = box.transformed(transform)
+        np.testing.assert_allclose(rotated.center, [0.0, 1.0, 0.0], atol=1e-12)
+        assert rotated.yaw == pytest.approx(np.pi / 2)
+
+
+class TestCorners:
+    def test_bev_corners_axis_aligned(self):
+        corners = box_corners_bev(make_box(l=4, w=2))
+        expected = {(2, 1), (-2, 1), (-2, -1), (2, -1)}
+        assert {tuple(np.round(c, 9)) for c in corners} == expected
+
+    def test_bev_corners_rotated_90(self):
+        corners = box_corners_bev(make_box(l=4, w=2, yaw=np.pi / 2))
+        expected = {(-1, 2), (-1, -2), (1, 2), (1, -2)}
+        assert {tuple(np.round(c, 9)) for c in corners} == expected
+
+    def test_3d_corners_count_and_heights(self):
+        corners = box_corners_3d(make_box(z=1.0, h=2.0))
+        assert corners.shape == (8, 3)
+        assert set(np.round(corners[:, 2], 9)) == {0.0, 2.0}
+
+
+class TestPointsInBox:
+    def test_center_inside(self):
+        box = make_box()
+        assert points_in_box(np.array([[0.0, 0.0, 0.0, 0.0]]), box)[0]
+
+    def test_outside(self):
+        box = make_box()
+        assert not points_in_box(np.array([[10.0, 0.0, 0.0, 0.0]]), box)[0]
+
+    def test_rotated_containment(self):
+        box = make_box(l=4, w=1, yaw=np.pi / 2)
+        # Point 1.5 along +y is inside the rotated length axis.
+        assert points_in_box(np.array([[0.0, 1.5, 0.0, 0.0]]), box)[0]
+        assert not points_in_box(np.array([[1.5, 0.0, 0.0, 0.0]]), box)[0]
+
+    def test_margin(self):
+        box = make_box(l=2, w=2, h=2)
+        edge_point = np.array([[1.2, 0.0, 0.0, 0.0]])
+        assert not points_in_box(edge_point, box)[0]
+        assert points_in_box(edge_point, box, margin=0.3)[0]
+
+    def test_empty_input(self):
+        assert points_in_box(np.zeros((0, 4)), make_box()).shape == (0,)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = make_box(yaw=0.3)
+        assert iou_bev(box, box) == pytest.approx(1.0, abs=1e-6)
+        assert iou_3d(box, box) == pytest.approx(1.0, abs=1e-6)
+
+    def test_disjoint_boxes(self):
+        assert iou_bev(make_box(), make_box(x=100.0)) == 0.0
+        assert iou_3d(make_box(), make_box(x=100.0)) == 0.0
+
+    def test_half_overlap_axis_aligned(self):
+        a = make_box(l=4, w=2)
+        b = make_box(x=2.0, l=4, w=2)
+        # Intersection 2x2=4, union 8+8-4=12.
+        assert iou_bev(a, b) == pytest.approx(4.0 / 12.0, abs=1e-6)
+
+    def test_vertical_offset_reduces_3d_iou(self):
+        a = make_box(h=2.0)
+        b = make_box(z=1.0, h=2.0)
+        assert iou_3d(a, b) == pytest.approx(1.0 / 3.0, abs=1e-6)
+        assert iou_bev(a, b) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rotated_cross(self):
+        """Two 4x2 boxes crossed at 90 degrees share a 2x2 square."""
+        a = make_box(l=4, w=2)
+        b = make_box(l=4, w=2, yaw=np.pi / 2)
+        assert iou_bev(a, b) == pytest.approx(4.0 / 12.0, abs=1e-6)
+
+    @given(
+        st.floats(-5, 5),
+        st.floats(-5, 5),
+        st.floats(-3, 3),
+        st.floats(-3, 3),
+    )
+    @settings(max_examples=60)
+    def test_iou_symmetric_and_bounded(self, x1, y1, yaw1, yaw2):
+        a = make_box(x=x1, y=y1, yaw=yaw1)
+        b = make_box(yaw=yaw2)
+        ab = iou_bev(a, b)
+        ba = iou_bev(b, a)
+        assert ab == pytest.approx(ba, abs=1e-6)
+        assert 0.0 <= ab <= 1.0 + 1e-9
+
+    def test_pairwise_matches_scalar(self):
+        boxes_a = [make_box(), make_box(x=1.0, yaw=0.4)]
+        boxes_b = [make_box(x=0.5), make_box(x=50.0)]
+        matrix = pairwise_iou_bev(boxes_a, boxes_b)
+        for i, a in enumerate(boxes_a):
+            for j, b in enumerate(boxes_b):
+                assert matrix[i, j] == pytest.approx(iou_bev(a, b), abs=1e-9)
+
+    def test_pairwise_empty(self):
+        assert pairwise_iou_bev([], [make_box()]).shape == (0, 1)

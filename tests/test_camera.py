@@ -1,0 +1,132 @@
+"""Tests for the pinhole camera and demand-driven image fragments."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.boxes import Box3D
+from repro.geometry.transforms import Pose
+from repro.scene.objects import make_building, make_car
+from repro.scene.world import World
+from repro.sensors.camera import PinholeCamera, image_fragment_for_box
+
+CAMERA = PinholeCamera(width=320, height=200, horizontal_fov_deg=120.0)
+
+
+def pose_at(x=0.0, y=0.0, yaw=0.0) -> Pose:
+    return Pose(np.array([x, y, 1.6]), yaw=yaw)
+
+
+class TestProjection:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(width=0)
+        with pytest.raises(ValueError):
+            PinholeCamera(horizontal_fov_deg=190.0)
+
+    def test_forward_point_hits_center(self):
+        uv, valid = CAMERA.project(np.array([[10.0, 0.0, 0.0]]))
+        assert valid[0]
+        assert uv[0, 0] == pytest.approx(160.0)
+        assert uv[0, 1] == pytest.approx(100.0)
+
+    def test_left_point_maps_left_of_center(self):
+        """+y (left) maps to smaller u (left half of the image)."""
+        uv, valid = CAMERA.project(np.array([[10.0, 3.0, 0.0]]))
+        assert valid[0]
+        assert uv[0, 0] < 160.0
+
+    def test_high_point_maps_up(self):
+        uv, valid = CAMERA.project(np.array([[10.0, 0.0, 2.0]]))
+        assert valid[0]
+        assert uv[0, 1] < 100.0
+
+    def test_behind_camera_invalid(self):
+        _uv, valid = CAMERA.project(np.array([[-5.0, 0.0, 0.0]]))
+        assert not valid[0]
+
+    def test_outside_fov_invalid(self):
+        # 120-degree FOV: a point at 80 degrees azimuth is outside.
+        _uv, valid = CAMERA.project(np.array([[1.0, 6.0, 0.0]]))
+        assert not valid[0]
+
+    def test_project_box_rect(self):
+        box = Box3D(np.array([15.0, 0.0, 0.0]), 4.2, 1.8, 1.6)
+        rect = CAMERA.project_box(box)
+        assert rect is not None
+        u_min, v_min, u_max, v_max = rect
+        assert u_min < 160 < u_max
+        assert v_min < v_max
+
+    def test_project_box_behind_none(self):
+        box = Box3D(np.array([-15.0, 0.0, 0.0]), 4.2, 1.8, 1.6)
+        assert CAMERA.project_box(box) is None
+
+
+class TestRenderAndFragment:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        world = World(
+            (
+                make_car(12.0, 2.0, name="target"),
+                make_building(30.0, -5.0, name="bldg"),
+            )
+        )
+        image = CAMERA.render(world, pose_at())
+        return world, image
+
+    def test_actor_visible(self, rendered):
+        _world, image = rendered
+        assert image.contains_actor("target")
+
+    def test_depth_reasonable(self, rendered):
+        _world, image = rendered
+        target_depth = image.depth[image.actor_names == "target"]
+        assert 9.0 < target_depth.min() < 13.0
+
+    def test_occlusion_in_image(self):
+        """A wall in front of the car hides it from the camera too."""
+        world = World(
+            (
+                make_building(6.0, 0.0, length=1.0, width=8.0, name="wall"),
+                make_car(15.0, 0.0, name="hidden"),
+            )
+        )
+        image = CAMERA.render(world, pose_at())
+        assert image.contains_actor("wall")
+        assert not image.contains_actor("hidden")
+
+    def test_fragment_for_box(self, rendered):
+        world, image = rendered
+        box = world.actor("target").box.transformed(pose_at().from_world())
+        fragment = image_fragment_for_box(image, box)
+        assert fragment is not None
+        assert fragment.contains_actor("target")
+        # The fragment is much cheaper to transmit than the full image.
+        assert fragment.size_pixels < image.size_pixels * 0.3
+
+    def test_fragment_for_unseen_box(self, rendered):
+        _world, image = rendered
+        behind = Box3D(np.array([-20.0, 0.0, 0.0]), 4.2, 1.8, 1.6)
+        assert image_fragment_for_box(image, behind) is None
+
+    def test_fragment_invalid_rect(self, rendered):
+        _world, image = rendered
+        with pytest.raises(ValueError):
+            image.fragment((10, 10, 5, 20))
+
+    def test_demand_driven_plate_flow(self):
+        """§II-C end to end: locate in points, fetch the image fragment."""
+        world = World((make_car(14.0, -1.0, name="plate-car"),))
+        requester = pose_at()
+        cooperator = pose_at(x=5.0, y=-4.0, yaw=0.3)
+        # The requester located the car in its point cloud (its own frame);
+        # map the box into the cooperator's frame and ask for the fragment.
+        box_requester = world.actor("plate-car").box.transformed(
+            requester.from_world()
+        )
+        to_cooperator = requester.relative_to(cooperator)
+        box_cooperator = box_requester.transformed(to_cooperator)
+        image = CAMERA.render(world, cooperator)
+        fragment = image_fragment_for_box(image, box_cooperator)
+        assert fragment is not None
+        assert fragment.contains_actor("plate-car")

@@ -1,0 +1,115 @@
+"""Tests for the PointCloud container and merging (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import RigidTransform
+from repro.pointcloud.cloud import PointCloud, merge_clouds
+
+
+def cloud_of(*points) -> PointCloud:
+    return PointCloud(np.array(points, dtype=np.float32))
+
+
+class TestConstruction:
+    def test_xyz_only_gets_zero_reflectance(self):
+        c = PointCloud(np.zeros((5, 3)))
+        assert c.data.shape == (5, 4)
+        np.testing.assert_allclose(c.reflectance, 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros(12))
+
+    def test_from_xyz_mismatched_reflectance(self):
+        with pytest.raises(ValueError):
+            PointCloud.from_xyz(np.zeros((3, 3)), np.zeros(2))
+
+    def test_empty(self):
+        assert PointCloud.empty().is_empty()
+        assert len(PointCloud.empty()) == 0
+
+    def test_dtype_is_float32(self):
+        c = PointCloud(np.zeros((2, 4), dtype=np.float64))
+        assert c.data.dtype == np.float32
+
+
+class TestAccessors:
+    def test_ranges(self):
+        c = cloud_of([3, 4, 0, 0.5])
+        assert c.ranges[0] == pytest.approx(5.0)
+
+    def test_bounds(self):
+        c = cloud_of([0, 0, 0, 0], [1, 2, 3, 0])
+        lo, hi = c.bounds()
+        np.testing.assert_allclose(lo, [0, 0, 0])
+        np.testing.assert_allclose(hi, [1, 2, 3])
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud.empty().bounds()
+
+    def test_size_bytes(self):
+        assert cloud_of([0, 0, 0, 0]).size_bytes() == 16
+
+
+class TestOperations:
+    def test_transform_preserves_reflectance(self):
+        c = cloud_of([1, 0, 0, 0.7])
+        moved = c.transformed(RigidTransform.from_euler(translation=[1, 1, 1]))
+        np.testing.assert_allclose(moved.xyz[0], [2, 1, 1], atol=1e-6)
+        assert moved.reflectance[0] == pytest.approx(0.7, abs=1e-6)
+
+    def test_transform_roundtrip(self):
+        c = cloud_of([1, 2, 3, 0.5], [-1, 0, 4, 0.1])
+        t = RigidTransform.from_euler(yaw=0.8, translation=[3, -2, 1])
+        back = c.transformed(t).transformed(t.inverse())
+        np.testing.assert_allclose(back.xyz, c.xyz, atol=1e-5)
+
+    def test_transform_empty(self):
+        moved = PointCloud.empty().transformed(RigidTransform.identity())
+        assert moved.is_empty()
+
+    def test_select_mask(self):
+        c = cloud_of([1, 0, 0, 0], [2, 0, 0, 0], [3, 0, 0, 0])
+        picked = c.select(c.xyz[:, 0] > 1.5)
+        assert len(picked) == 2
+
+    def test_subsample_deterministic(self):
+        c = PointCloud(np.random.default_rng(0).normal(size=(100, 4)))
+        a = c.subsampled(10, seed=42)
+        b = c.subsampled(10, seed=42)
+        np.testing.assert_array_equal(a.data, b.data)
+        assert len(a) == 10
+
+    def test_subsample_no_op_when_small(self):
+        c = cloud_of([1, 0, 0, 0])
+        assert c.subsampled(10) is c
+
+    def test_subsample_negative_raises(self):
+        with pytest.raises(ValueError):
+            cloud_of([0, 0, 0, 0]).subsampled(-1)
+
+    def test_concat(self):
+        c = cloud_of([1, 0, 0, 0]).concat(cloud_of([2, 0, 0, 0]))
+        assert len(c) == 2
+
+
+class TestMerge:
+    def test_merge_counts(self):
+        merged = merge_clouds([cloud_of([1, 0, 0, 0]), cloud_of([2, 0, 0, 0])])
+        assert len(merged) == 2
+        assert merged.frame_id == "merged"
+
+    def test_merge_empty_list(self):
+        assert merge_clouds([]).is_empty()
+
+    def test_merge_is_union(self):
+        """Eq. (2): the cooperative frame is the union of both clouds."""
+        a = cloud_of([1, 0, 0, 0.1])
+        b = cloud_of([2, 0, 0, 0.2], [3, 0, 0, 0.3])
+        merged = merge_clouds([a, b])
+        xs = sorted(merged.xyz[:, 0])
+        assert xs == [1.0, 2.0, 3.0]

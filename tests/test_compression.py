@@ -1,0 +1,102 @@
+"""Tests for the quantising point-cloud codec (paper's 200 KB/scan budget)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.compression import (
+    CompressionSpec,
+    compress_cloud,
+    compressed_size_bytes,
+    decompress_cloud,
+)
+
+
+class TestSpec:
+    def test_default_bytes_per_point(self):
+        assert CompressionSpec().bytes_per_point == pytest.approx(7.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(coordinate_bits=12)
+        with pytest.raises(ValueError):
+            CompressionSpec(reflectance_bits=4)
+
+
+class TestRoundTrip:
+    def test_coordinates_recovered_within_quantisation(self):
+        rng = np.random.default_rng(0)
+        cloud = PointCloud.from_xyz(
+            rng.uniform(-50, 50, size=(1000, 3)), rng.uniform(size=1000)
+        )
+        decoded = decompress_cloud(compress_cloud(cloud))
+        error = np.abs(decoded.xyz - cloud.xyz).max()
+        # 16 bits over a 100 m span: ~1.5 mm worst case.
+        assert error < 0.01
+
+    def test_reflectance_recovered(self):
+        cloud = PointCloud.from_xyz(np.zeros((3, 3)), np.array([0.0, 0.5, 1.0]))
+        decoded = decompress_cloud(compress_cloud(cloud))
+        np.testing.assert_allclose(decoded.reflectance, [0.0, 0.5, 1.0], atol=1 / 255)
+
+    def test_empty_cloud(self):
+        decoded = decompress_cloud(compress_cloud(PointCloud.empty()))
+        assert decoded.is_empty()
+
+    def test_reflectance_dropped_when_zero_bits(self):
+        spec = CompressionSpec(reflectance_bits=0)
+        cloud = PointCloud.from_xyz(np.ones((4, 3)), np.full(4, 0.7))
+        decoded = decompress_cloud(compress_cloud(cloud, spec))
+        np.testing.assert_allclose(decoded.reflectance, 0.0)
+
+    @given(
+        arrays(
+            np.float32,
+            st.tuples(st.integers(1, 50), st.just(3)),
+            elements=st.floats(-80, 80, width=32, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, xyz):
+        cloud = PointCloud.from_xyz(xyz)
+        decoded = decompress_cloud(compress_cloud(cloud))
+        assert len(decoded) == len(cloud)
+        assert np.abs(decoded.xyz - cloud.xyz).max() < 0.02
+
+
+class TestSizes:
+    def test_predicted_size_matches_actual(self):
+        cloud = PointCloud.from_xyz(np.random.default_rng(1).normal(size=(777, 3)))
+        payload = compress_cloud(cloud)
+        assert len(payload) == compressed_size_bytes(777)
+
+    def test_paper_scan_budget(self):
+        """~28k points (a 16-beam scan) must compress to about 200 KB."""
+        size = compressed_size_bytes(28_800)
+        assert size < 210_000
+
+    def test_8bit_coordinates_are_smaller(self):
+        small = compressed_size_bytes(1000, CompressionSpec(coordinate_bits=8))
+        large = compressed_size_bytes(1000, CompressionSpec(coordinate_bits=32))
+        assert small < large
+
+
+class TestErrors:
+    def test_truncated_payload(self):
+        with pytest.raises(ValueError):
+            decompress_cloud(b"abc")
+
+    def test_bad_magic(self):
+        payload = bytearray(compress_cloud(PointCloud.from_xyz(np.ones((2, 3)))))
+        payload[:4] = b"XXXX"
+        with pytest.raises(ValueError):
+            decompress_cloud(bytes(payload))
+
+    def test_bad_version(self):
+        payload = bytearray(compress_cloud(PointCloud.from_xyz(np.ones((2, 3)))))
+        payload[4] = 99
+        with pytest.raises(ValueError):
+            decompress_cloud(bytes(payload))

@@ -1,0 +1,181 @@
+"""Tests for the dataset builders, experiment runners and reporters.
+
+A lightweight shared case (reduced beam/azimuth resolution) keeps these
+integration-grade tests fast; the full-resolution runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import make_case
+from repro.datasets.synthetic_kitti import KITTI_SCENARIOS, kitti_cases
+from repro.datasets.tj import TJ_SCENARIOS, tj_cases
+from repro.eval.difficulty import Difficulty
+from repro.eval.experiments import (
+    gps_drift_experiment,
+    improvement_samples,
+    run_case,
+    timing_experiment,
+)
+from repro.eval.reporting import (
+    render_case_summary,
+    render_cdf_table,
+    render_detection_grid,
+)
+from repro.scene.layouts import parking_lot
+from repro.sensors.gps import GpsSkew
+from repro.sensors.lidar import BeamPattern
+
+
+FAST_16 = BeamPattern("fast-16", tuple(np.linspace(-15, 15, 16)), 0.8)
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    layout = parking_lot(seed=11, rows=2, cols=5, occupancy=0.8)
+    poses = {
+        "car1": layout.viewpoint("car1"),
+        "car2": layout.viewpoint("car2"),
+    }
+    return make_case(
+        name="test/one",
+        scenario="parking",
+        world=layout.world,
+        poses=poses,
+        receiver="car1",
+        pattern=FAST_16,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_result(small_case, detector):
+    return run_case(small_case, detector)
+
+
+class TestDatasets:
+    def test_kitti_has_four_scenarios(self):
+        cases = kitti_cases()
+        assert len(cases) == 4
+        assert {c.scenario for c in cases} == set(KITTI_SCENARIOS)
+
+    def test_tj_has_fifteen_cases(self):
+        """The paper runs 15 experiments on the T&J dataset."""
+        cases = tj_cases()
+        assert len(cases) == 15
+        assert {c.scenario for c in cases} == set(TJ_SCENARIOS)
+
+    def test_tj_delta_d_matches_paper(self):
+        cases = {c.name: c for c in tj_cases()}
+        expected = {
+            "tj-1/car1+car2": 5.5,
+            "tj-1/car1+car4": 26.9,
+            "tj-2/car1+car3": 33.1,
+            "tj-4/car1+car5": 23.1,
+        }
+        for name, dd in expected.items():
+            assert cases[name].delta_d == pytest.approx(dd, abs=0.6)
+
+    def test_case_structure(self, small_case):
+        assert small_case.receiver == "car1"
+        assert set(small_case.observer_names) == {"car1", "car2"}
+        assert len(small_case.packages_for_receiver()) == 1
+        assert small_case.packages_for_receiver()[0].sender == "car2"
+
+    def test_ground_truth_frames_differ(self, small_case):
+        gt1 = small_case.ground_truth_in("car1")
+        gt2 = small_case.ground_truth_in("car2")
+        assert not np.allclose(gt1[0].center, gt2[0].center)
+
+    def test_receiver_must_observe(self, small_case):
+        from repro.datasets.base import CooperativeCase
+
+        with pytest.raises(ValueError):
+            CooperativeCase(
+                name="x",
+                scenario="x",
+                world=small_case.world,
+                observations=small_case.observations,
+                receiver="ghost",
+            )
+
+    def test_make_case_deterministic(self, small_case):
+        layout = parking_lot(seed=11, rows=2, cols=5, occupancy=0.8)
+        poses = {
+            "car1": layout.viewpoint("car1"),
+            "car2": layout.viewpoint("car2"),
+        }
+        again = make_case(
+            "test/one", "parking", layout.world, poses, "car1", FAST_16, seed=0
+        )
+        np.testing.assert_array_equal(
+            again.cloud_of("car1").data, small_case.cloud_of("car1").data
+        )
+
+
+class TestRunCase:
+    def test_records_cover_all_targets(self, small_case, small_result):
+        assert len(small_result.records) == len(small_case.world.targets())
+
+    def test_counts_consistent_with_records(self, small_result):
+        for observer in ("car1", "car2"):
+            count = sum(r.single_detected[observer] for r in small_result.records)
+            assert small_result.counts[observer] == count
+        assert small_result.counts["cooper"] == sum(
+            r.cooper_detected for r in small_result.records
+        )
+
+    def test_difficulty_assigned(self, small_result):
+        assert all(isinstance(r.difficulty, Difficulty) for r in small_result.records)
+
+    def test_bands_valid(self, small_result):
+        valid = {"near", "medium", "far", "out"}
+        for record in small_result.records:
+            assert set(record.bands.values()) <= valid
+
+    def test_accuracies_bounded(self, small_result):
+        for value in small_result.accuracies.values():
+            assert 0.0 <= value <= 100.0
+
+    def test_improvement_samples_structure(self, small_result):
+        samples = improvement_samples([small_result])
+        assert set(samples) == set(Difficulty)
+
+    def test_timing_experiment(self, small_case, detector):
+        timings = timing_experiment([small_case], detector)
+        entry = timings[small_case.name]
+        assert entry["single"] > 0 and entry["cooper"] > 0
+
+    def test_gps_drift_experiment(self, detector):
+        results = gps_drift_experiment(
+            lambda: parking_lot(seed=11, rows=2, cols=5, occupancy=0.8),
+            ("car1", "car2"),
+            FAST_16,
+            {"baseline": GpsSkew.NONE, "double": GpsSkew.DOUBLE_MAX},
+            detector=detector,
+        )
+        assert set(results) == {"baseline", "double"}
+        assert len(results["baseline"]) > 0
+
+
+class TestReporting:
+    def test_grid_contains_cars_and_counts(self, small_result):
+        text = render_detection_grid(small_result)
+        assert "cooper" in text
+        assert "detected" in text
+        assert small_result.records[0].car_name in text
+
+    def test_grid_shows_x_for_misses(self, small_result):
+        if any(
+            not r.single_detected["car1"] and r.bands["car1"] != "out"
+            for r in small_result.records
+        ):
+            assert "X" in render_detection_grid(small_result)
+
+    def test_summary_lists_case(self, small_result):
+        text = render_case_summary([small_result])
+        assert small_result.case_name in text
+
+    def test_cdf_table(self, small_result):
+        table = render_cdf_table(improvement_samples([small_result]))
+        assert "easy" in table and "hard" in table

@@ -1,0 +1,134 @@
+"""Tests for alignment diagnostics and misaligned-package gating."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.cooper import Cooper
+from repro.fusion.diagnostics import (
+    alignment_residual,
+    validate_package,
+)
+from repro.fusion.package import ExchangePackage
+from repro.geometry.transforms import Pose
+from repro.pointcloud.cloud import PointCloud
+from repro.scene.layouts import parking_lot
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+
+FAST_16 = BeamPattern("fast-16", tuple(np.linspace(-15, 15, 16)), 0.8)
+
+
+@pytest.fixture(scope="module")
+def lot_pair():
+    layout = parking_lot(seed=71, rows=2, cols=6, occupancy=0.85)
+    rig = SensorRig(lidar=LidarModel(pattern=FAST_16, dropout=0.0))
+    rx = rig.observe(layout.world, layout.viewpoint("car1"), seed=0)
+    tx = rig.observe(layout.world, layout.viewpoint("car2"), seed=1)
+    return layout, rx, tx
+
+
+def _skewed_pose(pose, dx=0.0, dy=0.0, dyaw=0.0):
+    return Pose(
+        pose.position + np.array([dx, dy, 0.0]), yaw=pose.yaw + dyaw
+    )
+
+
+class TestAlignmentResidual:
+    def test_good_alignment_has_small_residual(self, lot_pair):
+        _layout, rx, tx = lot_pair
+        package = ExchangePackage(tx.scan.cloud, tx.measured_pose, sender="tx")
+        report = validate_package(rx.scan.cloud, package, rx.measured_pose)
+        assert report.overlap_points > 100
+        assert report.residual < 0.25
+        assert report.consistent
+
+    def test_residual_grows_with_translation_error(self, lot_pair):
+        _layout, rx, tx = lot_pair
+        residuals = []
+        for error in (0.0, 0.5, 1.5):
+            package = ExchangePackage(
+                tx.scan.cloud,
+                _skewed_pose(tx.measured_pose, dx=error, dy=error / 2),
+                sender="tx",
+            )
+            report = validate_package(rx.scan.cloud, package, rx.measured_pose)
+            residuals.append(report.residual)
+        assert residuals[0] < residuals[1] < residuals[2]
+
+    def test_metre_scale_fault_rejected(self, lot_pair):
+        _layout, rx, tx = lot_pair
+        package = ExchangePackage(
+            tx.scan.cloud,
+            _skewed_pose(tx.measured_pose, dx=2.0, dy=1.2),
+            sender="tx",
+        )
+        report = validate_package(rx.scan.cloud, package, rx.measured_pose)
+        assert not report.consistent
+
+    def test_empty_clouds(self):
+        residual, count = alignment_residual(PointCloud.empty(), PointCloud.empty())
+        assert residual == float("inf")
+        assert count == 0
+
+    def test_disjoint_clouds_accepted(self, lot_pair):
+        """A package covering only unseen space cannot be judged — accept."""
+        _layout, rx, _tx = lot_pair
+        far_cloud = PointCloud.from_xyz(
+            np.random.default_rng(0).uniform(500, 520, size=(200, 3))
+        )
+        package = ExchangePackage(
+            far_cloud, Pose(np.array([0.0, 0.0, 1.7])), sender="weird"
+        )
+        report = validate_package(rx.scan.cloud, package, rx.measured_pose)
+        assert report.overlap_points < 30
+        assert report.consistent  # additive-only content is not gated
+
+
+class TestCooperGating:
+    def test_gate_quarantines_faulty_package(self, lot_pair, detector):
+        _layout, rx, tx = lot_pair
+        good = ExchangePackage(tx.scan.cloud, tx.measured_pose, sender="good")
+        bad = ExchangePackage(
+            tx.scan.cloud,
+            _skewed_pose(tx.measured_pose, dx=2.5, dy=1.5),
+            sender="bad",
+        )
+        cooper = Cooper(detector=detector, reject_misaligned=True)
+        result = cooper.perceive(rx.scan.cloud, rx.measured_pose, [good, bad])
+        assert result.num_cooperators == 1
+        assert result.rejected_packages == 1
+
+    def test_gate_off_by_default(self, lot_pair, detector):
+        _layout, rx, tx = lot_pair
+        bad = ExchangePackage(
+            tx.scan.cloud,
+            _skewed_pose(tx.measured_pose, dx=2.5, dy=1.5),
+            sender="bad",
+        )
+        cooper = Cooper(detector=detector)
+        result = cooper.perceive(rx.scan.cloud, rx.measured_pose, [bad])
+        assert result.num_cooperators == 1
+        assert result.rejected_packages == 0
+
+    def test_gated_fusion_beats_corrupted_fusion(self, lot_pair, detector):
+        """Quarantining the faulty package preserves detection quality."""
+        _layout, rx, tx = lot_pair
+        bad = ExchangePackage(
+            tx.scan.cloud, _skewed_pose(tx.measured_pose, dx=2.5, dy=1.5, dyaw=0.05),
+            sender="bad",
+        )
+        gated = Cooper(detector=detector, reject_misaligned=True)
+        ungated = Cooper(detector=detector)
+        gated_result = gated.perceive(rx.scan.cloud, rx.measured_pose, [bad])
+        ungated_result = ungated.perceive(rx.scan.cloud, rx.measured_pose, [bad])
+        single = detector.detect(rx.scan.cloud)
+        # The gate reduces to single-shot; the corrupted merge must not be
+        # credited with more detections than the gate's clean view.
+        assert len(gated_result.detections) == len(single)
+        mean_gated = np.mean([d.score for d in gated_result.detections])
+        mean_ungated = (
+            np.mean([d.score for d in ungated_result.detections])
+            if ungated_result.detections
+            else 0.0
+        )
+        assert mean_gated >= mean_ungated - 0.1

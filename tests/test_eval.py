@@ -1,0 +1,142 @@
+"""Tests for matching, metrics, difficulty classes and CDF utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.detections import Detection
+from repro.eval.cdf import empirical_cdf, improvement_percent
+from repro.eval.difficulty import Difficulty, classify_difficulty
+from repro.eval.matching import match_detections
+from repro.eval.metrics import (
+    average_precision,
+    detection_accuracy,
+    detection_count,
+    precision_recall,
+)
+from repro.geometry.boxes import Box3D
+
+
+def det(x, y, score=0.8) -> Detection:
+    return Detection(Box3D(np.array([x, y, 0.0]), 4.2, 1.8, 1.6), score)
+
+
+def gt(x, y) -> Box3D:
+    return Box3D(np.array([x, y, 0.0]), 4.2, 1.8, 1.6)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        result = match_detections([det(10, 0)], [gt(10, 0)])
+        assert result.num_matched == 1
+        assert result.gt_scores[0] == pytest.approx(0.8)
+        assert not result.false_positives
+
+    def test_gate_blocks_far_match(self):
+        result = match_detections([det(10, 0)], [gt(20, 0)], gate_distance=2.5)
+        assert result.num_matched == 0
+        assert result.unmatched_gt == [0]
+        assert result.false_positives == [0]
+
+    def test_one_to_one_assignment(self):
+        """Two detections near one GT: only one may claim it."""
+        result = match_detections([det(10, 0, 0.9), det(10.5, 0, 0.7)], [gt(10, 0)])
+        assert result.num_matched == 1
+        assert len(result.false_positives) == 1
+
+    def test_hungarian_resolves_crossing(self):
+        """Each detection pairs with its nearest compatible GT globally."""
+        detections = [det(10, 0), det(13, 0)]
+        ground_truth = [gt(12.8, 0), gt(10.2, 0)]
+        result = match_detections(detections, ground_truth)
+        assert result.assignments == {0: 1, 1: 0}
+
+    def test_empty_inputs(self):
+        result = match_detections([], [gt(0, 0)])
+        assert result.unmatched_gt == [0]
+        result = match_detections([det(0, 0)], [])
+        assert result.false_positives == [0]
+
+    def test_invalid_gate(self):
+        with pytest.raises(ValueError):
+            match_detections([], [], gate_distance=0.0)
+
+
+class TestMetrics:
+    def test_detection_count(self):
+        result = match_detections([det(10, 0)], [gt(10, 0), gt(30, 0)])
+        assert detection_count(result) == 1
+
+    def test_detection_accuracy_counts_misses_as_zero(self):
+        result = match_detections([det(10, 0, 0.8)], [gt(10, 0), gt(30, 0)])
+        assert detection_accuracy(result) == pytest.approx(40.0)
+
+    def test_accuracy_empty_gt(self):
+        assert detection_accuracy(match_detections([], [])) == 0.0
+
+    def test_precision_recall(self):
+        detections = [det(10, 0), det(50, 50)]
+        ground_truth = [gt(10, 0), gt(30, 0)]
+        p, r = precision_recall(detections, ground_truth)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    def test_perfect_ap(self):
+        detections = [det(10, 0, 0.9), det(30, 0, 0.8)]
+        ground_truth = [gt(10, 0), gt(30, 0)]
+        assert average_precision(detections, ground_truth) == pytest.approx(1.0)
+
+    def test_ap_penalises_high_scoring_fp(self):
+        good = [det(10, 0, 0.9), det(30, 0, 0.8)]
+        with_fp = [det(50, 50, 0.95)] + good
+        ground_truth = [gt(10, 0), gt(30, 0)]
+        assert average_precision(with_fp, ground_truth) < 1.0
+
+    def test_ap_empty(self):
+        assert average_precision([], [gt(0, 0)]) == 0.0
+        assert average_precision([det(0, 0)], []) == 0.0
+
+
+class TestDifficulty:
+    @pytest.mark.parametrize(
+        "flags, expected",
+        [
+            ((True, True), Difficulty.EASY),
+            ((True, True, False), Difficulty.EASY),
+            ((True, False), Difficulty.MODERATE),
+            ((False, False), Difficulty.HARD),
+            ((), Difficulty.HARD),
+        ],
+    )
+    def test_classification(self, flags, expected):
+        assert classify_difficulty(flags) == expected
+
+
+class TestCdf:
+    def test_improvement_percent(self):
+        assert improvement_percent(0.5, 0.6) == pytest.approx(20.0)
+
+    def test_improvement_floor_for_undetected(self):
+        """Hard objects with ~zero single score get a bounded ratio."""
+        assert improvement_percent(0.0, 0.55) == pytest.approx(1000.0)
+
+    def test_negative_improvement(self):
+        assert improvement_percent(0.6, 0.54) == pytest.approx(-10.0)
+
+    def test_empirical_cdf(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_cdf(self):
+        values, probs = empirical_cdf([])
+        assert len(values) == 0 and len(probs) == 0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_cdf_monotone(self, samples):
+        values, probs = empirical_cdf(samples)
+        assert (np.diff(values) >= 0).all()
+        assert (np.diff(probs) > 0).all()
+        assert probs[-1] == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Tests for the GPS drift / skew protocols (Fig. 10) and the IMU model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import Pose
+from repro.sensors.gps import GpsModel, GpsSkew
+from repro.sensors.imu import ImuModel
+
+TRUE = Pose(np.array([10.0, -5.0, 1.7]), yaw=0.5, pitch=0.01, roll=-0.02)
+
+
+class TestGps:
+    def test_reading_near_truth(self):
+        gps = GpsModel(noise_std=0.02, drift_bound=0.10)
+        reading = gps.read(TRUE, seed=0)
+        assert np.linalg.norm(reading.position - TRUE.position) < 0.25
+
+    def test_attitude_untouched(self):
+        reading = GpsModel().read(TRUE, seed=1)
+        assert reading.yaw == pytest.approx(TRUE.yaw)
+        assert reading.pitch == pytest.approx(TRUE.pitch)
+
+    def test_deterministic(self):
+        gps = GpsModel()
+        a = gps.read(TRUE, seed=3)
+        b = gps.read(TRUE, seed=3)
+        np.testing.assert_array_equal(a.position, b.position)
+
+    def test_zero_noise_zero_drift_is_exact(self):
+        gps = GpsModel(noise_std=0.0, drift_bound=0.0)
+        reading = gps.read(TRUE, seed=0)
+        np.testing.assert_allclose(reading.position, TRUE.position)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GpsModel(noise_std=-1.0)
+
+    @pytest.mark.parametrize(
+        "skew, expected_norm",
+        [
+            (GpsSkew.NONE, 0.0),
+            (GpsSkew.BOTH_AXES_MAX, np.sqrt(2) * 0.1),
+            (GpsSkew.ONE_AXIS_MAX, 0.1),
+            (GpsSkew.DOUBLE_MAX, np.sqrt(2) * 0.2),
+        ],
+    )
+    def test_skew_offset_magnitudes(self, skew, expected_norm):
+        rng = np.random.default_rng(0)
+        offset = skew.offset(0.1, rng)
+        assert np.linalg.norm(offset) == pytest.approx(expected_norm, abs=1e-12)
+
+    def test_skew_shifts_reading(self):
+        gps = GpsModel(noise_std=0.0, drift_bound=0.1)
+        base = gps.read(TRUE, seed=5, skew=GpsSkew.NONE)
+        skewed = gps.read(TRUE, seed=5, skew=GpsSkew.DOUBLE_MAX)
+        shift = np.linalg.norm(skewed.position - base.position)
+        assert shift == pytest.approx(np.sqrt(2) * 0.2, abs=1e-9)
+
+    def test_skew_keeps_z(self):
+        rng = np.random.default_rng(1)
+        for skew in GpsSkew:
+            assert skew.offset(0.1, rng)[2] == 0.0
+
+
+class TestImu:
+    def test_reading_near_truth(self):
+        imu = ImuModel(angle_noise_std_deg=0.1)
+        reading = imu.read(TRUE, seed=0)
+        assert abs(reading.yaw - TRUE.yaw) < np.deg2rad(1.0)
+
+    def test_position_untouched(self):
+        reading = ImuModel().read(TRUE, seed=2)
+        np.testing.assert_array_equal(reading.position, TRUE.position)
+
+    def test_zero_noise_exact(self):
+        reading = ImuModel(angle_noise_std_deg=0.0).read(TRUE, seed=0)
+        assert reading.yaw == pytest.approx(TRUE.yaw)
+        assert reading.roll == pytest.approx(TRUE.roll)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            ImuModel(angle_noise_std_deg=-0.1)
+
+    def test_deterministic(self):
+        a = ImuModel().read(TRUE, seed=9)
+        b = ImuModel().read(TRUE, seed=9)
+        assert a.yaw == b.yaw

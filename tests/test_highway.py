@@ -1,0 +1,68 @@
+"""Tests for the highway-overtake scenario (the paper's motivating crash)."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.align import merge_packages
+from repro.fusion.package import ExchangePackage
+from repro.scene.layouts import highway_overtake
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+
+FAST_64 = BeamPattern("fast-64", tuple(np.linspace(-24.8, 2.0, 64)), 0.8)
+
+
+@pytest.fixture(scope="module")
+def highway_obs():
+    layout = highway_overtake()
+    rig = SensorRig(lidar=LidarModel(pattern=FAST_64))
+    follower = rig.observe(layout.world, layout.viewpoint("follower"), seed=0)
+    helper = rig.observe(layout.world, layout.viewpoint("helper"), seed=1)
+    return layout, follower, helper
+
+
+def _matched_names(layout, detections, pose):
+    names = set()
+    for actor in layout.world.targets():
+        local = actor.box.transformed(pose.from_world())
+        for d in detections:
+            if np.linalg.norm(d.box.center[:2] - local.center[:2]) < 2.5:
+                names.add(actor.name)
+    return names
+
+
+class TestHighwayOvertake:
+    def test_truck_blinds_the_follower(self, highway_obs, detector):
+        """The oncoming car is invisible to the follower: zero points."""
+        layout, follower, _helper = highway_obs
+        hits = follower.scan.points_per_actor()
+        assert hits.get("car-0", 0) == 0  # the hidden oncoming car
+        assert hits.get("truck-slow", 0) > 50
+
+    def test_helper_sees_the_hidden_car(self, highway_obs, detector):
+        layout, _follower, helper = highway_obs
+        found = _matched_names(
+            layout, detector.detect(helper.scan.cloud), helper.true_pose
+        )
+        assert "car-0" in found
+
+    def test_one_package_reveals_the_danger(self, highway_obs, detector):
+        """The safety headline: fusion surfaces the car the follower would
+        have pulled out in front of."""
+        layout, follower, helper = highway_obs
+        single = _matched_names(
+            layout, detector.detect(follower.scan.cloud), follower.true_pose
+        )
+        assert "car-0" not in single
+
+        package = ExchangePackage(
+            helper.scan.cloud, helper.measured_pose, sender="helper"
+        )
+        merged = merge_packages(
+            follower.scan.cloud, [package], follower.measured_pose
+        )
+        cooperative = _matched_names(
+            layout, detector.detect(merged), follower.true_pose
+        )
+        assert "car-0" in cooperative
+        assert cooperative >= single

@@ -1,0 +1,40 @@
+"""Tests for KITTI-format binary I/O."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.io import read_kitti_bin, write_kitti_bin
+
+
+class TestKittiIo:
+    def test_roundtrip(self, tmp_path):
+        cloud = PointCloud(
+            np.random.default_rng(0).normal(size=(100, 4)).astype(np.float32)
+        )
+        path = tmp_path / "scan.bin"
+        write_kitti_bin(cloud, path)
+        loaded = read_kitti_bin(path)
+        np.testing.assert_array_equal(loaded.data, cloud.data)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_kitti_bin(PointCloud.empty(), path)
+        assert read_kitti_bin(path).is_empty()
+
+    def test_file_size_is_16_bytes_per_point(self, tmp_path):
+        cloud = PointCloud(np.zeros((25, 4), dtype=np.float32))
+        path = tmp_path / "scan.bin"
+        write_kitti_bin(cloud, path)
+        assert path.stat().st_size == 25 * 16
+
+    def test_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 10)  # not a multiple of 16
+        with pytest.raises(ValueError):
+            read_kitti_bin(path)
+
+    def test_frame_id(self, tmp_path):
+        path = tmp_path / "scan.bin"
+        write_kitti_bin(PointCloud(np.zeros((1, 4), dtype=np.float32)), path)
+        assert read_kitti_bin(path, frame_id="x").frame_id == "x"

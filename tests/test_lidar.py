@@ -1,0 +1,157 @@
+"""Tests for the ray-casting LiDAR simulator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import Pose
+from repro.scene.objects import make_building, make_car
+from repro.scene.world import World
+from repro.sensors.lidar import (
+    HDL_32E,
+    HDL_64E,
+    VLP_16,
+    BeamPattern,
+    LidarModel,
+)
+
+
+def pose_at(x=0.0, y=0.0, yaw=0.0) -> Pose:
+    return Pose(np.array([x, y, 1.73]), yaw=yaw)
+
+
+class TestBeamPatterns:
+    def test_velodyne_beam_counts(self):
+        assert VLP_16.num_beams == 16
+        assert HDL_32E.num_beams == 32
+        assert HDL_64E.num_beams == 64
+
+    def test_rays_per_scan(self):
+        assert VLP_16.rays_per_scan == 16 * 900
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BeamPattern("bad", ())
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            BeamPattern("bad", (0.0,), azimuth_resolution_deg=0.0)
+
+    def test_direction_table_is_unit(self, fast_lidar):
+        directions = fast_lidar.ray_directions()
+        np.testing.assert_allclose(
+            np.linalg.norm(directions, axis=1), 1.0, atol=1e-12
+        )
+
+    def test_direction_table_count(self, fast_lidar):
+        assert len(fast_lidar.ray_directions()) == fast_lidar.pattern.rays_per_scan
+
+
+class TestScan:
+    def test_target_receives_points(self, fast_lidar, simple_world, sensor_pose):
+        scan = fast_lidar.scan(simple_world, sensor_pose, seed=0)
+        assert scan.points_per_actor().get("target", 0) > 10
+
+    def test_points_in_sensor_frame(self, fast_lidar, simple_world, sensor_pose):
+        """The car 10 m ahead must appear around x ~ 10 in the sensor frame."""
+        scan = fast_lidar.scan(simple_world, sensor_pose, seed=0)
+        car_points = scan.points_labeled("target")
+        assert 7.0 < car_points.xyz[:, 0].mean() < 11.0
+        assert abs(car_points.xyz[:, 1].mean()) < 1.5
+
+    def test_sensor_frame_invariance(self, fast_lidar, simple_world):
+        """Scanning from a rotated pose returns the same local geometry."""
+        world_rotated = World(
+            (make_car(0.0, 10.0, yaw=np.pi / 2, name="target"),)
+        )
+        scan_a = fast_lidar.scan(simple_world, pose_at(), seed=0)
+        scan_b = fast_lidar.scan(world_rotated, pose_at(yaw=np.pi / 2), seed=0)
+        a = scan_a.points_labeled("target").xyz.mean(axis=0)
+        b = scan_b.points_labeled("target").xyz.mean(axis=0)
+        np.testing.assert_allclose(a, b, atol=0.3)
+
+    def test_occlusion_blocks_hidden_car(self, fast_lidar, sensor_pose):
+        blocker = make_building(10.0, 0.0, length=2.0, width=8.0, height=6.0, name="wall")
+        hidden = make_car(20.0, 0.0, name="hidden")
+        world = World((blocker, hidden))
+        scan = fast_lidar.scan(world, sensor_pose, seed=0)
+        hits = scan.points_per_actor()
+        assert hits.get("wall", 0) > 0
+        assert hits.get("hidden", 0) == 0
+
+    def test_ground_returns_present(self, fast_lidar, simple_world, sensor_pose):
+        scan = fast_lidar.scan(simple_world, sensor_pose, seed=0)
+        assert len(scan.non_ground()) < len(scan.cloud)
+
+    def test_ground_disabled(self, simple_world, sensor_pose, fast_lidar):
+        lidar = LidarModel(
+            pattern=fast_lidar.pattern,
+            include_ground=False,
+            dropout=0.0,
+            range_noise_std=0.0,
+        )
+        scan = lidar.scan(simple_world, sensor_pose, seed=0)
+        assert len(scan.non_ground()) == len(scan.cloud)
+
+    def test_dropout_reduces_returns(self, simple_world, sensor_pose, fast_lidar):
+        no_drop = LidarModel(pattern=fast_lidar.pattern, dropout=0.0).scan(
+            simple_world, sensor_pose, seed=0
+        )
+        heavy_drop = LidarModel(pattern=fast_lidar.pattern, dropout=0.5).scan(
+            simple_world, sensor_pose, seed=0
+        )
+        assert len(heavy_drop.cloud) < len(no_drop.cloud) * 0.7
+
+    def test_range_noise_perturbs(self, simple_world, sensor_pose, fast_lidar):
+        clean = LidarModel(
+            pattern=fast_lidar.pattern, dropout=0.0, range_noise_std=0.0
+        ).scan(simple_world, sensor_pose, seed=0)
+        noisy = LidarModel(
+            pattern=fast_lidar.pattern, dropout=0.0, range_noise_std=0.1
+        ).scan(simple_world, sensor_pose, seed=0)
+        assert not np.allclose(clean.cloud.xyz, noisy.cloud.xyz)
+
+    def test_min_range_blind_zone(self, sensor_pose, fast_lidar):
+        close_wall = make_building(1.0, 0.0, length=0.5, width=1.0, name="wall")
+        world = World((close_wall,))
+        scan = fast_lidar.scan(world, sensor_pose, seed=0)
+        assert scan.points_per_actor().get("wall", 0) == 0
+
+    def test_max_range_cutoff(self, sensor_pose):
+        pattern = BeamPattern(
+            "short", (0.0,), azimuth_resolution_deg=1.0, max_range=5.0
+        )
+        lidar = LidarModel(pattern=pattern, dropout=0.0, include_ground=False)
+        far_car = make_car(10.0, 0.0, name="far")
+        scan = lidar.scan(World((far_car,)), sensor_pose, seed=0)
+        assert len(scan.cloud) == 0
+
+    def test_reflectance_in_unit_interval(self, fast_lidar, simple_world, sensor_pose):
+        scan = fast_lidar.scan(simple_world, sensor_pose, seed=0)
+        assert scan.cloud.reflectance.min() >= 0.0
+        assert scan.cloud.reflectance.max() <= 1.0
+
+    def test_deterministic_given_seed(self, fast_lidar, simple_world, sensor_pose):
+        a = fast_lidar.scan(simple_world, sensor_pose, seed=7)
+        b = fast_lidar.scan(simple_world, sensor_pose, seed=7)
+        np.testing.assert_array_equal(a.cloud.data, b.cloud.data)
+
+    def test_sparser_pattern_fewer_points(self, simple_world, sensor_pose):
+        elevations_64 = tuple(np.linspace(-24.8, 2.0, 64))
+        elevations_16 = tuple(np.linspace(-15.0, 15.0, 16))
+        dense = LidarModel(
+            pattern=BeamPattern("d", elevations_64, 1.0), dropout=0.0
+        ).scan(simple_world, sensor_pose, seed=0)
+        sparse = LidarModel(
+            pattern=BeamPattern("s", elevations_16, 1.0), dropout=0.0
+        ).scan(simple_world, sensor_pose, seed=0)
+        dense_hits = dense.points_per_actor().get("target", 0)
+        sparse_hits = sparse.points_per_actor().get("target", 0)
+        assert dense_hits > 2 * sparse_hits
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ValueError):
+            LidarModel(dropout=1.0)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            LidarModel(range_noise_std=-0.1)

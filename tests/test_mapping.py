@@ -1,0 +1,126 @@
+"""Tests for background self-mapping (§IV-G)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import Pose
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.mapping import BackgroundMapper
+from repro.scene.layouts import two_lane_road
+from repro.scene.objects import make_car
+from repro.sensors.lidar import BeamPattern, LidarModel
+
+FAST_16 = BeamPattern("fast-16", tuple(np.linspace(-15, 15, 16)), 0.8)
+BOUNDS = (-20.0, -30.0, 90.0, 30.0)
+
+
+def drive_and_map(layout, lidar, xs, extra_world=None, threshold=0.6):
+    """Scan the layout from several x positions and build the map."""
+    mapper = BackgroundMapper(BOUNDS, cell=0.5, presence_threshold=threshold)
+    world = extra_world or layout.world
+    for i, x in enumerate(xs):
+        pose = Pose(np.array([x, -1.8, 1.73]))
+        scan = lidar.scan(world, pose, seed=i)
+        mapper.add_pass(scan.cloud, pose)
+    return mapper
+
+
+class TestBackgroundMapper:
+    @pytest.fixture(scope="class")
+    def mapped(self):
+        layout = two_lane_road()
+        lidar = LidarModel(pattern=FAST_16, dropout=0.0)
+        mapper = drive_and_map(layout, lidar, xs=(0.0, 5.0, 10.0, 15.0, 20.0))
+        return layout, lidar, mapper.build()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundMapper(BOUNDS, cell=0.0)
+        with pytest.raises(ValueError):
+            BackgroundMapper(BOUNDS, presence_threshold=0.0)
+        with pytest.raises(ValueError):
+            BackgroundMapper((0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            BackgroundMapper(BOUNDS).build()  # no passes yet
+
+    def test_buildings_become_static(self, mapped):
+        layout, _lidar, background_map = mapped
+        building = layout.world.actor("bldg-n")
+        # Probe a strip of points along the building's road-facing wall;
+        # parallax means not every wall cell is hit from every vantage
+        # point, but a solid majority must be learned as static.
+        face_y = building.box.center[1] - building.box.width / 2
+        xs = np.linspace(
+            building.box.center[0] - building.box.length / 2 + 1,
+            building.box.center[0] + building.box.length / 2 - 1,
+            20,
+        )
+        probes = np.column_stack([xs, np.full(20, face_y)])
+        hits = background_map.is_background(probes)
+        assert hits.mean() > 0.5
+
+    def test_open_road_not_static(self, mapped):
+        _layout, _lidar, background_map = mapped
+        open_spot = np.array([[30.0, -20.0]])
+        assert not background_map.is_background(open_spot)[0]
+
+    def test_subtraction_drops_structure_keeps_newcomers(self, mapped):
+        """Mapped structure disappears; a car that arrived later survives.
+
+        Anything static across every mapping pass — buildings *and* cars
+        parked throughout — is legitimately background; what must never be
+        subtracted is an object that was not there during mapping.
+        """
+        layout, lidar, background_map = mapped
+        newcomer = make_car(24.0, -6.5, name="newcomer")
+        world_now = layout.world.with_actor(newcomer)
+        pose = Pose(np.array([8.0, -1.8, 1.73]))
+        scan = lidar.scan(world_now, pose, seed=99)
+        slim = background_map.subtract(scan.cloud, pose)
+        assert len(slim) < len(scan.cloud)
+        kept_world = pose.to_world().apply(slim.xyz.astype(float))
+        near_newcomer = (
+            np.linalg.norm(kept_world[:, :2] - newcomer.box.center[:2], axis=1)
+            < 2.0
+        )
+        assert near_newcomer.sum() > 0
+
+    def test_transient_car_not_mapped(self):
+        """A car present in only one pass never becomes background."""
+        layout = two_lane_road()
+        lidar = LidarModel(pattern=FAST_16, dropout=0.0)
+        transient = layout.world.with_actor(make_car(50.0, -6.0, name="visitor"))
+        mapper = BackgroundMapper(BOUNDS, cell=0.5, presence_threshold=0.6)
+        worlds = [transient] + [layout.world] * 4
+        for i, (world, x) in enumerate(zip(worlds, (0.0, 5.0, 10.0, 15.0, 20.0))):
+            pose = Pose(np.array([x, -1.8, 1.73]))
+            mapper.add_pass(lidar.scan(world, pose, seed=i).cloud, pose)
+        background_map = mapper.build()
+        assert not background_map.is_background(np.array([[50.0, -6.0]]))[0]
+
+    def test_multi_pass_map_is_substantial_and_consistent(self):
+        layout = two_lane_road()
+        lidar = LidarModel(pattern=FAST_16, dropout=0.0)
+        many = drive_and_map(layout, lidar, xs=(0.0, 8.0, 16.0, 24.0)).build()
+        assert many.passes == 4
+        assert many.coverage_cells > 100  # the two buildings' walls
+
+    def test_empty_pass_tolerated(self):
+        mapper = BackgroundMapper(BOUNDS)
+        mapper.add_pass(PointCloud.empty(), Pose(np.array([0.0, 0.0, 1.7])))
+        assert mapper.build().coverage_cells == 0
+
+    def test_newcomer_still_detected_after_subtraction(self, mapped, detector):
+        """A freshly arrived car is detected on the subtracted cloud."""
+        layout, lidar, background_map = mapped
+        newcomer = make_car(24.0, -6.5, name="newcomer")
+        world_now = layout.world.with_actor(newcomer)
+        pose = Pose(np.array([8.0, -1.8, 1.73]))
+        scan = lidar.scan(world_now, pose, seed=42)
+        slim = background_map.subtract(scan.cloud, pose)
+        local_center = newcomer.box.transformed(pose.from_world()).center[:2]
+        hits = [
+            d for d in detector.detect(slim)
+            if np.linalg.norm(d.box.center[:2] - local_center) < 2.5
+        ]
+        assert hits

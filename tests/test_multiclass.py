@@ -1,0 +1,162 @@
+"""Tests for multi-class detection (cars / pedestrians / cyclists, §III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.detection.classes import (
+    CAR,
+    CLASSES,
+    CYCLIST,
+    PEDESTRIAN,
+    classify_cluster,
+)
+from repro.fusion.align import merge_packages
+from repro.fusion.package import ExchangePackage
+from repro.pointcloud.cloud import PointCloud
+from repro.scene.layouts import crosswalk
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+from tests.test_refine_calibrate import GROUND, car_surface_points
+
+FAST_64 = BeamPattern("fast-64", tuple(np.linspace(-24.8, 2.0, 64)), 0.8)
+
+
+def person_points(cx, cy, height=1.7, n=60, seed=3):
+    """Points on a standing person's surface."""
+    rng = np.random.default_rng(seed)
+    theta = rng.uniform(0, 2 * np.pi, n)
+    r = rng.uniform(0.15, 0.25, n)
+    z = rng.uniform(GROUND + 0.3, GROUND + height, n)
+    return np.column_stack([cx + r * np.cos(theta), cy + r * np.sin(theta), z])
+
+
+def scene(*chunks, seed=0):
+    rng = np.random.default_rng(seed)
+    ground = np.column_stack(
+        [
+            rng.uniform(-10, 40, 2500),
+            rng.uniform(-15, 15, 2500),
+            rng.normal(GROUND, 0.02, 2500),
+        ]
+    )
+    return PointCloud.from_xyz(np.vstack([ground, *chunks]))
+
+
+class TestClassRegistry:
+    def test_three_classes(self):
+        assert {c.name for c in CLASSES} == {"car", "pedestrian", "cyclist"}
+
+    def test_small_classes_need_less_evidence(self):
+        assert PEDESTRIAN.bias_offset < CAR.bias_offset
+        assert PEDESTRIAN.count_cap < CYCLIST.count_cap < CAR.count_cap
+
+    def test_diagonals_ordered(self):
+        assert PEDESTRIAN.diagonal < CYCLIST.diagonal < CAR.diagonal
+
+
+class TestClassifyCluster:
+    @pytest.mark.parametrize(
+        "major, minor, height, expected",
+        [
+            (0.5, 0.4, 1.7, PEDESTRIAN),
+            (1.8, 0.5, 1.75, CYCLIST),
+            (4.2, 1.7, 1.5, CAR),
+            (1.8, 0.1, 1.45, CAR),  # car rear face: thin but car-height
+            (0.5, 0.4, 0.4, CAR),  # low clutter defaults to car hypothesis
+            (1.8, 1.5, 1.75, CAR),  # too wide for a cyclist
+        ],
+    )
+    def test_rules(self, major, minor, height, expected):
+        assert classify_cluster(major, minor, height) is expected
+
+
+class TestMultiClassDetection:
+    def test_pedestrian_detected_and_labeled(self, detector):
+        cloud = scene(person_points(12.0, 2.0))
+        detections = detector.detect(cloud)
+        near = [
+            d for d in detections
+            if np.linalg.norm(d.box.center[:2] - [12.0, 2.0]) < 1.0
+        ]
+        assert near and near[0].label == "pedestrian"
+        assert near[0].box.length < 1.0  # pedestrian-sized template
+
+    def test_pedestrian_needs_fewer_points_than_car(self, detector):
+        """60 points confirm a pedestrian but not a car-sized hypothesis."""
+        ped = scene(person_points(12.0, 2.0, n=60))
+        detections = detector.detect(ped)
+        assert any(d.label == "pedestrian" and d.score >= 0.5 for d in detections)
+
+    def test_car_still_labeled_car(self, detector):
+        cloud = scene(car_surface_points(12.0, 2.0, density=20.0))
+        detections = detector.detect(cloud)
+        assert detections and detections[0].label == "car"
+
+    def test_no_pedestrian_reported_inside_car(self, detector):
+        """The contained-suppression rule: car clusters never double-report."""
+        cloud = scene(car_surface_points(12.0, 2.0, density=25.0))
+        detections = detector.detect_all(cloud)
+        peds_inside = [
+            d
+            for d in detections
+            if d.label != "car"
+            and np.linalg.norm(d.box.center[:2] - [12.0, 2.0]) < 2.0
+            and d.score >= 0.5
+        ]
+        assert not peds_inside
+
+
+class TestCrosswalkScenario:
+    @pytest.fixture(scope="class")
+    def crosswalk_obs(self):
+        layout = crosswalk()
+        rig = SensorRig(lidar=LidarModel(pattern=FAST_64))
+        approach = rig.observe(layout.world, layout.viewpoint("approach"), seed=0)
+        opposite = rig.observe(layout.world, layout.viewpoint("opposite"), seed=1)
+        return layout, approach, opposite
+
+    def _labels_near(self, layout, detections, pose, actor_name, gate=1.5):
+        local = layout.world.actor(actor_name).box.transformed(pose.from_world())
+        return [
+            (d.score, d.label)
+            for d in detections
+            if np.linalg.norm(d.box.center[:2] - local.center[:2]) < gate
+        ]
+
+    def test_kerb_car_hides_the_pedestrian(self, crosswalk_obs):
+        _layout, approach, _opposite = crosswalk_obs
+        assert approach.scan.points_per_actor().get("ped-hidden", 0) < 15
+
+    def test_fusion_recovers_the_hidden_pedestrian(self, crosswalk_obs, detector):
+        layout, approach, opposite = crosswalk_obs
+        single = detector.detect(approach.scan.cloud)
+        assert not self._labels_near(layout, single, approach.true_pose, "ped-hidden")
+
+        package = ExchangePackage(
+            opposite.scan.cloud, opposite.measured_pose, sender="opposite"
+        )
+        merged = merge_packages(
+            approach.scan.cloud, [package], approach.measured_pose
+        )
+        cooperative = detector.detect(merged)
+        hits = self._labels_near(
+            layout, cooperative, approach.true_pose, "ped-hidden"
+        )
+        assert hits
+        score, label = max(hits)
+        assert label == "pedestrian"
+        assert score >= 0.5
+
+    def test_visible_classes_from_cooperative_view(self, crosswalk_obs, detector):
+        layout, approach, opposite = crosswalk_obs
+        package = ExchangePackage(
+            opposite.scan.cloud, opposite.measured_pose, sender="opposite"
+        )
+        merged = merge_packages(
+            approach.scan.cloud, [package], approach.measured_pose
+        )
+        detections = detector.detect(merged)
+        ped = self._labels_near(layout, detections, approach.true_pose, "ped-visible")
+        cyc = self._labels_near(layout, detections, approach.true_pose, "cyclist-0")
+        assert ped and max(ped)[1] == "pedestrian"
+        assert cyc and max(cyc)[1] == "cyclist"

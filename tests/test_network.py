@@ -1,0 +1,227 @@
+"""Tests for the DSRC channel, framing, ROI policies and exchange simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.package import ExchangePackage
+from repro.geometry.transforms import Pose
+from repro.network.dsrc import DsrcChannel
+from repro.network.messages import Frame, MessageFramer
+from repro.network.roi_policy import RoiCategory, RoiPolicy, extract_roi
+from repro.network.simulator import ExchangeSimulator
+from repro.pointcloud.cloud import PointCloud
+from repro.scene.layouts import two_lane_road
+from repro.scene.trajectories import StationaryTrajectory, StraightTrajectory
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+
+
+class TestDsrc:
+    def test_serialization_time(self):
+        channel = DsrcChannel(bandwidth_mbps=6.0)
+        assert channel.serialization_seconds(6_000_000) == pytest.approx(1.0)
+
+    def test_transmit_latency(self):
+        channel = DsrcChannel(bandwidth_mbps=6.0, base_latency_ms=2.0, loss_rate=0.0)
+        report = channel.transmit(600_000)
+        assert report.delivered
+        assert report.attempts == 1
+        assert report.seconds == pytest.approx(0.102)
+
+    def test_throughput(self):
+        channel = DsrcChannel(bandwidth_mbps=6.0, base_latency_ms=0.0)
+        report = channel.transmit(6_000_000)
+        assert report.throughput_mbps == pytest.approx(6.0)
+
+    def test_loss_retries(self):
+        lossy = DsrcChannel(loss_rate=0.9, max_retries=50)
+        report = lossy.transmit(1000, seed=1)
+        assert report.delivered
+        assert report.attempts > 1
+
+    def test_loss_exhausts_budget(self):
+        # loss_rate extremely high and tiny retry budget: expect failure for
+        # at least one of several seeds.
+        channel = DsrcChannel(loss_rate=0.99, max_retries=1)
+        outcomes = [channel.transmit(1000, seed=s).delivered for s in range(20)]
+        assert not all(outcomes)
+
+    def test_fits_in_budget(self):
+        channel = DsrcChannel(bandwidth_mbps=6.0, base_latency_ms=2.0)
+        # 1.8 Mbit (paper's costliest frame) in a 1-second budget at 6 Mbps.
+        assert channel.fits_in_budget(1_800_000, budget_seconds=1.0)
+        assert not channel.fits_in_budget(60_000_000, budget_seconds=1.0)
+
+    def test_utilization(self):
+        channel = DsrcChannel(bandwidth_mbps=6.0)
+        assert channel.utilization(3_000_000) == pytest.approx(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DsrcChannel(bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            DsrcChannel(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            DsrcChannel().transmit(-1)
+
+
+class TestFramer:
+    def test_fragment_reassemble(self):
+        framer = MessageFramer(mtu_bytes=64)
+        message = bytes(range(256)) * 3
+        frames = framer.fragment(message)
+        assert len(frames) > 1
+        assert MessageFramer.reassemble(frames) == message
+
+    def test_single_frame_message(self):
+        framer = MessageFramer()
+        frames = framer.fragment(b"hello")
+        assert len(frames) == 1
+        assert MessageFramer.reassemble(frames) == b"hello"
+
+    def test_missing_fragment_detected(self):
+        framer = MessageFramer(mtu_bytes=32)
+        frames = framer.fragment(b"x" * 100)
+        with pytest.raises(ValueError, match="missing"):
+            MessageFramer.reassemble(frames[:-1])
+
+    def test_mixed_messages_rejected(self):
+        framer = MessageFramer(mtu_bytes=32)
+        a = framer.fragment(b"a" * 50)
+        b = framer.fragment(b"b" * 50)
+        with pytest.raises(ValueError, match="different"):
+            MessageFramer.reassemble([a[0], b[1]])
+
+    def test_frame_encode_decode(self):
+        frame = Frame(7, 1, 3, b"payload")
+        decoded = Frame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_decode_too_short(self):
+        with pytest.raises(ValueError):
+            Frame.decode(b"xy")
+
+    def test_invalid_mtu(self):
+        with pytest.raises(ValueError):
+            MessageFramer(mtu_bytes=4)
+
+    def test_overhead_accounting(self):
+        framer = MessageFramer(mtu_bytes=108)  # 100-byte payloads
+        assert framer.frame_overhead_bits(250) == 3 * 8 * 8
+
+    @given(st.binary(min_size=0, max_size=5000))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, message):
+        framer = MessageFramer(mtu_bytes=128)
+        assert MessageFramer.reassemble(framer.fragment(message)) == message
+
+
+def front_heavy_cloud() -> PointCloud:
+    rng = np.random.default_rng(0)
+    n = 4000
+    azimuth = rng.uniform(-np.pi, np.pi, n)
+    r = rng.uniform(2, 60, n)
+    xyz = np.column_stack(
+        [r * np.cos(azimuth), r * np.sin(azimuth), rng.uniform(-1.7, 1.0, n)]
+    )
+    return PointCloud.from_xyz(xyz)
+
+
+class TestRoiPolicy:
+    def test_category_directionality(self):
+        assert RoiCategory.FULL_FRAME.bidirectional
+        assert RoiCategory.FRONT_SECTOR.bidirectional
+        assert not RoiCategory.FORWARD_CORRIDOR.bidirectional
+
+    def test_volume_ordering_full_sector_corridor(self):
+        """Fig. 12's ordering: ROI1 >= ROI2 >= ROI3 in points."""
+        cloud = front_heavy_cloud()
+        sizes = {}
+        for category in RoiCategory:
+            policy = RoiPolicy(category=category, subtract_known_background=False)
+            sizes[category] = len(extract_roi(cloud, policy))
+        assert sizes[RoiCategory.FULL_FRAME] >= sizes[RoiCategory.FRONT_SECTOR]
+        assert sizes[RoiCategory.FRONT_SECTOR] >= sizes[RoiCategory.FORWARD_CORRIDOR]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RoiPolicy(exchange_rate_hz=0.0)
+
+    def test_background_subtraction_applied(self):
+        from repro.geometry.boxes import Box3D
+
+        cloud = front_heavy_cloud()
+        building = Box3D(np.array([20.0, 0.0, 2.0]), 20.0, 20.0, 8.0)
+        policy = RoiPolicy(category=RoiCategory.FULL_FRAME)
+        with_subtraction = extract_roi(cloud, policy, [building])
+        without = extract_roi(
+            cloud,
+            RoiPolicy(category=RoiCategory.FULL_FRAME, subtract_known_background=False),
+            [building],
+        )
+        assert len(with_subtraction) < len(without)
+
+
+class TestExchangeSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        layout = two_lane_road()
+        pattern = BeamPattern("sim-16", tuple(np.linspace(-15, 15, 16)), 1.0)
+        rig = lambda name: SensorRig(  # noqa: E731
+            lidar=LidarModel(pattern=pattern, dropout=0.0), name=name
+        )
+        return (
+            ExchangeSimulator(world=layout.world, rig_a=rig("a"), rig_b=rig("b")),
+            layout,
+        )
+
+    def test_trace_shape(self, simulator):
+        sim, layout = simulator
+        trace = sim.run(
+            StationaryTrajectory(layout.viewpoint("ego")),
+            StationaryTrajectory(layout.viewpoint("oncoming")),
+            RoiPolicy(category=RoiCategory.FULL_FRAME),
+            duration_seconds=4.0,
+        )
+        assert len(trace.volume_megabits) == 4
+        assert trace.peak_volume_megabits > 0
+        assert all(trace.delivered)
+
+    def test_one_way_cheaper_than_two_way(self, simulator):
+        sim, layout = simulator
+        ego = StationaryTrajectory(layout.viewpoint("ego"))
+        leader = StationaryTrajectory(layout.viewpoint("leader"))
+        full = sim.run(
+            ego, leader, RoiPolicy(category=RoiCategory.FULL_FRAME), 3.0
+        )
+        corridor = sim.run(
+            ego, leader, RoiPolicy(category=RoiCategory.FORWARD_CORRIDOR), 3.0
+        )
+        assert corridor.mean_volume_megabits < full.mean_volume_megabits
+
+    def test_within_dsrc_capacity(self, simulator):
+        """The paper's conclusion: 1 Hz ROI exchange fits DSRC."""
+        sim, layout = simulator
+        trace = sim.run(
+            StraightTrajectory(layout.viewpoint("ego"), speed=5.0),
+            StationaryTrajectory(layout.viewpoint("oncoming")),
+            RoiPolicy(category=RoiCategory.FULL_FRAME, exchange_rate_hz=1.0),
+            duration_seconds=4.0,
+        )
+        assert trace.within_capacity(DsrcChannel(bandwidth_mbps=6.0))
+
+    def test_higher_rate_more_volume(self, simulator):
+        sim, layout = simulator
+        ego = StationaryTrajectory(layout.viewpoint("ego"))
+        other = StationaryTrajectory(layout.viewpoint("oncoming"))
+        slow = sim.run(
+            ego, other, RoiPolicy(category=RoiCategory.FRONT_SECTOR,
+                                  exchange_rate_hz=1.0), 3.0
+        )
+        fast = sim.run(
+            ego, other, RoiPolicy(category=RoiCategory.FRONT_SECTOR,
+                                  exchange_rate_hz=4.0), 3.0
+        )
+        assert fast.mean_volume_megabits > 2 * slow.mean_volume_megabits

@@ -1,0 +1,227 @@
+"""Tests for the numpy NN layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.detection.nn.layers import (
+    BatchNorm1d,
+    Conv2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+)
+from repro.detection.nn.module import Module, Parameter, Sequential
+
+
+def numeric_gradient(func, x, eps=1e-6):
+    """Central-difference gradient of a scalar-valued ``func`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = func(x)
+        flat[i] = original - eps
+        down = func(x)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(module: Module, x: np.ndarray, atol=1e-5) -> None:
+    """Backward's input gradient must match the numeric gradient of sum(out)."""
+    out = module(x)
+    analytic = module.backward(np.ones_like(out))
+
+    def loss(value):
+        return float(module(value).sum())
+
+    numeric = numeric_gradient(loss, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+def check_param_gradient(module: Module, x: np.ndarray, atol=1e-5) -> None:
+    """Backward's parameter gradients must match numeric gradients."""
+    module.zero_grad()
+    out = module(x)
+    module.backward(np.ones_like(out))
+    for p in module.parameters():
+        analytic = p.grad.copy()
+
+        def loss(values, p=p):
+            p.value[...] = values
+            return float(module(x).sum())
+
+        numeric = numeric_gradient(loss, p.value.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3)
+        assert layer(np.zeros((7, 4))).shape == (7, 3)
+
+    def test_known_values(self):
+        layer = Linear(2, 1)
+        layer.weight.value[...] = [[2.0, 3.0]]
+        layer.bias.value[...] = [1.0]
+        out = layer(np.array([[1.0, 1.0]]))
+        assert out[0, 0] == pytest.approx(6.0)
+
+    def test_input_gradient(self):
+        check_input_gradient(Linear(3, 2, seed=1), np.random.default_rng(0).normal(size=(4, 3)))
+
+    def test_param_gradient(self):
+        check_param_gradient(Linear(3, 2, seed=1), np.random.default_rng(0).normal(size=(4, 3)))
+
+    def test_no_bias(self):
+        layer = Linear(2, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = ReLU()(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        check_input_gradient(ReLU(), np.array([[-1.0, 0.5, 2.0]]))
+
+    def test_sigmoid_values(self):
+        out = Sigmoid()(np.array([0.0]))
+        assert out[0] == pytest.approx(0.5)
+
+    def test_sigmoid_gradient(self):
+        check_input_gradient(Sigmoid(), np.array([[-2.0, 0.0, 3.0]]))
+
+    def test_sigmoid_saturation_safe(self):
+        out = Sigmoid()(np.array([1000.0, -1000.0]))
+        assert np.isfinite(out).all()
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self):
+        bn = BatchNorm1d(3)
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(64, 3))
+        out = bn(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_mode_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = np.random.default_rng(1).normal(2.0, 1.0, size=(32, 2))
+        bn(x)  # sets running stats with momentum 1
+        bn.training = False
+        out = bn(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_input_gradient(self):
+        bn = BatchNorm1d(3)
+        check_input_gradient(bn, np.random.default_rng(2).normal(size=(8, 3)), atol=1e-4)
+
+    def test_param_gradient(self):
+        bn = BatchNorm1d(2)
+        check_param_gradient(bn, np.random.default_rng(3).normal(size=(6, 2)), atol=1e-4)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(2, 4, kernel_size=3, stride=1, padding=1)
+        assert conv(np.zeros((1, 2, 8, 10))).shape == (1, 4, 8, 10)
+
+    def test_stride_halves(self):
+        conv = Conv2d(1, 1, kernel_size=3, stride=2, padding=1)
+        assert conv(np.zeros((1, 1, 8, 8))).shape == (1, 1, 4, 4)
+
+    def test_identity_kernel(self):
+        conv = Conv2d(1, 1, kernel_size=3, padding=1)
+        conv.weight.value[...] = 0.0
+        conv.weight.value[0, 0, 1, 1] = 1.0
+        conv.bias.value[...] = 0.0
+        x = np.random.default_rng(0).normal(size=(1, 1, 5, 5))
+        np.testing.assert_allclose(conv(x), x, atol=1e-12)
+
+    def test_box_filter_sums_neighbourhood(self):
+        conv = Conv2d(1, 1, kernel_size=3, padding=1)
+        conv.weight.value[...] = 1.0
+        conv.bias.value[...] = 0.0
+        x = np.zeros((1, 1, 5, 5))
+        x[0, 0, 2, 2] = 1.0
+        out = conv(x)
+        assert out[0, 0, 1:4, 1:4].sum() == pytest.approx(9.0)
+        assert out[0, 0, 0, 0] == pytest.approx(0.0)
+
+    def test_input_gradient(self):
+        conv = Conv2d(2, 3, kernel_size=3, padding=1, seed=4)
+        check_input_gradient(conv, np.random.default_rng(5).normal(size=(1, 2, 4, 4)))
+
+    def test_param_gradient(self):
+        conv = Conv2d(1, 2, kernel_size=3, padding=1, seed=6)
+        check_param_gradient(conv, np.random.default_rng(7).normal(size=(1, 1, 4, 4)))
+
+
+class TestMaxPool:
+    def test_values(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert pool(x)[0, 0, 0, 0] == 4.0
+
+    def test_shape(self):
+        assert MaxPool2d(2)(np.zeros((1, 3, 8, 8))).shape == (1, 3, 4, 4)
+
+    def test_gradient_routes_to_max(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        np.testing.assert_allclose(grad[0, 0], [[0.0, 0.0], [0.0, 1.0]])
+
+    def test_input_gradient(self):
+        pool = MaxPool2d(2)
+        # Distinct values avoid argmax ties, which numeric gradients hate.
+        x = np.arange(32, dtype=float).reshape(1, 2, 4, 4)
+        np.random.default_rng(8).shuffle(x.reshape(-1))
+        check_input_gradient(pool, x)
+
+
+class TestSequentialAndModule:
+    def test_sequential_chain(self):
+        model = Sequential(Linear(3, 4, seed=0), ReLU(), Linear(4, 1, seed=1))
+        assert model(np.zeros((2, 3))).shape == (2, 1)
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+    def test_sequential_gradient(self):
+        model = Sequential(Linear(3, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+        check_input_gradient(model, np.random.default_rng(9).normal(size=(3, 3)))
+
+    def test_parameter_counting(self):
+        model = Sequential(Linear(3, 4), Linear(4, 2))
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        a = Sequential(Linear(3, 4, seed=0), Linear(4, 2, seed=1))
+        b = Sequential(Linear(3, 4, seed=5), Linear(4, 2, seed=6))
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(10).normal(size=(2, 3))
+        np.testing.assert_allclose(a(x), b(x))
+
+    def test_state_dict_shape_mismatch(self):
+        a = Linear(3, 4)
+        b = Linear(4, 4)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        layer(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        assert np.abs(layer.weight.grad).sum() > 0
+        layer.zero_grad()
+        assert np.abs(layer.weight.grad).sum() == 0
+
+    def test_parameter_repr(self):
+        assert "shape" in repr(Parameter(np.zeros(3), "w"))

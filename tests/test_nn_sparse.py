@@ -1,0 +1,167 @@
+"""Tests for submanifold sparse 3D convolution."""
+
+import numpy as np
+import pytest
+
+from repro.detection.nn.sparse import (
+    SparseTensor3d,
+    SparseToDense,
+    SubmanifoldConv3d,
+)
+
+
+def dense_conv3d(dense, weight, bias, stride=1):
+    """Reference dense 3D convolution (valid only for odd kernels)."""
+    k = round(weight.shape[0] ** (1 / 3))
+    pad = (k - 1) // 2
+    c_in, nx, ny, nz = dense.shape[0], *dense.shape[1:]
+    c_out = weight.shape[2]
+    out = np.zeros((c_out, nx, ny, nz))
+    padded = np.pad(dense, ((0, 0), (pad, pad), (pad, pad), (pad, pad)))
+    offsets = [
+        (i, j, l) for i in range(k) for j in range(k) for l in range(k)
+    ]
+    for idx, (i, j, l) in enumerate(offsets):
+        w = weight[idx]  # (c_in, c_out)
+        region = padded[:, i : i + nx, j : j + ny, l : l + nz]
+        out += np.einsum("oi,ixyz->oxyz", w.T, region)
+    return out + bias[:, None, None, None]
+
+
+def make_tensor(seed=0, active=10, grid=(6, 6, 4), channels=3) -> SparseTensor3d:
+    rng = np.random.default_rng(seed)
+    coords = rng.choice(
+        np.array(np.meshgrid(*[np.arange(g) for g in grid])).T.reshape(-1, 3),
+        size=active,
+        replace=False,
+    )
+    features = rng.normal(size=(active, channels))
+    return SparseTensor3d(coords, features, grid)
+
+
+class TestSparseTensor:
+    def test_densify_places_features(self):
+        t = SparseTensor3d(
+            np.array([[1, 2, 3]]), np.array([[7.0, 8.0]]), (4, 4, 4)
+        )
+        dense = t.densify()
+        assert dense[0, 1, 2, 3] == 7.0
+        assert dense[1, 1, 2, 3] == 8.0
+        assert dense.sum() == 15.0
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTensor3d(np.zeros((2, 3)), np.zeros((3, 1)), (4, 4, 4))
+
+    def test_linear_index_unique(self):
+        t = make_tensor(active=20)
+        assert len(np.unique(t.linear_index())) == 20
+
+
+class TestSubmanifoldConv:
+    def test_output_sites_equal_input_sites(self):
+        conv = SubmanifoldConv3d(3, 5, seed=0)
+        t = make_tensor()
+        out = conv(t)
+        np.testing.assert_array_equal(out.coords, t.coords)
+        assert out.features.shape == (t.num_active, 5)
+
+    def test_matches_dense_convolution_at_active_sites(self):
+        conv = SubmanifoldConv3d(2, 3, seed=1)
+        t = make_tensor(seed=2, active=15, channels=2)
+        out = conv(t)
+        dense_out = dense_conv3d(
+            t.densify(), conv.weight.value, conv.bias.value
+        )
+        for row, c in enumerate(out.coords):
+            np.testing.assert_allclose(
+                out.features[row],
+                dense_out[:, c[0], c[1], c[2]],
+                atol=1e-9,
+            )
+
+    def test_identity_center_tap(self):
+        conv = SubmanifoldConv3d(3, 3, seed=0)
+        conv.weight.value[...] = 0.0
+        conv.weight.value[conv.weight.shape[0] // 2] = np.eye(3)
+        conv.bias.value[...] = 0.0
+        t = make_tensor(seed=3)
+        out = conv(t)
+        np.testing.assert_allclose(out.features, t.features, atol=1e-12)
+
+    def test_strided_downsampling(self):
+        conv = SubmanifoldConv3d(2, 2, stride=2, seed=4)
+        t = SparseTensor3d(
+            np.array([[0, 0, 0], [1, 1, 1], [4, 4, 2]]),
+            np.ones((3, 2)),
+            (6, 6, 4),
+        )
+        out = conv(t)
+        # (0,0,0) and (1,1,1) collapse into output site (0,0,0).
+        assert out.num_active == 2
+        assert out.grid_shape == (3, 3, 2)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            SubmanifoldConv3d(1, 1, kernel_size=2)
+
+    def test_gradient_check(self):
+        conv = SubmanifoldConv3d(2, 2, seed=5)
+        t = make_tensor(seed=6, active=8, channels=2)
+        out = conv(t)
+        grad_in = conv.backward(np.ones_like(out.features))
+
+        eps = 1e-6
+        numeric = np.zeros_like(t.features)
+        for i in range(t.features.shape[0]):
+            for j in range(t.features.shape[1]):
+                t.features[i, j] += eps
+                up = conv(t).features.sum()
+                t.features[i, j] -= 2 * eps
+                down = conv(t).features.sum()
+                t.features[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(grad_in.features, numeric, atol=1e-5)
+
+    def test_weight_gradient_check(self):
+        conv = SubmanifoldConv3d(1, 1, seed=7)
+        t = make_tensor(seed=8, active=6, channels=1)
+        conv.zero_grad()
+        out = conv(t)
+        conv.backward(np.ones_like(out.features))
+        analytic = conv.weight.grad.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(conv.weight.value)
+        flat = conv.weight.value.reshape(-1)
+        nflat = numeric.reshape(-1)
+        for i in range(flat.size):
+            flat[i] += eps
+            up = conv(t).features.sum()
+            flat[i] -= 2 * eps
+            down = conv(t).features.sum()
+            flat[i] += eps
+            nflat[i] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestSparseToDense:
+    def test_bev_layout(self):
+        t = SparseTensor3d(
+            np.array([[2, 3, 1]]), np.array([[5.0, 6.0]]), (4, 5, 3)
+        )
+        dense = SparseToDense()(t)
+        assert dense.shape == (1, 2 * 3, 4, 5)
+        # channel = c * nz + z
+        assert dense[0, 0 * 3 + 1, 2, 3] == 5.0
+        assert dense[0, 1 * 3 + 1, 2, 3] == 6.0
+
+    def test_backward_gathers(self):
+        t = SparseTensor3d(
+            np.array([[1, 1, 0], [2, 2, 1]]), np.ones((2, 2)), (4, 4, 2)
+        )
+        layer = SparseToDense()
+        dense = layer(t)
+        grad = layer.backward(np.ones_like(dense))
+        assert grad.features.shape == (2, 2)
+        np.testing.assert_allclose(grad.features, 1.0)

@@ -1,0 +1,104 @@
+"""Tests for the ray-casting primitives behind the LiDAR simulator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.boxes import Box3D
+from repro.geometry.primitives import (
+    Ray,
+    aabb_of_corners,
+    ray_aabb_intersection,
+    ray_box_intersection,
+    ray_ground_intersection,
+)
+
+
+def ray(ox, oy, oz, dx, dy, dz) -> Ray:
+    return Ray(np.array([ox, oy, oz]), np.array([dx, dy, dz]))
+
+
+class TestRay:
+    def test_direction_normalised(self):
+        r = ray(0, 0, 0, 3, 0, 0)
+        np.testing.assert_allclose(r.direction, [1, 0, 0])
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ray(0, 0, 0, 0, 0, 0)
+
+    def test_at(self):
+        np.testing.assert_allclose(ray(1, 0, 0, 0, 1, 0).at(2.0), [1, 2, 0])
+
+
+class TestAabb:
+    def test_bounds_of_corners(self):
+        corners = np.array([[0, 0, 0], [1, 2, 3], [-1, 1, 1]])
+        lo, hi = aabb_of_corners(corners)
+        np.testing.assert_allclose(lo, [-1, 0, 0])
+        np.testing.assert_allclose(hi, [1, 2, 3])
+
+    def test_direct_hit(self):
+        t = ray_aabb_intersection(
+            ray(-5, 0, 0, 1, 0, 0), np.array([-1, -1, -1]), np.array([1, 1, 1])
+        )
+        assert t == pytest.approx(4.0)
+
+    def test_miss(self):
+        t = ray_aabb_intersection(
+            ray(-5, 5, 0, 1, 0, 0), np.array([-1, -1, -1]), np.array([1, 1, 1])
+        )
+        assert t is None
+
+    def test_behind_origin(self):
+        t = ray_aabb_intersection(
+            ray(5, 0, 0, 1, 0, 0), np.array([-1, -1, -1]), np.array([1, 1, 1])
+        )
+        assert t is None
+
+    def test_parallel_inside_slab(self):
+        t = ray_aabb_intersection(
+            ray(-5, 0.5, 0, 1, 0, 0), np.array([-1, -1, -1]), np.array([1, 1, 1])
+        )
+        assert t == pytest.approx(4.0)
+
+    def test_origin_inside_returns_zero(self):
+        t = ray_aabb_intersection(
+            ray(0, 0, 0, 1, 0, 0), np.array([-1, -1, -1]), np.array([1, 1, 1])
+        )
+        assert t == pytest.approx(0.0)
+
+
+class TestRayBox:
+    def test_axis_aligned_matches_aabb(self):
+        box = Box3D(np.array([10.0, 0.0, 0.0]), 2.0, 2.0, 2.0, 0.0)
+        t = ray_box_intersection(ray(0, 0, 0, 1, 0, 0), box)
+        assert t == pytest.approx(9.0)
+
+    def test_rotated_box(self):
+        # A 4x2 box rotated 90 degrees presents its length along y.
+        box = Box3D(np.array([10.0, 0.0, 0.0]), 4.0, 2.0, 2.0, np.pi / 2)
+        t = ray_box_intersection(ray(0, 0, 0, 1, 0, 0), box)
+        assert t == pytest.approx(9.0)  # width/2 = 1 toward the sensor
+        # From the side, the length faces the ray.
+        t_side = ray_box_intersection(ray(10, -10, 0, 0, 1, 0), box)
+        assert t_side == pytest.approx(8.0)
+
+    def test_miss_over_the_top(self):
+        box = Box3D(np.array([10.0, 0.0, 0.0]), 2.0, 2.0, 2.0, 0.0)
+        assert ray_box_intersection(ray(0, 0, 5, 1, 0, 0), box) is None
+
+
+class TestGround:
+    def test_downward_ray_hits(self):
+        t = ray_ground_intersection(ray(0, 0, 2, 1, 0, -1))
+        assert t == pytest.approx(2 * np.sqrt(2))
+
+    def test_upward_ray_misses(self):
+        assert ray_ground_intersection(ray(0, 0, 2, 0, 0, 1)) is None
+
+    def test_horizontal_ray_misses(self):
+        assert ray_ground_intersection(ray(0, 0, 2, 1, 0, 0)) is None
+
+    def test_custom_ground_height(self):
+        t = ray_ground_intersection(ray(0, 0, 2, 0, 0, -1), ground_z=1.0)
+        assert t == pytest.approx(1.0)

@@ -1,0 +1,167 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.detection.detections import Detection
+from repro.detection.nms import rotated_nms
+from repro.geometry.boxes import Box3D, iou_bev, points_in_box
+from repro.geometry.transforms import Pose, RigidTransform
+from repro.pointcloud.cloud import PointCloud, merge_clouds
+from repro.pointcloud.voxel import VoxelGridSpec, voxelize
+
+finite_xy = st.floats(-50.0, 50.0, allow_nan=False)
+angle = st.floats(-3.1, 3.1, allow_nan=False)
+
+SPEC = VoxelGridSpec(
+    point_range=(-20.0, -20.0, -3.0, 20.0, 20.0, 1.0),
+    voxel_size=(0.5, 0.5, 0.5),
+)
+
+
+@st.composite
+def clouds(draw, max_points=40):
+    n = draw(st.integers(0, max_points))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    xyz = rng.uniform(-19, 19, size=(n, 3))
+    xyz[:, 2] = rng.uniform(-2.9, 0.9, size=n)
+    return PointCloud.from_xyz(xyz, rng.uniform(size=n))
+
+
+class TestVoxelizeProperties:
+    @given(clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_conserve_inliers(self, cloud):
+        grid = voxelize(cloud, SPEC)
+        lo = np.array(SPEC.point_range[:3])
+        hi = np.array(SPEC.point_range[3:])
+        inliers = np.all((cloud.xyz >= lo) & (cloud.xyz < hi), axis=1).sum()
+        capped = min(int(inliers), grid.num_voxels * SPEC.max_points_per_voxel)
+        assert grid.counts.sum() <= inliers
+        assert grid.counts.sum() <= capped or inliers == grid.counts.sum()
+
+    @given(clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_every_stored_point_in_its_voxel(self, cloud):
+        grid = voxelize(cloud, SPEC)
+        for v in range(grid.num_voxels):
+            center = SPEC.voxel_center(grid.coords[v : v + 1])[0]
+            half = np.array(SPEC.voxel_size) / 2
+            stored = grid.points[v, : grid.counts[v], :3]
+            assert np.all(np.abs(stored - center) <= half + 1e-4)
+
+    @given(clouds())
+    @settings(max_examples=30, deadline=None)
+    def test_coords_unique(self, cloud):
+        grid = voxelize(cloud, SPEC)
+        assert len(np.unique(grid.linear_index() if hasattr(grid, 'linear_index') else
+                             grid.coords[:, 0] * 10**6 + grid.coords[:, 1] * 10**3 + grid.coords[:, 2])) \
+            == grid.num_voxels
+
+
+class TestCloudTransformProperties:
+    @given(clouds(), angle, finite_xy, finite_xy)
+    @settings(max_examples=40, deadline=None)
+    def test_rigid_transform_preserves_pairwise_distance(self, cloud, yaw, tx, ty):
+        assume(len(cloud) >= 2)
+        transform = RigidTransform.from_euler(yaw=yaw, translation=[tx, ty, 0.0])
+        moved = cloud.transformed(transform)
+        original = np.linalg.norm(cloud.xyz[0] - cloud.xyz[1])
+        after = np.linalg.norm(moved.xyz[0] - moved.xyz[1])
+        assert after == pytest.approx(original, abs=1e-3)
+
+    @given(clouds(), clouds())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_order_is_permutation(self, a, b):
+        ab = merge_clouds([a, b])
+        ba = merge_clouds([b, a])
+        assert len(ab) == len(ba) == len(a) + len(b)
+        if len(ab):
+            assert sorted(map(tuple, ab.data.tolist())) == sorted(
+                map(tuple, ba.data.tolist())
+            )
+
+    @given(angle, angle, finite_xy, finite_xy, finite_xy, finite_xy)
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_composition_closes(self, yaw_a, yaw_b, ax, ay, bx, by):
+        """a->b then b->a is the identity on any point."""
+        pose_a = Pose(np.array([ax, ay, 1.7]), yaw=yaw_a)
+        pose_b = Pose(np.array([bx, by, 1.7]), yaw=yaw_b)
+        forward = pose_a.relative_to(pose_b)
+        backward = pose_b.relative_to(pose_a)
+        point = np.array([3.0, -2.0, 0.4])
+        roundtrip = backward.apply(forward.apply(point))
+        np.testing.assert_allclose(roundtrip, point, atol=1e-7)
+
+
+class TestBoxProperties:
+    @given(finite_xy, finite_xy, angle, angle)
+    @settings(max_examples=40, deadline=None)
+    def test_corners_inside_own_box(self, x, y, yaw, probe_yaw):
+        box = Box3D(np.array([x, y, 0.0]), 4.0, 2.0, 1.5, yaw)
+        from repro.geometry.boxes import box_corners_bev
+
+        corners = box_corners_bev(box)
+        pts = np.column_stack(
+            [corners, np.zeros(4), np.zeros(4)]
+        )
+        assert points_in_box(pts, box, margin=1e-6).all()
+
+    @given(finite_xy, finite_xy, angle)
+    @settings(max_examples=40, deadline=None)
+    def test_iou_with_self_translate(self, x, y, yaw):
+        box = Box3D(np.array([x, y, 0.0]), 4.0, 2.0, 1.5, yaw)
+        far = box.translated(np.array([100.0, 0.0, 0.0]))
+        assert iou_bev(box, far) == 0.0
+        assert iou_bev(box, box) == pytest.approx(1.0, abs=1e-6)
+
+    @given(angle, finite_xy, finite_xy)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_preserves_volume_and_containment(self, yaw, tx, ty):
+        box = Box3D(np.array([5.0, 1.0, 0.0]), 4.0, 2.0, 1.5, 0.3)
+        transform = RigidTransform.from_euler(yaw=yaw, translation=[tx, ty, 0.0])
+        moved = box.transformed(transform)
+        assert moved.volume == pytest.approx(box.volume)
+        center_moved = transform.apply(box.center)
+        assert points_in_box(
+            np.array([[*center_moved, 0.0]]), moved, margin=1e-6
+        )[0]
+
+
+class TestNmsProperties:
+    @st.composite
+    @staticmethod
+    def detection_lists(draw):
+        n = draw(st.integers(0, 10))
+        rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+        return [
+            Detection(
+                Box3D(
+                    np.array([rng.uniform(-20, 20), rng.uniform(-20, 20), 0.0]),
+                    4.2, 1.8, 1.6, rng.uniform(-3, 3),
+                ),
+                float(rng.uniform(0.05, 1.0)),
+            )
+            for _ in range(n)
+        ]
+
+    @given(detection_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_nms_idempotent(self, detections):
+        once = rotated_nms(detections, 0.3)
+        twice = rotated_nms(once, 0.3)
+        assert len(once) == len(twice)
+
+    @given(detection_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_nms_output_subset_with_descending_scores(self, detections):
+        kept = rotated_nms(detections, 0.3)
+        assert len(kept) <= len(detections)
+        scores = [d.score for d in kept]
+        assert scores == sorted(scores, reverse=True)
+        # No pair in the output overlaps above the threshold.
+        for i in range(len(kept)):
+            for j in range(i + 1, len(kept)):
+                assert iou_bev(kept[i].box, kept[j].box) <= 0.3 + 1e-9

@@ -1,0 +1,205 @@
+"""Tests for box refinement and confidence calibration."""
+
+import numpy as np
+import pytest
+
+from repro.detection.calibrate import (
+    BoxEvidence,
+    CalibratorWeights,
+    ConfidenceCalibrator,
+)
+from repro.detection.refine import BoxRefiner, RefinementSpec
+from repro.geometry.boxes import Box3D
+
+GROUND = -1.73
+
+
+def car_surface_points(
+    cx, cy, yaw=0.0, length=4.2, width=1.8, height=1.5, density=12.0, faces="all"
+):
+    """Sample points on a car's vertical faces (what a LiDAR returns)."""
+    rng = np.random.default_rng(int(abs(cx * 7 + cy * 13)) + 1)
+    points = []
+    face_specs = {
+        "front": (length / 2, None),
+        "rear": (-length / 2, None),
+        "left": (None, width / 2),
+        "right": (None, -width / 2),
+    }
+    wanted = face_specs if faces == "all" else {f: face_specs[f] for f in faces}
+    for u, v in wanted.values():
+        count = int(density * (width if u is not None else length))
+        for _ in range(count):
+            lu = u if u is not None else rng.uniform(-length / 2, length / 2)
+            lv = v if v is not None else rng.uniform(-width / 2, width / 2)
+            z = rng.uniform(GROUND + 0.3, GROUND + height)
+            c, s = np.cos(yaw), np.sin(yaw)
+            points.append([cx + lu * c - lv * s, cy + lu * s + lv * c, z])
+    return np.array(points)
+
+
+def wall_points(x0, y0, x1, y1, height=4.0, density=30.0):
+    """Points on a vertical wall segment from (x0, y0) to (x1, y1)."""
+    rng = np.random.default_rng(5)
+    length = float(np.hypot(x1 - x0, y1 - y0))
+    n = int(density * length)
+    t = rng.uniform(0, 1, n)
+    z = rng.uniform(GROUND + 0.3, GROUND + height, n)
+    return np.column_stack([x0 + t * (x1 - x0), y0 + t * (y1 - y0), z])
+
+
+def gt_box(cx, cy, yaw=0.0) -> Box3D:
+    return Box3D(np.array([cx, cy, GROUND + 0.8]), 4.2, 1.8, 1.6, yaw)
+
+
+class TestRefiner:
+    def test_fits_full_car(self):
+        points = car_surface_points(10.0, 2.0, yaw=0.4)
+        refiner = BoxRefiner(points, GROUND)
+        box, local = refiner.refine(np.array([10.0, 2.0]))
+        assert np.linalg.norm(box.center[:2] - [10.0, 2.0]) < 0.8
+        assert len(local) > 10
+
+    def test_l_shape_corrects_single_face_bias(self):
+        """Seeing only the rear face must not leave the centre on the face."""
+        points = car_surface_points(15.0, 0.0, faces=("rear",))
+        refiner = BoxRefiner(points, GROUND)
+        box, _ = refiner.refine(np.array([13.0, 0.0]))
+        # Rear face is at x = 12.9; the fitted centre must be pushed toward
+        # the true centre (15.0), away from the sensor at the origin.
+        assert box.center[0] > 13.5
+
+    def test_none_when_empty(self):
+        refiner = BoxRefiner(np.zeros((0, 3)), GROUND)
+        assert refiner.refine(np.array([0.0, 0.0])) is None
+
+    def test_none_when_too_sparse(self):
+        refiner = BoxRefiner(np.array([[5.0, 0.0, -1.0]]), GROUND)
+        assert refiner.refine(np.array([5.0, 0.0])) is None
+
+    def test_none_far_from_any_points(self):
+        points = car_surface_points(10.0, 0.0)
+        refiner = BoxRefiner(points, GROUND)
+        assert refiner.refine(np.array([30.0, 30.0])) is None
+
+    def test_tall_points_excluded_from_fit(self):
+        car = car_surface_points(10.0, 0.0)
+        overhang = np.array([[12.0, 0.0, GROUND + 5.0]] * 30)
+        refiner = BoxRefiner(np.vstack([car, overhang]), GROUND)
+        box, _ = refiner.refine(np.array([10.0, 0.0]))
+        assert abs(box.center[0] - 10.0) < 0.8
+
+    def test_cluster_scoping_ignores_neighbour(self):
+        """A dense neighbour cluster 4 m away must not drag the fit."""
+        car = car_surface_points(10.0, 0.0, faces=("rear",))
+        neighbour = car_surface_points(10.0, 4.0, density=60.0)
+        refiner = BoxRefiner(np.vstack([car, neighbour]), GROUND)
+        box, _ = refiner.refine(np.array([8.2, 0.0]))
+        assert abs(box.center[1]) < 1.2
+
+    def test_orientation_disambiguation(self):
+        """The fitted box should align with the car even when rotated."""
+        points = car_surface_points(10.0, 5.0, yaw=np.pi / 2)
+        refiner = BoxRefiner(points, GROUND)
+        box, _ = refiner.refine(np.array([10.0, 5.0]))
+        yaw_error = abs((box.yaw - np.pi / 2 + np.pi / 2) % np.pi - np.pi / 2)
+        assert yaw_error < np.deg2rad(25)
+
+
+class TestCalibratorWeights:
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            CalibratorWeights(coverage_bins=0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            CalibratorWeights(neighborhood_radius=0.0)
+
+
+class TestCalibrator:
+    def test_score_monotone_in_points(self):
+        box = gt_box(10.0, 0.0)
+        sparse = ConfidenceCalibrator(
+            car_surface_points(10.0, 0.0, density=2.0), GROUND
+        )
+        dense = ConfidenceCalibrator(
+            car_surface_points(10.0, 0.0, density=25.0), GROUND
+        )
+        assert dense.score(box) > sparse.score(box)
+
+    def test_empty_cloud_scores_low(self):
+        calibrator = ConfidenceCalibrator(np.zeros((0, 3)), GROUND)
+        assert calibrator.score(gt_box(5.0, 0.0)) < 0.1
+
+    def test_coverage_rewards_multiple_faces(self):
+        one_face = ConfidenceCalibrator(
+            car_surface_points(10.0, 0.0, faces=("rear",), density=20.0), GROUND
+        )
+        all_faces = ConfidenceCalibrator(
+            car_surface_points(10.0, 0.0, density=5.2), GROUND
+        )
+        box = gt_box(10.0, 0.0)
+        ev_one = one_face.evidence(box)
+        ev_all = all_faces.evidence(box)
+        # Roughly equal point budgets, but full coverage wins.
+        assert abs(ev_one.num_points - ev_all.num_points) < 40
+        assert ev_all.coverage > ev_one.coverage
+
+    def test_tall_structure_penalised(self):
+        box = gt_box(10.0, 0.0)
+        car_only = ConfidenceCalibrator(car_surface_points(10.0, 0.0), GROUND)
+        with_wall = ConfidenceCalibrator(
+            np.vstack(
+                [
+                    car_surface_points(10.0, 0.0),
+                    wall_points(8.0, 0.5, 12.0, 0.5, height=5.0),
+                ]
+            ),
+            GROUND,
+        )
+        assert with_wall.score(box) < car_only.score(box)
+
+    def test_long_thin_wall_penalised_by_overrun(self):
+        """A car-sized box on a long, car-height wall must score low."""
+        wall = wall_points(0.0, 5.0, 30.0, 5.0, height=1.8)
+        calibrator = ConfidenceCalibrator(wall, GROUND)
+        box = gt_box(15.0, 5.0)
+        ev = calibrator.evidence(box)
+        assert ev.length_overrun > 5.0
+        assert calibrator.score(box) < 0.5
+
+    def test_parked_row_not_penalised(self):
+        """Cars with >1 m gaps stay separate clusters: no overrun."""
+        row = np.vstack(
+            [car_surface_points(10.0, y, yaw=np.pi / 2) for y in (0.0, 3.2, 6.4)]
+        )
+        calibrator = ConfidenceCalibrator(row, GROUND)
+        ev = calibrator.evidence(gt_box(10.0, 3.2, yaw=np.pi / 2))
+        assert ev.length_overrun == pytest.approx(0.0)
+
+    def test_merged_deep_row_exempt_from_overrun(self):
+        """Even if a row fuses into one cluster, its depth exempts it."""
+        # Cars almost touching: one connected cluster, but 4.2 m deep.
+        row = np.vstack(
+            [
+                car_surface_points(10.0, y, yaw=np.pi / 2, density=25.0)
+                for y in (0.0, 2.0, 4.0)
+            ]
+        )
+        calibrator = ConfidenceCalibrator(row, GROUND)
+        ev = calibrator.evidence(gt_box(10.0, 2.0, yaw=np.pi / 2))
+        assert ev.length_overrun == pytest.approx(0.0)
+
+    def test_score_from_evidence_matches_score(self):
+        calibrator = ConfidenceCalibrator(car_surface_points(10.0, 0.0), GROUND)
+        box = gt_box(10.0, 0.0)
+        assert calibrator.score(box) == pytest.approx(
+            calibrator.score_from_evidence(calibrator.evidence(box))
+        )
+
+    def test_count_cap_saturates(self):
+        weights = CalibratorWeights(count_cap=100)
+        calibrator = ConfidenceCalibrator(np.zeros((0, 3)), GROUND, weights)
+        a = calibrator.score_from_evidence(BoxEvidence(100, 0.5, 0, 0.0))
+        b = calibrator.score_from_evidence(BoxEvidence(10_000, 0.5, 0, 0.0))
+        assert a == pytest.approx(b)

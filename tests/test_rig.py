@@ -1,0 +1,49 @@
+"""Tests for the combined sensor rig."""
+
+import numpy as np
+
+from repro.sensors.gps import GpsSkew
+from repro.sensors.lidar import LidarModel
+from repro.sensors.rig import SensorRig
+
+
+class TestSensorRig:
+    def test_observation_bundles_everything(
+        self, fast_lidar, simple_world, sensor_pose
+    ):
+        rig = SensorRig(lidar=fast_lidar, name="ego")
+        obs = rig.observe(simple_world, sensor_pose, seed=0)
+        assert len(obs.scan.cloud) > 0
+        assert obs.true_pose is sensor_pose
+        assert np.linalg.norm(obs.measured_pose.position - sensor_pose.position) < 0.3
+
+    def test_measured_pose_mixes_gps_position_and_imu_attitude(
+        self, fast_lidar, simple_world, sensor_pose
+    ):
+        rig = SensorRig(lidar=fast_lidar)
+        obs = rig.observe(simple_world, sensor_pose, seed=1)
+        # Attitude error is tiny (IMU), position error is GPS-scale.
+        assert abs(obs.measured_pose.yaw - sensor_pose.yaw) < np.deg2rad(0.5)
+
+    def test_gps_skew_propagates(self, fast_lidar, simple_world, sensor_pose):
+        rig = SensorRig(lidar=fast_lidar)
+        clean = rig.observe(simple_world, sensor_pose, seed=2)
+        skewed = rig.observe(
+            simple_world, sensor_pose, seed=2, gps_skew=GpsSkew.DOUBLE_MAX
+        )
+        shift = np.linalg.norm(
+            skewed.measured_pose.position - clean.measured_pose.position
+        )
+        assert shift > 0.2
+
+    def test_scan_matches_standalone_lidar(
+        self, fast_lidar, simple_world, sensor_pose
+    ):
+        rig = SensorRig(lidar=fast_lidar)
+        obs = rig.observe(simple_world, sensor_pose, seed=3)
+        direct = fast_lidar.scan(simple_world, sensor_pose, seed=3)
+        np.testing.assert_array_equal(obs.scan.cloud.data, direct.cloud.data)
+
+    def test_default_rig_constructible(self):
+        rig = SensorRig()
+        assert isinstance(rig.lidar, LidarModel)

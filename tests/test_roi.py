@@ -1,0 +1,101 @@
+"""Tests for ROI extraction and background subtraction (Section IV-G)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.boxes import Box3D
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.roi import (
+    crop_box,
+    crop_range,
+    crop_sector,
+    forward_corridor,
+    subtract_background,
+)
+
+
+def cloud_of(*points) -> PointCloud:
+    return PointCloud(np.array(points, dtype=np.float32))
+
+
+class TestCropRange:
+    def test_keeps_inside(self):
+        c = cloud_of([5, 0, 0, 0], [50, 0, 0, 0])
+        assert len(crop_range(c, max_range=10.0)) == 1
+
+    def test_min_range(self):
+        c = cloud_of([0.5, 0, 0, 0], [5, 0, 0, 0])
+        assert len(crop_range(c, max_range=10.0, min_range=1.0)) == 1
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            crop_range(cloud_of([1, 0, 0, 0]), max_range=1.0, min_range=2.0)
+
+
+class TestCropSector:
+    def test_120_degree_front(self):
+        c = cloud_of([10, 0, 0, 0], [0, 10, 0, 0], [-10, 0, 0, 0])
+        kept = crop_sector(c, fov_deg=120.0)
+        assert len(kept) == 1
+        assert kept.xyz[0, 0] == pytest.approx(10.0)
+
+    def test_sector_boundary_inclusive(self):
+        # 60 degrees off-centre is exactly on the 120-degree boundary.
+        c = cloud_of([np.cos(np.pi / 3), np.sin(np.pi / 3), 0, 0])
+        assert len(crop_sector(c, fov_deg=120.0)) == 1
+
+    def test_rotated_center(self):
+        c = cloud_of([0, 10, 0, 0])
+        assert len(crop_sector(c, fov_deg=90.0, center_azimuth_deg=90.0)) == 1
+        assert len(crop_sector(c, fov_deg=90.0, center_azimuth_deg=-90.0)) == 0
+
+    def test_with_max_range(self):
+        c = cloud_of([10, 0, 0, 0], [90, 0, 0, 0])
+        assert len(crop_sector(c, fov_deg=120.0, max_range=50.0)) == 1
+
+    def test_invalid_fov(self):
+        with pytest.raises(ValueError):
+            crop_sector(cloud_of([1, 0, 0, 0]), fov_deg=0.0)
+
+    def test_empty_cloud(self):
+        assert crop_sector(PointCloud.empty()).is_empty()
+
+
+class TestCropBoxAndCorridor:
+    def test_crop_box(self):
+        box = Box3D(np.array([5.0, 0.0, 0.0]), 2.0, 2.0, 2.0)
+        c = cloud_of([5, 0, 0, 0], [8, 0, 0, 0])
+        assert len(crop_box(c, box)) == 1
+
+    def test_forward_corridor_one_way_geometry(self):
+        c = cloud_of([10, 0, 0, 0], [10, 10, 0, 0], [-5, 0, 0, 0])
+        kept = forward_corridor(c, length=50.0, width=8.0)
+        assert len(kept) == 1
+        assert kept.xyz[0, 0] == pytest.approx(10.0)
+
+    def test_forward_corridor_invalid(self):
+        with pytest.raises(ValueError):
+            forward_corridor(PointCloud.empty(), length=-1.0)
+
+
+class TestBackgroundSubtraction:
+    def test_removes_building_points(self):
+        building = Box3D(np.array([10.0, 0.0, 4.0]), 10.0, 10.0, 8.0)
+        c = cloud_of([10, 0, 2, 0], [30, 0, 1, 0])
+        kept = subtract_background(c, [building])
+        assert len(kept) == 1
+        assert kept.xyz[0, 0] == pytest.approx(30.0)
+
+    def test_no_background_is_noop(self):
+        c = cloud_of([1, 0, 0, 0])
+        assert subtract_background(c, []) is c
+
+    def test_empty_cloud(self):
+        building = Box3D(np.array([0.0, 0.0, 0.0]), 1.0, 1.0, 1.0)
+        assert subtract_background(PointCloud.empty(), [building]).is_empty()
+
+    def test_margin_grows_removal(self):
+        building = Box3D(np.array([10.0, 0.0, 0.0]), 2.0, 2.0, 2.0)
+        edge = cloud_of([11.1, 0, 0, 0])
+        assert len(subtract_background(edge, [building], margin=0.0)) == 1
+        assert len(subtract_background(edge, [building], margin=0.3)) == 0

@@ -1,0 +1,59 @@
+"""Tests for the safety-scenario dataset through the standard harness."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.safety import SAFETY_SCENARIOS, safety_cases
+from repro.eval.experiments import run_case
+
+
+@pytest.fixture(scope="module")
+def safety_results(detector):
+    return {
+        result.scenario: result
+        for result in (run_case(case, detector) for case in safety_cases())
+    }
+
+
+class TestSafetyDataset:
+    def test_two_scenarios(self):
+        cases = safety_cases()
+        assert len(cases) == 2
+        assert {c.scenario for c in cases} == set(SAFETY_SCENARIOS)
+
+    def test_crosswalk_cooper_dominates(self, safety_results):
+        result = safety_results["crosswalk"]
+        singles = [v for k, v in result.counts.items() if k != "cooper"]
+        assert result.counts["cooper"] >= max(singles)
+        # All five targets (2 cars, 2 pedestrians, 1 cyclist) recovered.
+        assert result.counts["cooper"] == len(result.records)
+
+    def test_crosswalk_hidden_pedestrian_is_hard(self, safety_results):
+        result = safety_results["crosswalk"]
+        record = next(r for r in result.records if r.car_name == "ped-hidden")
+        assert not record.single_detected["approach"]
+        assert record.cooper_detected
+
+    def test_overtake_follower_is_blind(self, safety_results):
+        result = safety_results["highway_overtake"]
+        assert result.counts["follower"] == 0
+        assert result.counts["helper"] >= 2
+
+    def test_overtake_cooper_recovers_within_loose_gate(self, detector):
+        """The hidden oncoming car is detected cooperatively.
+
+        Its box centre can sit up to ~half a car length off: the follower
+        never sees it, so the L-shape slide direction is genuinely
+        ambiguous (ground beyond it is doubly occluded).  A 3 m gate —
+        under one car length — reflects that intrinsic partial-view limit.
+        """
+        case = safety_cases()[0]
+        result = run_case(case, detector, gate_distance=3.0)
+        record = next(r for r in result.records if r.car_name == "car-0")
+        assert not record.single_detected["follower"]
+        assert record.cooper_detected
+        assert (record.cooper_score or 0) >= 0.5
+
+    def test_delta_d_values(self):
+        for case in safety_cases():
+            assert case.delta_d > 30.0  # long-range cooperation scenarios

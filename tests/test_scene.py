@@ -1,0 +1,195 @@
+"""Tests for actors, worlds, layouts and trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import Pose
+from repro.scene.layouts import (
+    curve,
+    left_turn,
+    parking_lot,
+    stop_sign,
+    t_junction,
+    two_lane_road,
+)
+from repro.scene.objects import (
+    ActorKind,
+    make_building,
+    make_car,
+    make_tree,
+    make_truck,
+    sample_car_dimensions,
+)
+from repro.scene.trajectories import (
+    ArcTrajectory,
+    StationaryTrajectory,
+    StraightTrajectory,
+)
+from repro.scene.world import World
+
+
+class TestActors:
+    def test_car_rests_on_ground(self):
+        car = make_car(5.0, 2.0, height=1.6)
+        assert car.box.bottom_z == pytest.approx(0.0)
+
+    def test_kinds(self):
+        assert make_car(0, 0).kind.is_detection_target
+        assert not make_truck(0, 0).kind.is_detection_target
+        assert make_building(0, 0).kind.is_background
+        assert make_tree(0, 0).kind.is_background
+        assert not make_car(0, 0).kind.is_background
+
+    def test_auto_names_unique(self):
+        a, b = make_car(0, 0), make_car(1, 1)
+        assert a.name != b.name
+
+    def test_reflectance_validated(self):
+        with pytest.raises(ValueError):
+            make_car(0, 0, reflectance=2.0)
+
+    def test_moved_to(self):
+        car = make_car(0, 0, yaw=0.0)
+        moved = car.moved_to(np.array([5.0, 6.0]), yaw=1.0)
+        np.testing.assert_allclose(moved.box.center[:2], [5.0, 6.0])
+        assert moved.box.yaw == pytest.approx(1.0)
+
+    def test_sampled_dimensions_realistic(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            l, w, h = sample_car_dimensions(rng)
+            assert 3.0 <= l <= 5.5
+            assert 1.4 <= w <= 2.2
+            assert 1.3 <= h <= 1.8
+
+
+class TestWorld:
+    def test_unique_names_enforced(self):
+        with pytest.raises(ValueError):
+            World((make_car(0, 0, name="x"), make_car(1, 1, name="x")))
+
+    def test_targets_and_background(self):
+        world = World(
+            (make_car(0, 0, name="c"), make_truck(5, 5, name="t"),
+             make_building(9, 9, name="b"))
+        )
+        assert [a.name for a in world.targets()] == ["c"]
+        assert [a.name for a in world.background()] == ["b"]
+
+    def test_with_without_actor(self):
+        world = World((make_car(0, 0, name="c"),))
+        bigger = world.with_actor(make_car(5, 5, name="d"))
+        assert len(bigger.actors) == 2
+        smaller = bigger.without_actor("c")
+        assert [a.name for a in smaller.actors] == ["d"]
+        with pytest.raises(KeyError):
+            smaller.without_actor("nope")
+
+    def test_actor_lookup(self):
+        world = World((make_car(0, 0, name="c"),))
+        assert world.actor("c").name == "c"
+        with pytest.raises(KeyError):
+            world.actor("missing")
+
+    def test_nearest_target_distance(self):
+        world = World((make_car(3, 4, name="c"),))
+        assert world.nearest_target_distance(np.zeros(3)) == pytest.approx(5.0)
+        assert World(()).nearest_target_distance(np.zeros(3)) is None
+
+    def test_actors_of_kind(self):
+        world = World((make_car(0, 0), make_tree(1, 1), make_tree(2, 2)))
+        assert len(world.actors_of_kind(ActorKind.TREE)) == 2
+
+
+class TestLayouts:
+    @pytest.mark.parametrize(
+        "builder, observers",
+        [
+            (t_junction, ("t1", "t2")),
+            (stop_sign, ("t3", "t4")),
+            (left_turn, ("t5", "t6")),
+            (curve, ("t7", "t8")),
+        ],
+    )
+    def test_kitti_layouts_complete(self, builder, observers):
+        layout = builder()
+        assert len(layout.world.targets()) >= 6
+        for name in observers:
+            pose = layout.viewpoint(name)
+            assert pose.position[2] == pytest.approx(1.73)
+
+    def test_paper_delta_d(self):
+        """Viewpoint separations match the paper's Fig. 3 annotations."""
+        expected = {t_junction: 14.7, stop_sign: 13.3, left_turn: 0.0, curve: 48.1}
+        for builder, dd in expected.items():
+            layout = builder()
+            names = list(layout.viewpoints)
+            actual = np.linalg.norm(
+                layout.viewpoint(names[0]).position
+                - layout.viewpoint(names[1]).position
+            )
+            assert actual == pytest.approx(dd, abs=0.6)
+
+    def test_parking_lot_occupancy(self):
+        sparse = parking_lot(seed=1, occupancy=0.3)
+        dense = parking_lot(seed=1, occupancy=1.0)
+        assert len(dense.world.targets()) > len(sparse.world.targets())
+
+    def test_parking_lot_custom_viewpoints(self):
+        layout = parking_lot(viewpoint_offsets={"a": (1.0, 2.0, 0.5)})
+        assert layout.viewpoint("a").yaw == pytest.approx(0.5)
+
+    def test_two_lane_road_has_three_viewpoints(self):
+        layout = two_lane_road()
+        assert set(layout.viewpoints) == {"ego", "oncoming", "leader"}
+
+    def test_layouts_deterministic(self):
+        a = t_junction(seed=0)
+        b = t_junction(seed=0)
+        for actor_a, actor_b in zip(a.world.actors, b.world.actors):
+            np.testing.assert_allclose(actor_a.box.center, actor_b.box.center)
+
+
+class TestTrajectories:
+    def test_stationary(self):
+        pose = Pose(np.array([1.0, 2.0, 1.7]))
+        traj = StationaryTrajectory(pose)
+        assert traj.pose_at(10.0) is pose
+
+    def test_straight_moves_along_heading(self):
+        start = Pose(np.array([0.0, 0.0, 1.7]), yaw=np.pi / 2)
+        traj = StraightTrajectory(start, speed=4.0)
+        np.testing.assert_allclose(
+            traj.pose_at(2.0).position, [0.0, 8.0, 1.7], atol=1e-9
+        )
+
+    def test_straight_at_zero_time(self):
+        start = Pose(np.array([3.0, 0.0, 1.7]))
+        np.testing.assert_allclose(
+            StraightTrajectory(start).pose_at(0.0).position, start.position
+        )
+
+    def test_arc_quarter_circle(self):
+        start = Pose(np.array([0.0, 0.0, 1.7]), yaw=0.0)
+        # speed 1, turn rate pi/2 per unit time: radius 2/pi.
+        traj = ArcTrajectory(start, speed=1.0, turn_rate=np.pi / 2)
+        pose = traj.pose_at(1.0)
+        radius = 1.0 / (np.pi / 2)
+        np.testing.assert_allclose(pose.position[:2], [radius, radius], atol=1e-9)
+        assert pose.yaw == pytest.approx(np.pi / 2)
+
+    def test_arc_zero_turn_rate_is_straight(self):
+        start = Pose(np.array([0.0, 0.0, 1.7]))
+        arc = ArcTrajectory(start, speed=5.0, turn_rate=0.0)
+        straight = StraightTrajectory(start, speed=5.0)
+        np.testing.assert_allclose(
+            arc.pose_at(3.0).position, straight.pose_at(3.0).position
+        )
+
+    def test_arc_constant_speed(self):
+        start = Pose(np.array([0.0, 0.0, 1.7]))
+        traj = ArcTrajectory(start, speed=2.0, turn_rate=0.3)
+        dt = 1e-4
+        a = traj.pose_at(1.0).position
+        b = traj.pose_at(1.0 + dt).position
+        assert np.linalg.norm(b - a) / dt == pytest.approx(2.0, rel=1e-3)

@@ -1,0 +1,78 @@
+"""Tests for the shared-channel scheduler (multi-pair congestion)."""
+
+import pytest
+
+from repro.network.dsrc import DsrcChannel
+from repro.network.scheduler import Demand, SharedChannelScheduler
+
+
+def channel(mbps=6.0) -> DsrcChannel:
+    return DsrcChannel(bandwidth_mbps=mbps)
+
+
+class TestDemand:
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Demand("a", -1)
+
+
+class TestScheduler:
+    def test_under_capacity_all_delivered(self):
+        scheduler = SharedChannelScheduler(channel())
+        demands = [Demand("a", 1_000_000), Demand("b", 2_000_000)]
+        report = scheduler.schedule_second(demands)
+        assert len(report.delivered) == 2
+        assert not report.deferred
+        assert report.utilization == pytest.approx(0.5)
+
+    def test_over_capacity_defers(self):
+        scheduler = SharedChannelScheduler(channel())
+        demands = [Demand(f"v{i}", 2_000_000) for i in range(5)]  # 10 Mbit
+        report = scheduler.schedule_second(demands)
+        assert len(report.delivered) == 3
+        assert len(report.deferred) == 2
+        assert report.utilization == pytest.approx(1.0)
+
+    def test_priority_wins_under_saturation(self):
+        scheduler = SharedChannelScheduler(channel())
+        bulk = [Demand(f"bulk{i}", 3_000_000, priority=0) for i in range(3)]
+        safety = Demand("safety", 100_000, priority=10)
+        report = scheduler.schedule_second(bulk + [safety])
+        assert safety in report.delivered
+
+    def test_small_first_within_priority(self):
+        scheduler = SharedChannelScheduler(channel())
+        big = Demand("big", 5_000_000)
+        small = Demand("small", 1_500_000)
+        report = scheduler.schedule_second([big, small])
+        assert small in report.delivered  # small fits alongside
+
+    def test_backlog_carries_over(self):
+        scheduler = SharedChannelScheduler(channel())
+        overload = [Demand(f"v{i}", 2_500_000) for i in range(4)]  # 10 Mbit
+        first = scheduler.schedule_second(overload)
+        assert first.deferred
+        second = scheduler.schedule_second([])
+        assert len(second.delivered) == len(first.deferred)
+        assert not scheduler.backlog
+
+    def test_run_trace(self):
+        scheduler = SharedChannelScheduler(channel())
+        trace = scheduler.run([[Demand("a", 1_000_000)], [], [Demand("b", 500)]])
+        assert len(trace) == 3
+        assert trace[0].delivered_bits == 1_000_000
+
+    def test_saturation_point(self):
+        # 1.8 Mbit/frame (the paper's worst case), both directions, 1 Hz.
+        pairs = SharedChannelScheduler.saturation_point(
+            channel(6.0), bits_per_pair=1_800_000, bidirectional=True
+        )
+        assert pairs == 1  # full-frame exchange: one pair per 6 Mbps channel
+        pairs_roi = SharedChannelScheduler.saturation_point(
+            channel(6.0), bits_per_pair=200_000, bidirectional=True
+        )
+        assert pairs_roi == 15  # ROI trimming buys an order of magnitude
+
+    def test_saturation_point_invalid(self):
+        with pytest.raises(ValueError):
+            SharedChannelScheduler.saturation_point(channel(), 0.0)

@@ -1,0 +1,104 @@
+"""Tests for the spherical (range-image) projection of [27]."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.spherical import spherical_project
+
+
+def cloud_of(*points) -> PointCloud:
+    return PointCloud(np.array(points, dtype=np.float32))
+
+
+class TestProjection:
+    def test_shape(self):
+        projection = spherical_project(cloud_of([10, 0, 0, 0.5]), height=32, width=256)
+        assert projection.shape == (32, 256)
+
+    def test_forward_point_lands_mid_image(self):
+        projection = spherical_project(
+            cloud_of([10.0, 0.0, -2.0, 0.5]), height=64, width=512
+        )
+        rows, cols = np.nonzero(projection.mask)
+        assert len(rows) == 1
+        # Azimuth 0 maps to the image centre column.
+        assert abs(cols[0] - 256) <= 1
+
+    def test_range_recorded(self):
+        projection = spherical_project(cloud_of([3.0, 4.0, 0.0, 0.5]))
+        assert projection.ranges[projection.mask][0] == pytest.approx(5.0, rel=1e-5)
+
+    def test_nearest_point_wins(self):
+        projection = spherical_project(
+            cloud_of([10.0, 0.0, 0.0, 0.1], [20.0, 0.0, 0.0, 0.9])
+        )
+        values = projection.ranges[projection.mask]
+        assert values.min() == pytest.approx(10.0, rel=1e-4)
+        # The cell shared by both rays keeps the closer return.
+        rows, cols = np.nonzero(projection.mask)
+        if len(rows) == 1:
+            assert projection.reflectance[rows[0], cols[0]] == pytest.approx(
+                0.1, abs=0.02
+            )
+
+    def test_point_above_fov_dropped(self):
+        projection = spherical_project(
+            cloud_of([1.0, 0.0, 10.0, 0.5]), fov_up_deg=3.0, fov_down_deg=-25.0
+        )
+        assert projection.fill_ratio() == 0.0
+
+    def test_empty_cloud(self):
+        projection = spherical_project(PointCloud.empty())
+        assert projection.fill_ratio() == 0.0
+        assert projection.to_cloud().is_empty()
+
+    def test_invalid_fov(self):
+        with pytest.raises(ValueError):
+            spherical_project(cloud_of([1, 0, 0, 0]), fov_up_deg=-30, fov_down_deg=0)
+
+
+class TestRoundTrip:
+    def test_reprojection_close_to_original(self):
+        rng = np.random.default_rng(1)
+        n = 200
+        azimuth = rng.uniform(-np.pi, np.pi, n)
+        pitch = rng.uniform(np.deg2rad(-24), np.deg2rad(2), n)
+        r = rng.uniform(5, 50, n)
+        xyz = np.column_stack(
+            [
+                r * np.cos(pitch) * np.cos(azimuth),
+                r * np.cos(pitch) * np.sin(azimuth),
+                r * np.sin(pitch),
+            ]
+        )
+        original = PointCloud.from_xyz(xyz, rng.uniform(size=n))
+        projection = spherical_project(original, height=128, width=2048)
+        back = projection.to_cloud()
+        # Every reprojected point must be near some original point.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(original.xyz)
+        distances, _ = tree.query(back.xyz)
+        assert np.percentile(distances, 95) < 0.5
+
+    def test_fill_ratio_scales_with_beam_count(self):
+        """A 16-beam-like cloud fills fewer rows than a 64-beam one."""
+        rng = np.random.default_rng(2)
+
+        def beams(count):
+            pitches = np.deg2rad(np.linspace(-24, 2, count))
+            azimuths = rng.uniform(-np.pi, np.pi, 2000)
+            pitch = rng.choice(pitches, 2000)
+            xyz = 20 * np.column_stack(
+                [
+                    np.cos(pitch) * np.cos(azimuths),
+                    np.cos(pitch) * np.sin(azimuths),
+                    np.sin(pitch),
+                ]
+            )
+            return PointCloud.from_xyz(xyz)
+
+        sparse = spherical_project(beams(16), height=64, width=512)
+        dense = spherical_project(beams(64), height=64, width=512)
+        assert dense.fill_ratio() > sparse.fill_ratio()

@@ -1,0 +1,135 @@
+"""Tests for temporal self-fusion and the distance-band analysis."""
+
+import numpy as np
+import pytest
+
+from repro.eval.bands import BANDS, band_analysis, render_band_table
+from repro.eval.experiments import run_case
+from repro.fusion.temporal import merge_timeline
+from repro.scene.layouts import t_junction
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+
+FAST_64 = BeamPattern("fast-64", tuple(np.linspace(-24.8, 2.0, 64)), 0.8)
+
+
+class TestMergeTimeline:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        """Three observations of a moving vehicle on the t-junction road."""
+        layout = t_junction()
+        rig = SensorRig(lidar=LidarModel(pattern=FAST_64), name="ego")
+        poses = [
+            layout.viewpoint("t1"),
+            layout.viewpoint("t1").translated(np.array([7.0, 0.3, 0.0])),
+            layout.viewpoint("t2"),
+        ]
+        observations = [
+            rig.observe(layout.world, pose, seed=i) for i, pose in enumerate(poses)
+        ]
+        return layout, observations
+
+    def test_empty_timeline(self):
+        assert merge_timeline([]).is_empty()
+
+    def test_single_observation_is_identity(self, timeline):
+        _layout, observations = timeline
+        merged = merge_timeline(observations[:1])
+        np.testing.assert_array_equal(
+            merged.data, observations[0].scan.cloud.data
+        )
+
+    def test_merged_point_count_is_sum(self, timeline):
+        _layout, observations = timeline
+        merged = merge_timeline(observations)
+        assert len(merged) == sum(len(o.scan.cloud) for o in observations)
+
+    def test_static_structure_aligns(self, timeline):
+        """The same car's points from different times land together."""
+        layout, observations = timeline
+        merged = merge_timeline(observations)
+        reference = observations[-1]
+        car = layout.world.actor("car-0")
+        local_box = car.box.transformed(reference.true_pose.from_world())
+        from repro.geometry.boxes import points_in_box
+
+        inside = int(points_in_box(merged.data, local_box, margin=0.4).sum())
+        per_view = [
+            int(
+                points_in_box(
+                    o.scan.cloud.data,
+                    car.box.transformed(o.true_pose.from_world()),
+                    margin=0.4,
+                ).sum()
+            )
+            for o in observations
+        ]
+        # The merged box contains (nearly) every view's points: alignment
+        # put all three epochs onto the same physical car.
+        assert inside >= 0.9 * sum(per_view)
+        assert inside > max(per_view)
+
+    def test_temporal_fusion_improves_detection(self, timeline, detector):
+        """Fig. 2's effect: merging t1/t2 finds more than either alone."""
+        _layout, observations = timeline
+        merged = merge_timeline(observations)
+        single_counts = [
+            len(detector.detect(o.scan.cloud)) for o in observations
+        ]
+        merged_count = len(detector.detect(merged))
+        assert merged_count >= max(single_counts)
+
+    def test_reference_index(self, timeline):
+        _layout, observations = timeline
+        merged_first = merge_timeline(observations, reference_index=0)
+        merged_last = merge_timeline(observations, reference_index=-1)
+        # Different reference frames: same size, different coordinates.
+        assert len(merged_first) == len(merged_last)
+        assert not np.allclose(
+            merged_first.xyz.mean(axis=0), merged_last.xyz.mean(axis=0)
+        )
+
+
+class TestBandAnalysis:
+    @pytest.fixture(scope="class")
+    def band_stats(self, detector):
+        from repro.datasets.base import make_case
+        from repro.scene.layouts import parking_lot
+
+        layout = parking_lot(seed=11, rows=3, cols=6, occupancy=0.8)
+        pattern = BeamPattern("b16", tuple(np.linspace(-15, 15, 16)), 0.8)
+        case = make_case(
+            "band/one",
+            "parking",
+            layout.world,
+            {"car1": layout.viewpoint("car1"), "car2": layout.viewpoint("car2")},
+            "car1",
+            pattern,
+            seed=0,
+        )
+        result = run_case(case, detector)
+        return band_analysis([result])
+
+    def test_all_bands_present(self, band_stats):
+        assert set(band_stats) == set(BANDS)
+
+    def test_totals_positive(self, band_stats):
+        assert sum(s.single_total for s in band_stats.values()) > 0
+
+    def test_rates_bounded(self, band_stats):
+        for stats in band_stats.values():
+            assert 0.0 <= stats.single_rate <= 1.0
+            assert 0.0 <= stats.cooper_rate <= 1.0
+
+    def test_near_band_easier_than_far(self, band_stats):
+        near, far = band_stats["near"], band_stats["far"]
+        if near.single_total and far.single_total:
+            assert near.single_rate >= far.single_rate
+
+    def test_render_table(self, band_stats):
+        table = render_band_table(band_stats)
+        assert "near" in table and "far" in table and "%" in table
+
+    def test_empty_results(self):
+        stats = band_analysis([])
+        assert all(s.single_total == 0 for s in stats.values())

@@ -1,0 +1,80 @@
+"""End-to-end training of SPOD's learned heads on toy scenes.
+
+The production path uses analytic weights, but every module exposes a
+backward pass; this test trains the RPN classification head (through the
+conv trunk) with a focal loss on synthetic BEV maps and verifies the
+objectness learns to fire on occupied cells — the SECOND-style training
+loop at miniature scale.
+"""
+
+import numpy as np
+
+from repro.detection.nn.losses import sigmoid_focal_loss, smooth_l1_loss
+from repro.detection.nn.optim import Adam
+from repro.detection.rpn import RegionProposalNetwork
+
+
+def toy_batch(rng, size=12, nz=3, channels=2):
+    """A BEV map with one synthetic 'object' blob and its label mask."""
+    bev = np.zeros((1, channels * nz, size, size))
+    labels = np.zeros((1, size, size))
+    cx, cy = rng.integers(2, size - 2, size=2)
+    bev[0, :nz, cx - 1 : cx + 2, cy - 1 : cy + 2] = rng.uniform(0.5, 1.0)
+    labels[0, cx, cy] = 1.0
+    return bev, labels
+
+
+class TestRpnTraining:
+    def test_focal_training_learns_objectness(self):
+        rng = np.random.default_rng(0)
+        nz, channels = 3, 2
+        rpn = RegionProposalNetwork(
+            in_channels=channels * nz, hidden_channels=6, num_yaws=1, seed=1
+        )
+        optimiser = Adam(rpn.parameters(), lr=5e-3)
+
+        losses = []
+        for step in range(150):
+            bev, labels = toy_batch(rng)
+            cls_logits, _reg = rpn(bev)
+            loss, grad = sigmoid_focal_loss(cls_logits[0, 0], labels[0])
+            losses.append(loss)
+            optimiser.zero_grad()
+            rpn.backward(grad[None, None, :, :])
+            optimiser.step()
+
+        assert np.mean(losses[-20:]) < np.mean(losses[:20]) * 0.8
+
+        # The trained head must rank the object cell above background.
+        bev, labels = toy_batch(np.random.default_rng(99))
+        cls_logits, _ = rpn(bev)
+        obj = cls_logits[0, 0][labels[0] > 0.5].mean()
+        bg = cls_logits[0, 0][labels[0] < 0.5].mean()
+        assert obj > bg
+
+    def test_regression_head_trains_with_smooth_l1(self):
+        rng = np.random.default_rng(3)
+        nz, channels = 3, 2
+        rpn = RegionProposalNetwork(
+            in_channels=channels * nz, hidden_channels=6, num_yaws=1, seed=4
+        )
+        optimiser = Adam(rpn.parameters(), lr=5e-3)
+        target = rng.normal(size=7) * 0.1
+
+        losses = []
+        for _ in range(120):
+            bev, labels = toy_batch(rng)
+            cls_logits, reg = rpn(bev)
+            mask = labels[0] > 0.5
+            # Advanced indexing puts the mask axis first: (cells, channels).
+            predictions = reg[0, :, mask][0]
+            loss, grad_pred = smooth_l1_loss(predictions, target)
+            losses.append(loss)
+            grad_reg = np.zeros_like(reg)
+            grad_reg[0, :, mask] = grad_pred[None, :]
+            zero_cls = np.zeros_like(cls_logits)
+            optimiser.zero_grad()
+            rpn.backward(zero_cls, grad_reg)
+            optimiser.step()
+
+        assert np.mean(losses[-20:]) < np.mean(losses[:20]) * 0.5

@@ -1,0 +1,133 @@
+"""Tests for rigid transforms and poses (paper Eq. 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rotations import euler_to_matrix
+from repro.geometry.transforms import Pose, RigidTransform
+
+finite = st.floats(-100.0, 100.0, allow_nan=False)
+angle = st.floats(-3.0, 3.0, allow_nan=False)
+
+
+def random_transform(yaw, pitch, roll, tx, ty, tz):
+    return RigidTransform(
+        euler_to_matrix(yaw, pitch, roll), np.array([tx, ty, tz])
+    )
+
+
+class TestRigidTransform:
+    def test_identity_leaves_points(self):
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        np.testing.assert_allclose(
+            RigidTransform.identity().apply(points), points
+        )
+
+    def test_rejects_non_rotation(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.diag([1.0, 1.0, -1.0]), np.zeros(3))
+
+    def test_apply_single_point(self):
+        t = RigidTransform.from_euler(yaw=np.pi / 2, translation=[1.0, 0.0, 0.0])
+        np.testing.assert_allclose(
+            t.apply(np.array([1.0, 0.0, 0.0])), [1.0, 1.0, 0.0], atol=1e-12
+        )
+
+    def test_apply_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RigidTransform.identity().apply(np.zeros((3, 4)))
+
+    def test_apply_vector_has_no_translation(self):
+        t = RigidTransform.from_euler(translation=[5.0, 5.0, 5.0])
+        np.testing.assert_allclose(
+            t.apply_vector(np.array([1.0, 0.0, 0.0])), [1.0, 0.0, 0.0]
+        )
+
+    @given(angle, st.floats(-1.4, 1.4), angle, finite, finite, finite)
+    @settings(max_examples=60)
+    def test_inverse_roundtrip(self, yaw, pitch, roll, tx, ty, tz):
+        t = random_transform(yaw, pitch, roll, tx, ty, tz)
+        points = np.array([[1.0, 2.0, 3.0], [-4.0, 0.5, 9.0]])
+        roundtrip = t.inverse().apply(t.apply(points))
+        np.testing.assert_allclose(roundtrip, points, atol=1e-6)
+
+    @given(angle, angle, finite, finite)
+    @settings(max_examples=40)
+    def test_compose_matches_sequential_apply(self, yaw1, yaw2, tx1, tx2):
+        t1 = RigidTransform.from_euler(yaw=yaw1, translation=[tx1, 0, 0])
+        t2 = RigidTransform.from_euler(yaw=yaw2, translation=[tx2, 1, 0])
+        point = np.array([0.3, -0.7, 2.0])
+        np.testing.assert_allclose(
+            (t1 @ t2).apply(point), t1.apply(t2.apply(point)), atol=1e-9
+        )
+
+    def test_matrix_roundtrip(self):
+        t = random_transform(0.4, -0.1, 0.9, 1.0, -2.0, 3.0)
+        recovered = RigidTransform.from_matrix(t.as_matrix())
+        assert recovered.almost_equal(t, atol=1e-12)
+
+    def test_from_matrix_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RigidTransform.from_matrix(np.eye(3))
+
+    def test_compose_operator_and_method_agree(self):
+        t1 = RigidTransform.from_euler(yaw=0.3)
+        t2 = RigidTransform.from_euler(translation=[1, 2, 3])
+        assert (t1 @ t2).almost_equal(t1.compose(t2))
+
+
+class TestPose:
+    def test_round_trip_through_transform(self):
+        pose = Pose(np.array([1.0, 2.0, 0.5]), yaw=0.3, pitch=-0.1, roll=0.2)
+        recovered = Pose.from_transform(pose.to_world())
+        assert recovered.yaw == pytest.approx(pose.yaw, abs=1e-9)
+        assert recovered.pitch == pytest.approx(pose.pitch, abs=1e-9)
+        assert recovered.roll == pytest.approx(pose.roll, abs=1e-9)
+        np.testing.assert_allclose(recovered.position, pose.position)
+
+    def test_to_world_from_world_are_inverses(self):
+        pose = Pose(np.array([5.0, -3.0, 1.7]), yaw=1.0)
+        point = np.array([2.0, 2.0, 0.0])
+        np.testing.assert_allclose(
+            pose.from_world().apply(pose.to_world().apply(point)), point, atol=1e-9
+        )
+
+    def test_relative_to_identity_for_same_pose(self):
+        pose = Pose(np.array([3.0, 4.0, 1.7]), yaw=0.5)
+        rel = pose.relative_to(pose)
+        assert rel.almost_equal(RigidTransform.identity(), atol=1e-9)
+
+    def test_relative_to_maps_between_frames(self):
+        """A point seen by the transmitter maps to the receiver frame (Eq. 3)."""
+        transmitter = Pose(np.array([10.0, 0.0, 1.7]), yaw=np.pi / 2)
+        receiver = Pose(np.array([0.0, 0.0, 1.7]), yaw=0.0)
+        # A point 1 m ahead of the transmitter (its +x) is at world (10, 1).
+        mapped = transmitter.relative_to(receiver).apply(np.array([1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(mapped, [10.0, 1.0, 0.0], atol=1e-9)
+
+    def test_yaw_normalized(self):
+        pose = Pose(np.zeros(3), yaw=3 * np.pi)
+        assert pose.yaw == pytest.approx(np.pi)
+
+    def test_translated(self):
+        pose = Pose(np.zeros(3), yaw=0.7)
+        moved = pose.translated(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(moved.position, [1.0, 2.0, 3.0])
+        assert moved.yaw == pose.yaw
+
+    def test_distance_to(self):
+        a = Pose(np.array([0.0, 0.0, 0.0]))
+        b = Pose(np.array([3.0, 4.0, 0.0]))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    @given(angle, finite, finite)
+    @settings(max_examples=40)
+    def test_relative_to_consistency(self, yaw, x, y):
+        """relative_to(a->b) composed with (b->a) is the identity."""
+        a = Pose(np.array([x, y, 1.7]), yaw=yaw)
+        b = Pose(np.array([y, -x, 1.7]), yaw=-yaw / 2)
+        ab = a.relative_to(b)
+        ba = b.relative_to(a)
+        assert (ab @ ba).almost_equal(RigidTransform.identity(), atol=1e-7)

@@ -1,0 +1,115 @@
+"""Tests for the voxel feature encoder and sparse middle extractor."""
+
+import numpy as np
+import pytest
+
+from repro.detection.middle import SparseMiddleExtractor
+from repro.detection.vfe import AUGMENTED_FEATURES, VoxelFeatureEncoder
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.voxel import VoxelGridSpec, voxelize
+
+SPEC = VoxelGridSpec(
+    point_range=(0.0, -4.0, -3.0, 8.0, 4.0, 1.0),
+    voxel_size=(1.0, 1.0, 0.8),
+    max_points_per_voxel=8,
+)
+
+
+def grid_of(*points):
+    data = np.array(points, dtype=np.float32).reshape(-1, 4)
+    return voxelize(PointCloud(data), SPEC)
+
+
+class TestVfeAugment:
+    def test_feature_width(self):
+        vfe = VoxelFeatureEncoder(8)
+        features, mask = vfe.augment(grid_of([0.5, 0.5, -2.5, 0.3]))
+        assert features.shape[-1] == AUGMENTED_FEATURES
+        assert mask.sum() == 1
+
+    def test_offsets_centered(self):
+        vfe = VoxelFeatureEncoder(8)
+        grid = grid_of([0.2, 0.5, -2.5, 0.0], [0.8, 0.5, -2.5, 0.0])
+        features, mask = vfe.augment(grid)
+        # dx offsets of the two points are symmetric around the centroid.
+        dx = features[0, :2, 0]
+        assert dx[0] == pytest.approx(-dx[1], abs=1e-6)
+
+    def test_padded_rows_zeroed(self):
+        vfe = VoxelFeatureEncoder(8)
+        features, mask = vfe.augment(grid_of([0.5, 0.5, -2.5, 0.9]))
+        np.testing.assert_allclose(features[0, 1:], 0.0)
+
+
+class TestVfeAnalytic:
+    def test_channel_semantics(self):
+        vfe = VoxelFeatureEncoder(8, z_range=(-3.0, 1.0))
+        vfe.analytic_init()
+        # Both points fall in the same voxel (z bin [-1.4, -0.6)).
+        grid = grid_of([0.5, 0.5, -1.0, 0.6], [0.5, 0.5, -1.2, 0.2])
+        out = vfe(grid)
+        features = out.features[0]
+        assert features[0] == pytest.approx(1.0)  # occupancy
+        assert features[1] == pytest.approx(((-1.0) + 3.0) / 4.0, abs=1e-6)  # max z
+        assert features[2] == pytest.approx(0.6, abs=1e-6)  # max reflectance
+        assert features[3] == pytest.approx(2 / 8, abs=1e-6)  # count / T
+
+    def test_requires_four_channels(self):
+        vfe = VoxelFeatureEncoder(2)
+        with pytest.raises(ValueError):
+            vfe.analytic_init()
+
+    def test_empty_grid(self):
+        vfe = VoxelFeatureEncoder(8)
+        vfe.analytic_init()
+        out = vfe(grid_of())
+        assert out.num_active == 0
+
+
+class TestVfeBackward:
+    def test_gradient_shape(self):
+        vfe = VoxelFeatureEncoder(6, seed=1)
+        grid = grid_of(
+            [0.5, 0.5, -2.5, 0.3], [1.5, 0.5, -2.5, 0.4], [1.6, 0.5, -2.5, 0.1]
+        )
+        out = vfe(grid)
+        grad = vfe.backward(np.ones_like(out.features))
+        assert grad.shape == (grid.num_voxels, SPEC.max_points_per_voxel, AUGMENTED_FEATURES)
+
+    def test_gradient_flows_only_through_argmax(self):
+        vfe = VoxelFeatureEncoder(4, seed=2)
+        grid = grid_of([0.5, 0.5, -2.5, 0.3], [0.6, 0.5, -2.4, 0.9])
+        out = vfe(grid)
+        vfe.zero_grad()
+        vfe.backward(np.ones_like(out.features))
+        assert any(np.abs(p.grad).sum() > 0 for p in vfe.parameters())
+
+
+class TestMiddle:
+    def test_analytic_identity(self):
+        vfe = VoxelFeatureEncoder(8)
+        vfe.analytic_init()
+        middle = SparseMiddleExtractor(8, 8, 8)
+        middle.analytic_init()
+        grid = grid_of([0.5, 0.5, -2.5, 0.5])
+        sparse = vfe(grid)
+        bev = middle(sparse)
+        nz = SPEC.grid_shape[2]
+        assert bev.shape == (1, 8 * nz, SPEC.grid_shape[0], SPEC.grid_shape[1])
+        # Occupancy channel of the voxel's z bin carries the 1.0 through.
+        ix, iy, iz = grid.coords[0]
+        assert bev[0, 0 * nz + iz, ix, iy] == pytest.approx(1.0)
+
+    def test_backward_returns_sparse(self):
+        middle = SparseMiddleExtractor(4, 4, 4, seed=3)
+        vfe = VoxelFeatureEncoder(4, seed=4)
+        grid = grid_of([0.5, 0.5, -2.5, 0.5], [3.5, 2.5, -1.0, 0.1])
+        sparse = vfe(grid)
+        bev = middle(sparse)
+        grad = middle.backward(np.ones_like(bev))
+        assert grad.features.shape == sparse.features.shape
+
+    def test_analytic_requires_square_channels(self):
+        middle = SparseMiddleExtractor(4, 6, 6)
+        with pytest.raises(ValueError):
+            middle.analytic_init()

@@ -1,0 +1,107 @@
+"""Tests for VoxelNet-style voxelisation."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.voxel import VoxelGrid, VoxelGridSpec, voxelize
+
+SPEC = VoxelGridSpec(
+    point_range=(0.0, -4.0, -1.0, 8.0, 4.0, 1.0),
+    voxel_size=(1.0, 1.0, 1.0),
+    max_points_per_voxel=5,
+)
+
+
+def cloud_of(*points) -> PointCloud:
+    return PointCloud(np.array(points, dtype=np.float32))
+
+
+class TestSpec:
+    def test_grid_shape(self):
+        assert SPEC.grid_shape == (8, 8, 2)
+
+    def test_default_is_kitti_like(self):
+        spec = VoxelGridSpec()
+        assert spec.grid_shape[2] >= 1
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            VoxelGridSpec(point_range=(1, 0, 0, 0, 1, 1))
+
+    def test_rejects_bad_voxel_size(self):
+        with pytest.raises(ValueError):
+            VoxelGridSpec(voxel_size=(0.0, 1.0, 1.0))
+
+    def test_rejects_bad_max_points(self):
+        with pytest.raises(ValueError):
+            VoxelGridSpec(max_points_per_voxel=0)
+
+    def test_voxel_center(self):
+        center = SPEC.voxel_center(np.array([[0, 0, 0]]))[0]
+        np.testing.assert_allclose(center, [0.5, -3.5, -0.5])
+
+
+class TestVoxelize:
+    def test_single_point(self):
+        grid = voxelize(cloud_of([0.5, -3.5, -0.5, 0.9]), SPEC)
+        assert grid.num_voxels == 1
+        np.testing.assert_array_equal(grid.coords[0], [0, 0, 0])
+        assert grid.counts[0] == 1
+        assert grid.points[0, 0, 3] == pytest.approx(0.9, abs=1e-6)
+
+    def test_out_of_range_dropped(self):
+        grid = voxelize(cloud_of([100.0, 0.0, 0.0, 0.0]), SPEC)
+        assert grid.num_voxels == 0
+
+    def test_grouping(self):
+        grid = voxelize(
+            cloud_of([0.1, -3.9, -0.9, 0], [0.2, -3.8, -0.8, 0], [7.9, 3.9, 0.9, 0]),
+            SPEC,
+        )
+        assert grid.num_voxels == 2
+        assert sorted(grid.counts.tolist()) == [1, 2]
+
+    def test_max_points_truncation(self):
+        points = [[0.5, -3.5, -0.5, float(i) / 10] for i in range(10)]
+        grid = voxelize(cloud_of(*points), SPEC)
+        assert grid.counts[0] == 5
+        # Padding rows beyond the count are zero.
+        np.testing.assert_allclose(grid.points[0, 5:], 0.0)
+
+    def test_empty_cloud(self):
+        grid = voxelize(PointCloud.empty(), SPEC)
+        assert grid.num_voxels == 0
+        assert grid.coords.shape == (0, 3)
+
+    def test_voxel_at_lookup(self):
+        grid = voxelize(cloud_of([0.5, -3.5, -0.5, 0]), SPEC)
+        assert grid.voxel_at((0, 0, 0)) == 0
+        assert grid.voxel_at((5, 5, 1)) is None
+
+    def test_occupancy_bev(self):
+        grid = voxelize(
+            cloud_of([0.5, -3.5, -0.5, 0], [0.5, -3.5, 0.5, 0], [4.5, 0.5, 0.5, 0]),
+            SPEC,
+        )
+        bev = grid.occupancy_bev()
+        assert bev.shape == (8, 8)
+        assert bev[0, 0] == 2.0  # two z-bins in the same column
+        assert bev[4, 4] == 1.0
+
+    def test_deterministic(self):
+        points = np.random.default_rng(3).uniform(
+            low=[0, -4, -1, 0], high=[8, 4, 1, 1], size=(200, 4)
+        )
+        a = voxelize(PointCloud(points), SPEC)
+        b = voxelize(PointCloud(points), SPEC)
+        np.testing.assert_array_equal(a.coords, b.coords)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_from_cloud_alias(self):
+        grid = VoxelGrid.from_cloud(cloud_of([0.5, -3.5, -0.5, 0]), SPEC)
+        assert grid.num_voxels == 1
+
+    def test_boundary_point_on_upper_edge_excluded(self):
+        grid = voxelize(cloud_of([8.0, 0.0, 0.0, 0.0]), SPEC)
+        assert grid.num_voxels == 0
