@@ -1,0 +1,167 @@
+"""Pipeline hot-path bench — the repo's perf trajectory anchor.
+
+Runs a seeded two-agent :class:`CooperSession` (the full OBU loop: scan →
+ROI → compress → transmit → align/merge → SPOD) with the stage profiler
+enabled and writes the per-stage wall-clock breakdown to
+``results/BENCH_pipeline.json``.  Track that file across commits to see
+where the loop spends its time and whether a change moved the needle.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_pipeline_hotpath.py`` — full bench alongside
+  the figure benchmarks.
+* ``python benchmarks/bench_pipeline_hotpath.py [--smoke]`` — standalone;
+  ``--smoke`` shrinks the session for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+import numpy as np
+
+from repro.detection.spod import SPOD
+from repro.fusion.agent import CooperAgent, CooperSession
+from repro.fusion.cooper import Cooper
+from repro.network.roi_policy import RoiCategory, RoiPolicy
+from repro.profiling import PROFILER
+from repro.scene.layouts import parking_lot
+from repro.scene.trajectories import StationaryTrajectory, StraightTrajectory
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPORT_NAME = "BENCH_pipeline.json"
+SEED = 0
+
+BENCH_16 = BeamPattern("bench-16", tuple(np.linspace(-15.0, 15.0, 16)), 0.8)
+
+# Stages the bench pins as must-be-instrumented: one per pipeline layer.
+EXPECTED_STAGES = (
+    "lidar.scan",
+    "roi.extract",
+    "codec.compress",
+    "dsrc.transmit",
+    "fuse.merge",
+    "voxel.voxelize",
+    "spod.rpn",
+    "spod.nms",
+    "session.step",
+)
+
+
+def build_session(detector: SPOD | None = None) -> CooperSession:
+    """A deterministic two-agent parking-lot session (one mover)."""
+    layout = parking_lot(seed=51, rows=3, cols=6, occupancy=0.8)
+    cooper = Cooper(detector=detector or SPOD.pretrained())
+
+    def make_agent(name: str, viewpoint: str, speed: float = 0.0) -> CooperAgent:
+        pose = layout.viewpoint(viewpoint)
+        trajectory = (
+            StraightTrajectory(pose, speed=speed)
+            if speed
+            else StationaryTrajectory(pose)
+        )
+        return CooperAgent(
+            name=name,
+            rig=SensorRig(lidar=LidarModel(pattern=BENCH_16), name=name),
+            trajectory=trajectory,
+            policy=RoiPolicy(category=RoiCategory.FULL_FRAME),
+            cooper=cooper,
+        )
+
+    agents = [
+        make_agent("alpha", "car1", speed=2.0),
+        make_agent("beta", "car2"),
+    ]
+    return CooperSession(world=layout.world, agents=agents)
+
+
+def run_pipeline_bench(
+    duration_seconds: float, detector: SPOD | None = None
+) -> dict:
+    """Profile one seeded session; return the JSON-ready report."""
+    session = build_session(detector)
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        logs = session.run(
+            duration_seconds=duration_seconds, period_seconds=1.0, seed=SEED
+        )
+    finally:
+        PROFILER.disable()
+    return {
+        "bench": "pipeline_hotpath",
+        "seed": SEED,
+        "agents": [agent.name for agent in session.agents],
+        "beam_count": BENCH_16.num_beams,
+        "duration_seconds": duration_seconds,
+        "steps": len(next(iter(logs.values()))),
+        "profile": PROFILER.as_dict(),
+    }
+
+
+def write_report(report: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / REPORT_NAME
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_bench_pipeline_hotpath(benchmark, detector, results_dir):
+    report = run_pipeline_bench(duration_seconds=4.0, detector=detector)
+    report["mode"] = "pytest"
+    path = write_report(report)
+    print(f"\n=== {REPORT_NAME} ===\n{PROFILER.render_table()}\n")
+    assert path.exists()
+
+    stages = report["profile"]["stages"]
+    missing = [name for name in EXPECTED_STAGES if name not in stages]
+    assert not missing, f"uninstrumented stages: {missing}"
+    for name in EXPECTED_STAGES:
+        assert stages[name]["count"] > 0
+        assert stages[name]["total_seconds"] >= 0.0
+    # Stage timings nest inside the per-step envelope.
+    step_total = stages["session.step"]["total_seconds"]
+    assert stages["lidar.scan"]["total_seconds"] <= step_total
+
+    # Benchmark one un-profiled session step as the tracked number.
+    session = build_session(detector)
+    benchmark.pedantic(
+        session.run,
+        kwargs={"duration_seconds": 1.0, "period_seconds": 1.0, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["profiled_step_ms"] = round(
+        stages["session.step"]["mean_seconds"] * 1e3, 2
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the session to two steps (CI smoke run)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the simulated session length in seconds",
+    )
+    args = parser.parse_args(argv)
+    duration = args.duration if args.duration else (2.0 if args.smoke else 8.0)
+    report = run_pipeline_bench(duration_seconds=duration)
+    report["mode"] = "smoke" if args.smoke else "full"
+    path = write_report(report)
+    print(PROFILER.render_table())
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -144,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Cooper (ICDCS 2019) experiments.",
     )
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-stage wall-clock timings and print the stage table",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="export the stage stats as JSON (implies --profile)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("kitti", help="Figs. 2-4 on the synthetic KITTI cases")
@@ -171,7 +182,25 @@ _HANDLERS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    if args.profile_json:
+        args.profile = True
+    if not args.profile:
+        return _HANDLERS[args.command](args)
+
+    from repro.profiling import PROFILER
+
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        status = _HANDLERS[args.command](args)
+    finally:
+        PROFILER.disable()
+    print("\n=== stage profile ===")
+    print(PROFILER.render_table())
+    if args.profile_json:
+        path = PROFILER.export_json(args.profile_json)
+        print(f"(stage stats written to {path})")
+    return status
 
 
 if __name__ == "__main__":

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.detection.detections import Detection
-from repro.geometry.boxes import iou_bev
+from repro.geometry.boxes import iou_bev_from_corners
 
 __all__ = ["rotated_nms"]
 
@@ -13,17 +15,56 @@ def rotated_nms(
 ) -> list[Detection]:
     """Greedy NMS: keep the highest-scoring box, drop overlapping rivals.
 
-    Uses exact rotated BEV IoU.  Detection counts after NMS are what the
+    Uses exact rotated BEV IoU, but only for rivals whose circumscribed
+    circles overlap the current keeper — distant pairs cannot intersect,
+    so they are rejected with a vectorised centre-distance test and never
+    pay the polygon clip.  Detection counts after NMS are what the
     paper's Figs. 3/4/6/7 report.
     """
     if not 0.0 <= iou_threshold <= 1.0:
         raise ValueError("iou_threshold must be in [0, 1]")
-    remaining = sorted(detections, key=lambda d: d.score, reverse=True)
-    kept: list[Detection] = []
-    while remaining:
-        best = remaining.pop(0)
-        kept.append(best)
-        remaining = [
-            d for d in remaining if iou_bev(best.box, d.box) <= iou_threshold
-        ]
-    return kept
+    if len(detections) <= 1:
+        return sorted(detections, key=lambda d: d.score, reverse=True)
+
+    scores = np.array([d.score for d in detections])
+    # Stable sort matches sorted(..., reverse=True) tie-breaking.
+    order = np.argsort(-scores, kind="stable")
+
+    centers = np.array([d.box.center[:2] for d in detections])
+    sizes = np.array([[d.box.length, d.box.width] for d in detections])
+    yaws = np.array([d.box.yaw for d in detections])
+    areas = sizes.prod(axis=1)
+    radii = np.hypot(sizes[:, 0], sizes[:, 1]) / 2.0
+
+    # All corner polygons in one shot: rotate the (+-l/2, +-w/2) template.
+    half = sizes / 2.0
+    template = np.array([[1.0, 1.0], [-1.0, 1.0], [-1.0, -1.0], [1.0, -1.0]])
+    local = template[None, :, :] * half[:, None, :]
+    cos, sin = np.cos(yaws), np.sin(yaws)
+    rot = np.empty((len(detections), 2, 2))
+    rot[:, 0, 0] = cos
+    rot[:, 0, 1] = -sin
+    rot[:, 1, 0] = sin
+    rot[:, 1, 1] = cos
+    corners = np.einsum("mij,mkj->mki", rot, local) + centers[:, None, :]
+
+    alive = np.ones(len(detections), dtype=bool)
+    kept: list[int] = []
+    for rank, i in enumerate(order):
+        if not alive[i]:
+            continue
+        kept.append(int(i))
+        alive[i] = False
+        rest = order[rank + 1 :]
+        rest = rest[alive[rest]]
+        if rest.size == 0:
+            continue
+        dist2 = ((centers[rest] - centers[i]) ** 2).sum(axis=1)
+        near = rest[dist2 <= (radii[rest] + radii[i]) ** 2]
+        for j in near:
+            iou = iou_bev_from_corners(
+                corners[i], areas[i], corners[j], areas[j]
+            )
+            if iou > iou_threshold:
+                alive[j] = False
+    return [detections[i] for i in kept]

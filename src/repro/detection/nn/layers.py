@@ -1,8 +1,9 @@
 """Dense layers: Linear, activations, BatchNorm, Conv2d, MaxPool2d.
 
-Conv2d uses im2col + matmul, the standard way to get acceptable CPU
-throughput out of numpy; its backward pass is the transposed col2im.
-Shapes follow the PyTorch convention ``(N, C, H, W)``.
+Conv2d accumulates one BLAS contraction per kernel tap over shifted slices
+of the padded input — on CPU numpy this beats the classic im2col unfold,
+whose gather copy dominated profiles of the RPN.  Shapes follow the
+PyTorch convention ``(N, C, H, W)``.
 """
 
 from __future__ import annotations
@@ -122,61 +123,13 @@ class BatchNorm1d(Module):
         )
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, out_h*out_w)`` columns."""
-    n, c, h, w = x.shape
-    if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    out_h = (h + 2 * pad - kh) // stride + 1
-    out_w = (w + 2 * pad - kw) // stride + 1
-    strides = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(
-            strides[0],
-            strides[1],
-            strides[2] * stride,
-            strides[3] * stride,
-            strides[2],
-            strides[3],
-        ),
-        writeable=False,
-    )
-    return (
-        windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w),
-        out_h,
-        out_w,
-    )
-
-
-def _col2im(
-    cols: np.ndarray,
-    x_shape: tuple[int, int, int, int],
-    kh: int,
-    kw: int,
-    stride: int,
-    pad: int,
-) -> np.ndarray:
-    """Fold columns back, summing overlaps — the adjoint of :func:`_im2col`."""
-    n, c, h, w = x_shape
-    hp, wp = h + 2 * pad, w + 2 * pad
-    out_h = (hp - kh) // stride + 1
-    out_w = (wp - kw) // stride + 1
-    x = np.zeros((n, c, hp, wp))
-    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    for i in range(kh):
-        for j in range(kw):
-            x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
-                :, :, i, j
-            ]
-    if pad:
-        x = x[:, :, pad:-pad, pad:-pad]
-    return x
-
-
 class Conv2d(Module):
-    """2D convolution via im2col.  Input and output are ``(N, C, H, W)``."""
+    """2D convolution via shifted-slice matmuls; I/O is ``(N, C, H, W)``.
+
+    The forward pass accumulates one BLAS contraction per kernel tap over a
+    strided slice of the padded input — ``k*k`` small matmuls instead of an
+    im2col unfold, whose ``(N, C, k, k, H, W)`` gather copy dominated the
+    RPN's runtime.  The backward pass mirrors the same taps."""
 
     def __init__(
         self,
@@ -200,32 +153,57 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self._cache: tuple | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        cols, out_h, out_w = _im2col(
-            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+    def _tap_slices(self, i: int, j: int, out_h: int, out_w: int) -> tuple:
+        s = self.stride
+        return (
+            slice(None),
+            slice(None),
+            slice(i, i + s * out_h, s),
+            slice(j, j + s * out_w, s),
         )
-        w_mat = self.weight.value.reshape(self.weight.shape[0], -1)
-        out = np.einsum("oc,ncp->nop", w_mat, cols)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        n, _, h, w = x.shape
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p else x
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        weight = self.weight.value
+        out = np.zeros((n, weight.shape[0], out_h, out_w))
+        for i in range(k):
+            for j in range(k):
+                patch = padded[self._tap_slices(i, j, out_h, out_w)]
+                # (o, c) x (n, c, h, w) -> (o, n, h, w)
+                out += np.tensordot(
+                    weight[:, :, i, j], patch, axes=([1], [1])
+                ).transpose(1, 0, 2, 3)
         if self.bias is not None:
-            out = out + self.bias.value[None, :, None]
-        self._cache = (x.shape, cols)
-        return out.reshape(x.shape[0], -1, out_h, out_w)
+            out += self.bias.value[None, :, None, None]
+        self._cache = (x.shape, padded)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x_shape, cols = self._cache
-        n = grad_output.shape[0]
-        out_ch = grad_output.shape[1]
-        grad_mat = grad_output.reshape(n, out_ch, -1)
-        w_mat = self.weight.value.reshape(out_ch, -1)
-        self.weight.grad += np.einsum("nop,ncp->oc", grad_mat, cols).reshape(
-            self.weight.shape
-        )
+        x_shape, padded = self._cache
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+        weight = self.weight.value
+        grad_padded = np.zeros_like(padded)
+        for i in range(k):
+            for j in range(k):
+                tap = self._tap_slices(i, j, out_h, out_w)
+                # (n, o, h, w) x (n, c, h, w) -> (o, c)
+                self.weight.grad[:, :, i, j] += np.tensordot(
+                    grad_output, padded[tap], axes=([0, 2, 3], [0, 2, 3])
+                )
+                # (c, o) x (n, o, h, w) -> (c, n, h, w)
+                grad_padded[tap] += np.tensordot(
+                    weight[:, :, i, j], grad_output, axes=([0], [1])
+                ).transpose(1, 0, 2, 3)
         if self.bias is not None:
-            self.bias.grad += grad_mat.sum(axis=(0, 2))
-        grad_cols = np.einsum("oc,nop->ncp", w_mat, grad_mat)
-        return _col2im(
-            grad_cols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding
-        )
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        if p:
+            return grad_padded[:, :, p:-p, p:-p]
+        return grad_padded
 
 
 class MaxPool2d(Module):

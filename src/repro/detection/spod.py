@@ -28,6 +28,7 @@ from repro.detection.vfe import VoxelFeatureEncoder
 from repro.geometry.boxes import Box3D
 from repro.pointcloud.cloud import PointCloud
 from repro.pointcloud.voxel import VoxelGridSpec, voxelize
+from repro.profiling import PROFILER
 
 __all__ = ["SPODConfig", "SPOD"]
 
@@ -164,17 +165,21 @@ class SPOD:
         map and the RPN's (cls_logits, reg) outputs.
         """
         cfg = self.config
-        pre = preprocess(
-            cloud,
-            max_range=float(
-                np.abs(np.array(cfg.voxel_spec.point_range)).max() * 1.5
-            ),
-            densify=cfg.densify,
-        )
+        with PROFILER.stage("spod.preprocess"):
+            pre = preprocess(
+                cloud,
+                max_range=float(
+                    np.abs(np.array(cfg.voxel_spec.point_range)).max() * 1.5
+                ),
+                densify=cfg.densify,
+            )
         grid = voxelize(pre.obstacles, cfg.voxel_spec, seed=cfg.seed)
-        sparse = self.vfe(grid)
-        bev = self.middle(sparse)
-        cls_logits, reg = self.rpn(bev)
+        with PROFILER.stage("spod.vfe"):
+            sparse = self.vfe(grid)
+        with PROFILER.stage("spod.middle"):
+            bev = self.middle(sparse)
+        with PROFILER.stage("spod.rpn"):
+            cls_logits, reg = self.rpn(bev)
         return {
             "pre": pre,
             "grid": grid,
@@ -195,11 +200,13 @@ class SPOD:
     def detect_all(self, cloud: PointCloud) -> list[Detection]:
         """Detect cars including sub-threshold candidates (post-NMS)."""
         tensors = self.forward(cloud)
-        if self.config.use_learned_heads:
-            raw = self._decode_learned(tensors)
-        else:
-            raw = self._decode_analytic(tensors)
-        return rotated_nms(raw, self.config.nms_iou)
+        with PROFILER.stage("spod.decode"):
+            if self.config.use_learned_heads:
+                raw = self._decode_learned(tensors)
+            else:
+                raw = self._decode_analytic(tensors)
+        with PROFILER.stage("spod.nms"):
+            return rotated_nms(raw, self.config.nms_iou)
 
     def detect_timed(self, cloud: PointCloud) -> tuple[list[Detection], float]:
         """Like :meth:`detect` but also return wall-clock seconds (Fig. 9)."""

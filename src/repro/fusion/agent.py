@@ -29,6 +29,7 @@ from repro.fusion.package import ExchangePackage
 from repro.network.dsrc import DsrcChannel
 from repro.network.messages import MessageFramer
 from repro.network.roi_policy import RoiPolicy, extract_roi
+from repro.profiling import PROFILER
 from repro.scene.trajectories import Trajectory
 from repro.scene.world import World
 from repro.sensors.rig import RigObservation, SensorRig
@@ -84,18 +85,19 @@ class CooperAgent:
         self, world: World, observation: RigObservation, t: float
     ) -> ExchangePackage:
         """Produce this period's outgoing exchange package."""
-        background = [
-            a.box.transformed(observation.true_pose.from_world())
-            for a in world.background()
-        ]
-        roi = extract_roi(observation.scan.cloud, self.policy, background)
-        return ExchangePackage(
-            cloud=roi,
-            pose=observation.measured_pose,
-            sender=self.name,
-            beam_count=self.rig.lidar.pattern.num_beams,
-            timestamp=t,
-        )
+        with PROFILER.stage("agent.build_package"):
+            background = [
+                a.box.transformed(observation.true_pose.from_world())
+                for a in world.background()
+            ]
+            roi = extract_roi(observation.scan.cloud, self.policy, background)
+            return ExchangePackage(
+                cloud=roi,
+                pose=observation.measured_pose,
+                sender=self.name,
+                beam_count=self.rig.lidar.pattern.num_beams,
+                timestamp=t,
+            )
 
     def perceive(
         self,
@@ -137,48 +139,61 @@ class CooperSession:
         logs: dict[str, list[AgentStep]] = {a.name: [] for a in self.agents}
         times = np.arange(0.0, duration_seconds, period_seconds)
         for step_index, t in enumerate(times):
-            observations = {
-                agent.name: agent.observe(
-                    self.world, float(t), seed=seed + 101 * step_index + i
-                )
-                for i, agent in enumerate(self.agents)
-            }
-            # Every agent broadcasts one package per period.
-            wire: dict[str, tuple[bytes, int]] = {}
-            for agent in self.agents:
-                package = agent.build_package(
-                    self.world, observations[agent.name], float(t)
-                )
-                payload = package.serialize()
-                wire[agent.name] = (payload, len(payload) * 8)
-
-            for agent in self.agents:
-                received: list[ExchangePackage] = []
-                delivered_flags: list[bool] = []
-                for other in self.agents:
-                    if other.name == agent.name:
-                        continue
-                    payload, bits = wire[other.name]
-                    report = self.channel.transmit(
-                        bits, seed=seed + 7 * step_index + hash(other.name) % 97
-                    )
-                    delivered_flags.append(report.delivered)
-                    if report.delivered:
-                        frames = self.framer.fragment(payload)
-                        received.append(
-                            ExchangePackage.deserialize(
-                                MessageFramer.reassemble(frames)
-                            )
-                        )
-                detections = agent.perceive(observations[agent.name], received)
-                logs[agent.name].append(
-                    AgentStep(
-                        time=float(t),
-                        observation=observations[agent.name],
-                        sent_bits=wire[agent.name][1],
-                        received_packages=received,
-                        delivered=delivered_flags,
-                        detections=detections,
-                    )
-                )
+            with PROFILER.stage("session.step"):
+                self._step(logs, float(t), step_index, seed)
         return logs
+
+    def _step(
+        self,
+        logs: dict[str, list[AgentStep]],
+        t: float,
+        step_index: int,
+        seed: int,
+    ) -> None:
+        """Run one exchange period for every agent."""
+        observations = {
+            agent.name: agent.observe(
+                self.world, t, seed=seed + 101 * step_index + i
+            )
+            for i, agent in enumerate(self.agents)
+        }
+        # Every agent broadcasts one package per period.
+        wire: dict[str, tuple[bytes, int]] = {}
+        for agent in self.agents:
+            package = agent.build_package(self.world, observations[agent.name], t)
+            payload = package.serialize()
+            wire[agent.name] = (payload, len(payload) * 8)
+
+        for agent in self.agents:
+            received: list[ExchangePackage] = []
+            delivered_flags: list[bool] = []
+            for other in self.agents:
+                if other.name == agent.name:
+                    continue
+                payload, bits = wire[other.name]
+                report = self.channel.transmit(
+                    bits, seed=seed + 7 * step_index + hash(other.name) % 97
+                )
+                delivered_flags.append(report.delivered)
+                if report.delivered:
+                    frames = self.framer.fragment(payload)
+                    received.append(
+                        ExchangePackage.deserialize(
+                            MessageFramer.reassemble(frames)
+                        )
+                    )
+            PROFILER.count("session.packages_received", len(received))
+            PROFILER.count(
+                "session.packages_lost", len(delivered_flags) - len(received)
+            )
+            detections = agent.perceive(observations[agent.name], received)
+            logs[agent.name].append(
+                AgentStep(
+                    time=t,
+                    observation=observations[agent.name],
+                    sent_bits=wire[agent.name][1],
+                    received_packages=received,
+                    delivered=delivered_flags,
+                    detections=detections,
+                )
+            )

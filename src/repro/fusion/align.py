@@ -13,6 +13,7 @@ from collections.abc import Sequence
 from repro.fusion.package import ExchangePackage
 from repro.geometry.transforms import Pose, RigidTransform
 from repro.pointcloud.cloud import PointCloud, merge_clouds
+from repro.profiling import PROFILER
 
 __all__ = ["alignment_transform", "align_package", "merge_packages"]
 
@@ -33,10 +34,11 @@ def align_package(
     package: ExchangePackage, receiver_pose: Pose
 ) -> PointCloud:
     """Express a received package's points in the receiver's LiDAR frame."""
-    transform = alignment_transform(package.pose, receiver_pose)
-    return package.cloud.transformed(
-        transform, frame_id=f"{package.sender}->receiver"
-    )
+    with PROFILER.stage("fuse.align"):
+        transform = alignment_transform(package.pose, receiver_pose)
+        return package.cloud.transformed(
+            transform, frame_id=f"{package.sender}->receiver"
+        )
 
 
 def merge_packages(
@@ -45,5 +47,6 @@ def merge_packages(
     receiver_pose: Pose,
 ) -> PointCloud:
     """Produce the cooperative cloud: Eq. (2)'s union over all cooperators."""
-    aligned = [align_package(p, receiver_pose) for p in packages]
-    return merge_clouds([native, *aligned], frame_id="cooperative")
+    with PROFILER.stage("fuse.merge"):
+        aligned = [align_package(p, receiver_pose) for p in packages]
+        return merge_clouds([native, *aligned], frame_id="cooperative")

@@ -19,6 +19,7 @@ from repro.fusion.align import merge_packages
 from repro.fusion.package import ExchangePackage
 from repro.geometry.transforms import Pose
 from repro.pointcloud.cloud import PointCloud
+from repro.profiling import PROFILER
 
 __all__ = ["Cooper", "CooperResult"]
 
@@ -87,15 +88,16 @@ class Cooper:
         rejected = 0
         if self.reject_misaligned:
             accepted = []
-            for package in packages:
-                report = validate_package(
-                    native_cloud, package, receiver_pose,
-                    residual_threshold=self.residual_threshold,
-                )
-                if report.consistent:
-                    accepted.append(package)
-                else:
-                    rejected += 1
+            with PROFILER.stage("cooper.validate"):
+                for package in packages:
+                    report = validate_package(
+                        native_cloud, package, receiver_pose,
+                        residual_threshold=self.residual_threshold,
+                    )
+                    if report.consistent:
+                        accepted.append(package)
+                    else:
+                        rejected += 1
 
         fuse_start = time.perf_counter()
         merged = merge_packages(native_cloud, accepted, receiver_pose)
@@ -104,6 +106,10 @@ class Cooper:
         detect_start = time.perf_counter()
         detections = self.detector.detect(merged)
         detect_seconds = time.perf_counter() - detect_start
+        # Mirror the externally observable CooperResult times into the
+        # profiler so its totals reconcile with total_seconds exactly.
+        PROFILER.record("cooper.fuse", fuse_seconds)
+        PROFILER.record("cooper.detect", detect_seconds)
         return CooperResult(
             detections=detections,
             merged_cloud=merged,
@@ -118,6 +124,7 @@ class Cooper:
         detect_start = time.perf_counter()
         detections = self.detector.detect(native_cloud)
         detect_seconds = time.perf_counter() - detect_start
+        PROFILER.record("cooper.detect", detect_seconds)
         return CooperResult(
             detections=detections,
             merged_cloud=native_cloud,

@@ -25,6 +25,7 @@ from repro.pointcloud.compression import (
     compress_cloud,
     decompress_cloud,
 )
+from repro.profiling import PROFILER
 
 __all__ = ["ExchangePackage"]
 
@@ -57,30 +58,39 @@ class ExchangePackage:
 
     def serialize(self, spec: CompressionSpec | None = None) -> bytes:
         """Encode to the wire format: metadata + pose + compressed cloud."""
-        sender_bytes = self.sender.encode("utf-8")[:16].ljust(16, b"\0")
-        meta = _META_STRUCT.pack(sender_bytes, self.beam_count, self.timestamp)
-        pose = _POSE_STRUCT.pack(
-            *self.pose.position, self.pose.yaw, self.pose.pitch, self.pose.roll
-        )
-        return meta + pose + compress_cloud(self.cloud, spec)
+        with PROFILER.stage("package.serialize"):
+            sender_bytes = self.sender.encode("utf-8")[:16].ljust(16, b"\0")
+            meta = _META_STRUCT.pack(
+                sender_bytes, self.beam_count, self.timestamp
+            )
+            pose = _POSE_STRUCT.pack(
+                *self.pose.position,
+                self.pose.yaw,
+                self.pose.pitch,
+                self.pose.roll,
+            )
+            return meta + pose + compress_cloud(self.cloud, spec)
 
     @staticmethod
     def deserialize(payload: bytes) -> "ExchangePackage":
         """Decode the wire format produced by :meth:`serialize`."""
-        if len(payload) < _META_STRUCT.size + _POSE_STRUCT.size:
-            raise ValueError("payload too short for an exchange package")
-        sender_bytes, beam_count, timestamp = _META_STRUCT.unpack_from(payload)
-        offset = _META_STRUCT.size
-        x, y, z, yaw, pitch, roll = _POSE_STRUCT.unpack_from(payload, offset)
-        offset += _POSE_STRUCT.size
-        cloud = decompress_cloud(payload[offset:], frame_id="received")
-        return ExchangePackage(
-            cloud=cloud,
-            pose=Pose(np.array([x, y, z]), yaw=yaw, pitch=pitch, roll=roll),
-            sender=sender_bytes.rstrip(b"\0").decode("utf-8"),
-            beam_count=beam_count,
-            timestamp=timestamp,
-        )
+        with PROFILER.stage("package.deserialize"):
+            if len(payload) < _META_STRUCT.size + _POSE_STRUCT.size:
+                raise ValueError("payload too short for an exchange package")
+            sender_bytes, beam_count, timestamp = _META_STRUCT.unpack_from(
+                payload
+            )
+            offset = _META_STRUCT.size
+            x, y, z, yaw, pitch, roll = _POSE_STRUCT.unpack_from(payload, offset)
+            offset += _POSE_STRUCT.size
+            cloud = decompress_cloud(payload[offset:], frame_id="received")
+            return ExchangePackage(
+                cloud=cloud,
+                pose=Pose(np.array([x, y, z]), yaw=yaw, pitch=pitch, roll=roll),
+                sender=sender_bytes.rstrip(b"\0").decode("utf-8"),
+                beam_count=beam_count,
+                timestamp=timestamp,
+            )
 
     def size_bytes(self, spec: CompressionSpec | None = None) -> int:
         """Wire size of this package in bytes."""

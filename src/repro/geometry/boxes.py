@@ -21,6 +21,7 @@ __all__ = [
     "box_corners_3d",
     "points_in_box",
     "iou_bev",
+    "iou_bev_from_corners",
     "iou_3d",
     "pairwise_iou_bev",
 ]
@@ -198,13 +199,31 @@ def _bev_intersection_area(box_a: Box3D, box_b: Box3D) -> float:
     return _polygon_area(_clip_polygon(corners_a, corners_b))
 
 
-def iou_bev(box_a: Box3D, box_b: Box3D) -> float:
-    """Bird's-eye-view IoU of two oriented boxes."""
-    inter = _bev_intersection_area(box_a, box_b)
-    area_a = box_a.length * box_a.width
-    area_b = box_b.length * box_b.width
+def iou_bev_from_corners(
+    corners_a: np.ndarray,
+    area_a: float,
+    corners_b: np.ndarray,
+    area_b: float,
+) -> float:
+    """BEV IoU from precomputed corner polygons and areas.
+
+    Callers that evaluate many pairs over the same boxes (NMS, matching)
+    compute corners and areas once and reuse them here instead of paying
+    :func:`box_corners_bev` per pair.
+    """
+    inter = _polygon_area(_clip_polygon(corners_a, corners_b))
     union = area_a + area_b - inter
     return inter / union if union > 0 else 0.0
+
+
+def iou_bev(box_a: Box3D, box_b: Box3D) -> float:
+    """Bird's-eye-view IoU of two oriented boxes."""
+    return iou_bev_from_corners(
+        box_corners_bev(box_a),
+        box_a.length * box_a.width,
+        box_corners_bev(box_b),
+        box_b.length * box_b.width,
+    )
 
 
 def iou_3d(box_a: Box3D, box_b: Box3D) -> float:

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.profiling import PROFILER
+
 __all__ = ["DsrcChannel", "TransmissionReport"]
 
 
@@ -22,7 +24,8 @@ class TransmissionReport:
     """Outcome of transmitting one payload.
 
     Attributes:
-        payload_bits: size transmitted, including retransmissions' payloads.
+        payload_bits: size of the payload itself (one copy — retransmitted
+            bits are accounted for by :attr:`total_bits`).
         seconds: total latency (propagation + serialisation + retries).
         delivered: False if loss persisted beyond the retry budget.
         attempts: transmission attempts used.
@@ -34,8 +37,22 @@ class TransmissionReport:
     attempts: int
 
     @property
+    def total_bits(self) -> int:
+        """Bits clocked onto the air, including retransmissions' payloads.
+
+        Every attempt re-sends the full payload, so this is
+        ``payload_bits * attempts``.
+        """
+        return self.payload_bits * self.attempts
+
+    @property
     def throughput_mbps(self) -> float:
-        """Effective goodput in Mbit/s."""
+        """Effective goodput in Mbit/s: *delivered* payload over total time.
+
+        Retransmitted copies consume airtime (the ``seconds`` denominator
+        grows with every retry) but never count as delivered data, so a
+        lossy link reports a goodput below the channel bandwidth.
+        """
         if self.seconds <= 0 or not self.delivered:
             return 0.0
         return self.payload_bits / self.seconds / 1e6
@@ -72,17 +89,25 @@ class DsrcChannel:
         """Transmit a payload, retrying on (seeded) random loss."""
         if payload_bits < 0:
             raise ValueError("payload_bits must be non-negative")
-        rng = np.random.default_rng(seed)
-        elapsed = 0.0
-        attempts = 0
-        while attempts <= self.max_retries:
-            attempts += 1
-            elapsed += self.base_latency_ms / 1e3 + self.serialization_seconds(
-                payload_bits
-            )
-            if rng.random() >= self.loss_rate:
-                return TransmissionReport(payload_bits, elapsed, True, attempts)
-        return TransmissionReport(payload_bits, elapsed, False, attempts)
+        with PROFILER.stage("dsrc.transmit"):
+            rng = np.random.default_rng(seed)
+            elapsed = 0.0
+            attempts = 0
+            delivered = False
+            while attempts <= self.max_retries:
+                attempts += 1
+                elapsed += (
+                    self.base_latency_ms / 1e3
+                    + self.serialization_seconds(payload_bits)
+                )
+                if rng.random() >= self.loss_rate:
+                    delivered = True
+                    break
+            report = TransmissionReport(payload_bits, elapsed, delivered, attempts)
+        PROFILER.count("dsrc.payload_bits", payload_bits)
+        PROFILER.count("dsrc.total_bits", report.total_bits)
+        PROFILER.count("dsrc.attempts", attempts)
+        return report
 
     def fits_in_budget(self, payload_bits: int, budget_seconds: float) -> bool:
         """Can the payload be delivered inside ``budget_seconds``?

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from repro.geometry.boxes import Box3D
 from repro.pointcloud.cloud import PointCloud
 from repro.pointcloud.roi import crop_sector, forward_corridor, subtract_background
+from repro.profiling import PROFILER
 
 __all__ = ["RoiCategory", "RoiPolicy", "extract_roi"]
 
@@ -71,17 +72,18 @@ def extract_roi(
     background_boxes: Sequence[Box3D] = (),
 ) -> PointCloud:
     """Apply an ROI policy to a sender's cloud (sender's LiDAR frame)."""
-    working = cloud
-    if policy.subtract_known_background and background_boxes:
-        working = subtract_background(working, list(background_boxes))
-    if policy.category is RoiCategory.FULL_FRAME:
-        return working
-    if policy.category is RoiCategory.FRONT_SECTOR:
-        return crop_sector(working, fov_deg=policy.sector_fov_deg)
-    if policy.category is RoiCategory.FORWARD_CORRIDOR:
-        return forward_corridor(
-            working,
-            length=policy.corridor_length,
-            width=policy.corridor_width,
-        )
-    raise AssertionError(f"unhandled category {policy.category}")
+    with PROFILER.stage("roi.extract"):
+        working = cloud
+        if policy.subtract_known_background and background_boxes:
+            working = subtract_background(working, list(background_boxes))
+        if policy.category is RoiCategory.FULL_FRAME:
+            return working
+        if policy.category is RoiCategory.FRONT_SECTOR:
+            return crop_sector(working, fov_deg=policy.sector_fov_deg)
+        if policy.category is RoiCategory.FORWARD_CORRIDOR:
+            return forward_corridor(
+                working,
+                length=policy.corridor_length,
+                width=policy.corridor_width,
+            )
+        raise AssertionError(f"unhandled category {policy.category}")

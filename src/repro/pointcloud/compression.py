@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.pointcloud.cloud import PointCloud
+from repro.profiling import PROFILER
 
 __all__ = [
     "CompressionSpec",
@@ -71,7 +72,11 @@ def compress_cloud(cloud: PointCloud, spec: CompressionSpec | None = None) -> by
     [0, 1]) maps to 8 bits.  The header records the bounding box so the
     receiver can dequantise without side information.
     """
-    spec = spec or CompressionSpec()
+    with PROFILER.stage("codec.compress"):
+        return _compress(cloud, spec or CompressionSpec())
+
+
+def _compress(cloud: PointCloud, spec: CompressionSpec) -> bytes:
     n = len(cloud)
     if n == 0:
         bounds = (0.0,) * 6
@@ -106,6 +111,11 @@ def compress_cloud(cloud: PointCloud, spec: CompressionSpec | None = None) -> by
 
 def decompress_cloud(payload: bytes, frame_id: str = "decoded") -> PointCloud:
     """Inverse of :func:`compress_cloud`."""
+    with PROFILER.stage("codec.decompress"):
+        return _decompress(payload, frame_id)
+
+
+def _decompress(payload: bytes, frame_id: str) -> PointCloud:
     if len(payload) < _HEADER.size:
         raise ValueError("payload too short for header")
     magic, version, coord_bits, refl_bits, n, *bounds = _HEADER.unpack_from(payload)

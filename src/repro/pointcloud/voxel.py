@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.pointcloud.cloud import PointCloud
+from repro.profiling import PROFILER
 
 __all__ = ["VoxelGridSpec", "VoxelGrid"]
 
@@ -116,9 +117,16 @@ def voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int = 0) -> VoxelGrid
     """Group a cloud into the sparse voxel grid described by ``spec``.
 
     Points outside ``spec.point_range`` are dropped.  When a voxel receives
-    more than ``max_points_per_voxel`` points, a deterministic random subset
-    is kept (the paper lineage randomly samples; we seed for repeatability).
+    more than ``max_points_per_voxel`` points, a deterministic random
+    subset keyed by ``seed`` is kept (the paper lineage randomly samples;
+    we seed for repeatability).  Voxels at or under the cap keep their
+    points in stable scan order.
     """
+    with PROFILER.stage("voxel.voxelize"):
+        return _voxelize(cloud, spec, seed)
+
+
+def _voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int) -> VoxelGrid:
     data = cloud.data
     origin = np.array(spec.point_range[:3], dtype=np.float32)
     size = np.array(spec.voxel_size, dtype=np.float32)
@@ -138,16 +146,15 @@ def voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int = 0) -> VoxelGrid
     grid_shape = spec.grid_shape
     np.clip(coords_all, 0, np.array(grid_shape) - 1, out=coords_all)
 
-    # Group points by voxel using a lexicographic sort of linear indices.
+    # Group points by voxel using a stable (radix) sort of linear indices.
     linear = (
-        coords_all[:, 0] * (grid_shape[1] * grid_shape[2])
+        coords_all[:, 0].astype(np.int64) * (grid_shape[1] * grid_shape[2])
         + coords_all[:, 1] * grid_shape[2]
         + coords_all[:, 2]
     )
     order = np.argsort(linear, kind="stable")
     linear_sorted = linear[order]
     data_sorted = data[order]
-    coords_sorted = coords_all[order]
 
     unique_linear, start_idx, group_counts = np.unique(
         linear_sorted, return_index=True, return_counts=True
@@ -156,15 +163,26 @@ def voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int = 0) -> VoxelGrid
     t_max = spec.max_points_per_voxel
     points = np.zeros((num_voxels, t_max, 4), dtype=np.float32)
     counts = np.minimum(group_counts, t_max).astype(np.int32)
-    coords = coords_sorted[start_idx]
+    # Decode voxel coordinates from the unique linear indices directly —
+    # cheaper than gathering a per-point coordinate table.
+    cx, rem = np.divmod(unique_linear, grid_shape[1] * grid_shape[2])
+    cy, cz = np.divmod(rem, grid_shape[2])
+    coords = np.stack([cx, cy, cz], axis=1).astype(np.int32)
 
-    # Vectorised fill: keep the first t_max points of each group.  Points
-    # arrive in stable scan order, so truncation is deterministic (``seed``
-    # is kept in the signature for API stability; the cap rarely binds with
-    # real beam densities).
-    del seed
     group_ids = np.repeat(np.arange(num_voxels), group_counts)
     positions = np.arange(len(data_sorted)) - np.repeat(start_idx, group_counts)
+
+    # Overfull voxels keep a seeded random subset: each point draws a slot
+    # from a permutation and only slots below the cap survive.  Voxels at
+    # or under the cap are untouched, so the common case stays in stable
+    # scan order and pays nothing.
+    overflowing = np.nonzero(group_counts > t_max)[0]
+    if len(overflowing):
+        rng = np.random.default_rng(seed)
+        for g in overflowing:
+            start, count = start_idx[g], group_counts[g]
+            positions[start : start + count] = rng.permutation(count)
+
     keep = positions < t_max
     points[group_ids[keep], positions[keep]] = data_sorted[keep]
     return VoxelGrid(spec, coords, points, counts)

@@ -1,0 +1,57 @@
+"""Stage-level profiling of the Cooper scan -> fuse -> detect loop.
+
+The paper's Fig. 9 argument — raw-cloud fusion adds only a small latency on
+top of single-shot detection — is a claim about *per-stage* budgets, and
+scaling work needs to know exactly where the OBU loop spends its time.
+This package is a zero-dependency stage-timer/metrics registry threaded
+through the whole pipeline: LiDAR scan, ROI extraction, compression, DSRC
+transmit, alignment/merging, voxelisation, the SPOD stages and the
+session loop.
+
+Typical use::
+
+    from repro.profiling import PROFILER
+
+    PROFILER.enable()
+    session.run(...)
+    print(PROFILER.render_table())
+    PROFILER.export_json("results/profile.json")
+
+Instrumented code paths do ``with PROFILER.stage("spod.rpn"): ...``
+unconditionally; while profiling is disabled (the default) each such point
+costs a single attribute check, so the instrumentation is free in
+production.  ``python -m repro.cli --profile <command>`` prints the stage
+table after any CLI experiment.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.registry import (
+    HISTOGRAM_EDGES,
+    NULL_STAGE,
+    Profiler,
+    StageStats,
+)
+
+__all__ = [
+    "HISTOGRAM_EDGES",
+    "NULL_STAGE",
+    "Profiler",
+    "StageStats",
+    "PROFILER",
+    "get_profiler",
+    "profiled",
+]
+
+#: The process-wide default profiler every instrumented stage reports to.
+PROFILER = Profiler()
+
+
+def get_profiler() -> Profiler:
+    """Return the process-wide default profiler."""
+    return PROFILER
+
+
+def profiled(name: str | None = None):
+    """Decorator timing calls of the wrapped function on :data:`PROFILER`."""
+    return PROFILER.profiled(name)

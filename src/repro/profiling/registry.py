@@ -1,0 +1,244 @@
+"""The stage-timer registry behind :mod:`repro.profiling`.
+
+A :class:`Profiler` owns a flat namespace of named stages.  Each stage
+accumulates call count, total/min/max wall-clock seconds and a log-spaced
+histogram of per-call durations; free-form counters ride alongside for
+non-timing quantities (bits on the wire, retry attempts, ...).
+
+The design constraint is the disabled path: every instrumentation point in
+the pipeline runs ``with PROFILER.stage("name"):`` unconditionally, so when
+profiling is off the call must cost no more than an attribute check and the
+return of a shared no-op context manager — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+__all__ = ["HISTOGRAM_EDGES", "StageStats", "Profiler", "NULL_STAGE"]
+
+#: Upper edges (seconds) of the per-stage duration histogram: log-spaced
+#: from 1 microsecond to ~17 seconds, with a final overflow bucket.
+HISTOGRAM_EDGES: tuple[float, ...] = tuple(1e-6 * 4.0**i for i in range(13))
+
+
+class StageStats:
+    """Accumulated wall-clock statistics of one named stage."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.histogram = [0] * (len(HISTOGRAM_EDGES) + 1)
+
+    def record(self, seconds: float) -> None:
+        """Fold one observed duration into the stats."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        bucket = 0
+        for edge in HISTOGRAM_EDGES:
+            if seconds <= edge:
+                break
+            bucket += 1
+        self.histogram[bucket] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (0 when never called)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary of this stage."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+            "histogram": list(self.histogram),
+        }
+
+
+class _NullStage:
+    """Shared no-op context manager returned while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_STAGE = _NullStage()
+
+
+class _StageTimer:
+    """Context manager that times one stage invocation."""
+
+    __slots__ = ("_stats", "_start")
+
+    def __init__(self, stats: StageStats) -> None:
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._stats.record(time.perf_counter() - self._start)
+        return False
+
+
+class Profiler:
+    """A registry of named stage timers and counters.
+
+    Not thread-safe by design: the OBU loop is single-threaded and lock-free
+    increments keep the enabled path cheap.  Use one Profiler per thread if
+    that ever changes.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._stages: dict[str, StageStats] = {}
+        self._counters: dict[str, float] = {}
+
+    # -- lifecycle --------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (existing data is kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded stages and counters."""
+        self._stages.clear()
+        self._counters.clear()
+
+    # -- recording --------------------------------------------------------
+    def stage(self, name: str):
+        """Context manager timing one invocation of stage ``name``.
+
+        When disabled this returns a shared no-op context manager: the
+        instrumentation points sprinkled through the pipeline cost one
+        attribute check each.
+        """
+        if not self.enabled:
+            return NULL_STAGE
+        stats = self._stages.get(name)
+        if stats is None:
+            stats = self._stages[name] = StageStats(name)
+        return _StageTimer(stats)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into stage ``name``."""
+        if not self.enabled:
+            return
+        stats = self._stages.get(name)
+        if stats is None:
+            stats = self._stages[name] = StageStats(name)
+        stats.record(seconds)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def profiled(self, name: str | None = None) -> Callable:
+        """Decorator timing every call of the wrapped function.
+
+        ``name`` defaults to the function's qualified name.
+        """
+
+        def decorate(fn: Callable) -> Callable:
+            stage_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.stage(stage_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- introspection ----------------------------------------------------
+    def stats(self, name: str) -> StageStats | None:
+        """The stats object of one stage, or None if never recorded."""
+        return self._stages.get(name)
+
+    def total_seconds(self, name: str) -> float:
+        """Total recorded seconds of one stage (0 if never recorded)."""
+        stats = self._stages.get(name)
+        return stats.total if stats is not None else 0.0
+
+    @property
+    def stages(self) -> dict[str, StageStats]:
+        """Live view of the recorded stages (do not mutate)."""
+        return self._stages
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Live view of the counters (do not mutate)."""
+        return self._counters
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every stage and counter."""
+        return {
+            "histogram_edges_seconds": list(HISTOGRAM_EDGES),
+            "stages": {
+                name: stats.as_dict() for name, stats in self._stages.items()
+            },
+            "counters": dict(self._counters),
+        }
+
+    def export_json(self, path: str | Path) -> Path:
+        """Write :meth:`as_dict` to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True))
+        return path
+
+    def render_table(self) -> str:
+        """Human-readable stage table, heaviest total first."""
+        if not self._stages:
+            return "(no stages recorded)"
+        rows = sorted(
+            self._stages.values(), key=lambda s: s.total, reverse=True
+        )
+        header = (
+            f"{'stage':28s} {'calls':>7s} {'total ms':>10s} "
+            f"{'mean ms':>9s} {'min ms':>9s} {'max ms':>9s}"
+        )
+        lines = [header, "-" * len(header)]
+        for stats in rows:
+            lines.append(
+                f"{stats.name:28s} {stats.count:7d} "
+                f"{stats.total * 1e3:10.2f} {stats.mean * 1e3:9.3f} "
+                f"{(stats.min if stats.count else 0.0) * 1e3:9.3f} "
+                f"{stats.max * 1e3:9.3f}"
+            )
+        if self._counters:
+            lines.append("")
+            lines.append(f"{'counter':28s} {'value':>12s}")
+            for name in sorted(self._counters):
+                lines.append(f"{name:28s} {self._counters[name]:12g}")
+        return "\n".join(lines)

@@ -15,6 +15,7 @@ slab test on all rays at once.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ import numpy as np
 from repro.geometry.rotations import rotation_z
 from repro.geometry.transforms import Pose
 from repro.pointcloud.cloud import PointCloud
+from repro.profiling import PROFILER
 from repro.scene.world import World
 
 __all__ = [
@@ -140,46 +142,38 @@ class LidarModel:
 
     def ray_directions(self) -> np.ndarray:
         """The ``(N, 3)`` unit direction table in the sensor frame."""
-        elevations = np.deg2rad(np.array(self.pattern.elevations_deg))
-        steps = int(round(360.0 / self.pattern.azimuth_resolution_deg))
-        azimuths = np.linspace(-np.pi, np.pi, steps, endpoint=False)
-        elev_grid, az_grid = np.meshgrid(elevations, azimuths, indexing="ij")
-        cos_e = np.cos(elev_grid)
-        directions = np.stack(
-            [
-                cos_e * np.cos(az_grid),
-                cos_e * np.sin(az_grid),
-                np.sin(elev_grid),
-            ],
-            axis=-1,
-        )
-        return directions.reshape(-1, 3)
+        return _ray_direction_table(self.pattern).copy()
 
     def scan(self, world: World, pose: Pose, seed: int = 0) -> LidarScan:
         """Scan ``world`` from ``pose`` and return points in the sensor frame.
 
         Occlusion falls out of nearest-hit selection: an actor behind
         another receives no rays on the blocked arc, creating exactly the
-        blind zones that motivate cooperative perception.
+        blind zones that motivate cooperative perception.  Range noise is
+        clamped to ``[min_range, max_range]`` so returned points never
+        violate the advertised range bounds.
         """
+        with PROFILER.stage("lidar.scan"):
+            return self._scan(world, pose, seed)
+
+    def _scan(self, world: World, pose: Pose, seed: int) -> LidarScan:
         rng = np.random.default_rng(seed)
-        directions_local = self.ray_directions()
+        directions_local = _ray_direction_table(self.pattern)
         to_world = pose.to_world()
         directions = directions_local @ to_world.rotation.T
         origin = pose.position.astype(float)
         num_rays = len(directions)
 
-        best_t = np.full(num_rays, np.inf)
-        best_label = np.full(num_rays, -1, dtype=np.int64)
-        best_reflectance = np.zeros(num_rays, dtype=np.float32)
-
         actors = list(world.actors)
-        for idx, actor in enumerate(actors):
-            t_hit = _ray_box_batch(origin, directions, actor.box)
-            better = t_hit < best_t
-            best_t[better] = t_hit[better]
-            best_label[better] = idx
-            best_reflectance[better] = actor.reflectance
+        if actors:
+            t_hits = _ray_boxes_batch(
+                origin, directions, [a.box for a in actors]
+            )
+            best_label = t_hits.argmin(axis=0)
+            best_t = t_hits[best_label, np.arange(num_rays)]
+        else:
+            best_t = np.full(num_rays, np.inf)
+            best_label = np.zeros(num_rays, dtype=np.int64)
 
         if self.include_ground:
             dz = directions[:, 2]
@@ -187,9 +181,8 @@ class LidarModel:
                 t_ground = (world.ground_z - origin[2]) / dz
             t_ground = np.where((dz < -1e-9) & (t_ground > 0), t_ground, np.inf)
             better = t_ground < best_t
-            best_t[better] = t_ground[better]
-            best_label[better] = -2  # ground sentinel
-            best_reflectance[better] = _GROUND_REFLECTANCE
+            best_t = np.where(better, t_ground, best_t)
+            best_label = np.where(better, -2, best_label)  # ground sentinel
 
         valid = (
             np.isfinite(best_t)
@@ -202,19 +195,101 @@ class LidarModel:
         t = best_t[valid]
         if self.range_noise_std > 0:
             t = t + rng.normal(0.0, self.range_noise_std, size=len(t))
+            # Re-gate after adding noise: a draw must not push a return
+            # outside the advertised range bounds (or behind the sensor).
+            np.clip(t, self.min_range, self.pattern.max_range, out=t)
         hit_world = origin + directions[valid] * t[:, None]
         hit_local = pose.from_world().apply(hit_world) if len(t) else hit_world
-        reflectance = best_reflectance[valid] + rng.normal(
-            0.0, 0.02, size=int(valid.sum())
+
+        label_idx = best_label[valid]
+        reflectance_table = np.array(
+            [a.reflectance for a in actors] + [_GROUND_REFLECTANCE],
+            dtype=np.float32,
+        )
+        table_idx = np.where(label_idx == -2, len(actors), label_idx)
+        reflectance = reflectance_table[table_idx] + rng.normal(
+            0.0, 0.02, size=len(t)
         ).astype(np.float32)
         reflectance = np.clip(reflectance, 0.0, 1.0)
 
-        label_idx = best_label[valid]
         names = np.array([a.name for a in actors] + [_GROUND_LABEL])
-        labels = names[np.where(label_idx == -2, len(actors), label_idx)]
+        labels = names[table_idx]
 
         cloud = PointCloud.from_xyz(hit_local, reflectance, frame_id="sensor")
         return LidarScan(cloud=cloud, labels=labels, pose=pose)
+
+
+@functools.lru_cache(maxsize=16)
+def _ray_direction_table(pattern: BeamPattern) -> np.ndarray:
+    """The cached, read-only ``(N, 3)`` unit direction table of a pattern.
+
+    The table depends only on the (frozen, hashable) beam pattern, so the
+    trigonometry is paid once per pattern instead of once per scan.
+    """
+    elevations = np.deg2rad(np.array(pattern.elevations_deg))
+    steps = int(round(360.0 / pattern.azimuth_resolution_deg))
+    azimuths = np.linspace(-np.pi, np.pi, steps, endpoint=False)
+    elev_grid, az_grid = np.meshgrid(elevations, azimuths, indexing="ij")
+    cos_e = np.cos(elev_grid)
+    directions = np.stack(
+        [
+            cos_e * np.cos(az_grid),
+            cos_e * np.sin(az_grid),
+            np.sin(elev_grid),
+        ],
+        axis=-1,
+    )
+    table = np.ascontiguousarray(directions.reshape(-1, 3))
+    table.setflags(write=False)
+    return table
+
+
+def _ray_boxes_batch(
+    origin: np.ndarray, directions: np.ndarray, boxes: list
+) -> np.ndarray:
+    """Nearest-hit distances of shared-origin rays against many boxes.
+
+    One slab test over all ``(box, ray)`` pairs at once, axis by axis so no
+    temporary grows beyond ``(A, N)``.  Boxes are yaw-only rotated, so each
+    box's frame is a 2D rotation of x/y with z passed through.  Returns an
+    ``(A, N)`` array with +inf for misses and hits behind the origin.
+    """
+    num_boxes = len(boxes)
+    origin = np.asarray(origin, dtype=float)
+    yaws = np.array([b.yaw for b in boxes])
+    centers = np.array([b.center for b in boxes], dtype=float)
+    halves = (
+        np.array([[b.length, b.width, b.height] for b in boxes], dtype=float)
+        / 2.0
+    )
+    cos_y, sin_y = np.cos(yaws), np.sin(yaws)
+
+    rel = origin[None, :] - centers  # (A, 3)
+    local_origin_x = cos_y * rel[:, 0] + sin_y * rel[:, 1]
+    local_origin_y = -sin_y * rel[:, 0] + cos_y * rel[:, 1]
+    dx, dy, dz = directions[:, 0], directions[:, 1], directions[:, 2]
+    local_dirs_x = cos_y[:, None] * dx[None, :] + sin_y[:, None] * dy[None, :]
+    local_dirs_y = -sin_y[:, None] * dx[None, :] + cos_y[:, None] * dy[None, :]
+    local_dirs_z = np.broadcast_to(dz[None, :], local_dirs_x.shape)
+
+    t_near = np.full(local_dirs_x.shape, -np.inf)
+    t_far = np.full(local_dirs_x.shape, np.inf)
+    slabs = (
+        (local_dirs_x, local_origin_x, halves[:, 0]),
+        (local_dirs_y, local_origin_y, halves[:, 1]),
+        (local_dirs_z, rel[:, 2], halves[:, 2]),
+    )
+    for local_dir, local_orig, half in slabs:
+        d = np.where(np.abs(local_dir) < 1e-12, 1e-12, local_dir)
+        inv = 1.0 / d
+        t_a = (-half[:, None] - local_orig[:, None]) * inv
+        t_b = (half[:, None] - local_orig[:, None]) * inv
+        np.maximum(t_near, np.minimum(t_a, t_b), out=t_near)
+        np.minimum(t_far, np.maximum(t_a, t_b), out=t_far)
+
+    hit = (t_near <= t_far) & (t_far >= 0)
+    t = np.where(t_near >= 0, t_near, t_far)  # inside-box rays exit forward
+    return np.where(hit, t, np.inf)
 
 
 def _ray_box_batch(origin: np.ndarray, directions: np.ndarray, box) -> np.ndarray:

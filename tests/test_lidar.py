@@ -155,3 +155,26 @@ class TestScan:
     def test_invalid_noise(self):
         with pytest.raises(ValueError):
             LidarModel(range_noise_std=-0.1)
+
+    def test_range_noise_respects_range_bounds(self, simple_world, sensor_pose):
+        """Noisy hit distances stay inside [min_range, max_range].
+
+        Regression: noise used to be added *after* the range gate, so a
+        large draw could push a return beyond max_range or (pathologically)
+        behind the sensor.
+        """
+        pattern = BeamPattern(
+            "noisy-16",
+            tuple(np.linspace(-15, 15, 16)),
+            azimuth_resolution_deg=1.0,
+            max_range=20.0,
+        )
+        lidar = LidarModel(
+            pattern=pattern, dropout=0.0, range_noise_std=50.0, min_range=1.5
+        )
+        scan = lidar.scan(simple_world, sensor_pose, seed=0)
+        assert len(scan.cloud) > 0
+        # Clouds store float32, so allow rounding at that precision.
+        distances = np.linalg.norm(scan.cloud.xyz, axis=1)
+        assert distances.max() <= pattern.max_range + 1e-3
+        assert distances.min() >= lidar.min_range - 1e-3

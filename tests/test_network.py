@@ -41,6 +41,32 @@ class TestDsrc:
         assert report.delivered
         assert report.attempts > 1
 
+    def test_total_bits_counts_retransmissions(self):
+        """On a lossy retried send, payload_bits stays one copy and
+        total_bits accounts for every attempt's airtime.
+
+        Regression: payload_bits was documented as including
+        retransmissions while holding the single-copy size, and no field
+        exposed the retransmitted volume.
+        """
+        lossy = DsrcChannel(loss_rate=0.9, max_retries=50)
+        report = lossy.transmit(1000, seed=1)
+        assert report.attempts > 1
+        assert report.payload_bits == 1000
+        assert report.total_bits == 1000 * report.attempts
+
+    def test_throughput_is_goodput_under_retries(self):
+        """Retries grow airtime but not delivered data, so goodput drops
+        below the lossless rate for the same payload."""
+        clean = DsrcChannel(loss_rate=0.0)
+        lossy = DsrcChannel(loss_rate=0.9, max_retries=50)
+        clean_report = clean.transmit(1000, seed=1)
+        lossy_report = lossy.transmit(1000, seed=1)
+        assert lossy_report.attempts > 1
+        assert lossy_report.throughput_mbps < clean_report.throughput_mbps
+        expected = lossy_report.payload_bits / lossy_report.seconds / 1e6
+        assert lossy_report.throughput_mbps == pytest.approx(expected)
+
     def test_loss_exhausts_budget(self):
         # loss_rate extremely high and tiny retry budget: expect failure for
         # at least one of several seeds.

@@ -82,6 +82,35 @@ class TestEulerConversions:
         recovered = euler_to_matrix(*matrix_to_euler(matrix))
         np.testing.assert_allclose(recovered, matrix, atol=1e-6)
 
+    @pytest.mark.parametrize("pole", [math.pi / 2, -math.pi / 2])
+    @given(yaw=st.floats(-3.0, 3.0), roll=st.floats(-3.0, 3.0))
+    @settings(max_examples=60)
+    def test_roundtrip_exactly_at_gimbal_poles(self, pole, yaw, roll):
+        """At pitch = ±π/2 only yaw∓roll is observable; the recovered
+        angles must still recompose to the same matrix at *both* poles."""
+        matrix = euler_to_matrix(yaw, pole, roll)
+        recovered = euler_to_matrix(*matrix_to_euler(matrix))
+        np.testing.assert_allclose(recovered, matrix, atol=1e-9)
+
+    @pytest.mark.parametrize("pole", [math.pi / 2, -math.pi / 2])
+    @given(
+        yaw=st.floats(-3.0, 3.0),
+        offset=st.floats(-1e-4, 1e-4),
+        roll=st.floats(-3.0, 3.0),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_near_gimbal_poles(self, pole, yaw, offset, roll):
+        """Just off the poles the branch choice must not glitch.
+
+        Inside the gimbal window (|cos pitch| < ~4.5e-5) the recovered
+        representative snaps to the pole, so entries may differ by that
+        order — but a wrong yaw/roll combination at either pole would be
+        off by O(1), which this tolerance still catches.
+        """
+        matrix = euler_to_matrix(yaw, pole + offset, roll)
+        recovered = euler_to_matrix(*matrix_to_euler(matrix))
+        np.testing.assert_allclose(recovered, matrix, atol=2e-4)
+
     def test_matrix_to_euler_rejects_bad_shape(self):
         with pytest.raises(ValueError):
             matrix_to_euler(np.eye(4))

@@ -69,6 +69,42 @@ class TestVoxelize:
         # Padding rows beyond the count are zero.
         np.testing.assert_allclose(grid.points[0, 5:], 0.0)
 
+    def test_overfull_voxel_keeps_seeded_random_subset(self):
+        """The docstring promises a seeded random subset, not the first T.
+
+        Regression: the implementation used to truncate to the first
+        ``max_points_per_voxel`` points in scan order and ignore ``seed``.
+        """
+        points = [[0.5, -3.5, -0.5, float(i) / 100] for i in range(50)]
+        cloud = cloud_of(*points)
+        kept = {
+            seed: sorted(voxelize(cloud, SPEC, seed=seed).points[0, :5, 3].tolist())
+            for seed in range(8)
+        }
+        # Clouds store float32; compare against the stored values.
+        stored = cloud.data[:, 3].tolist()
+        first_five = sorted(stored[:5])
+        # Some seed must pick a subset other than the first five points...
+        assert any(v != first_five for v in kept.values())
+        # ...and the choice must vary with the seed.
+        assert len({tuple(v) for v in kept.values()}) > 1
+        # Every kept point is one of the originals (no fabricated rows).
+        assert all(set(v) <= set(stored) for v in kept.values())
+
+    def test_overfull_sampling_reproducible(self):
+        points = [[0.5, -3.5, -0.5, float(i) / 100] for i in range(50)]
+        a = voxelize(cloud_of(*points), SPEC, seed=3)
+        b = voxelize(cloud_of(*points), SPEC, seed=3)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_under_cap_voxels_keep_scan_order(self):
+        """Voxels at or below the cap are untouched by the sampler."""
+        points = [[0.5, -3.5, -0.5, float(i) / 10] for i in range(4)]
+        grid = voxelize(cloud_of(*points), SPEC, seed=9)
+        np.testing.assert_allclose(
+            grid.points[0, :4, 3], [p[3] for p in points]
+        )
+
     def test_empty_cloud(self):
         grid = voxelize(PointCloud.empty(), SPEC)
         assert grid.num_voxels == 0
