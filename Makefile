@@ -1,4 +1,4 @@
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-parallel figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,6 +8,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-parallel:
+	python benchmarks/bench_pipeline_hotpath.py --workers 1,2,4
 
 figures: bench
 	@ls -1 results/

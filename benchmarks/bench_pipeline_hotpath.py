@@ -2,27 +2,39 @@
 
 Runs a seeded two-agent :class:`CooperSession` (the full OBU loop: scan →
 ROI → compress → transmit → align/merge → SPOD) with the stage profiler
-enabled and writes the per-stage wall-clock breakdown to
-``results/BENCH_pipeline.json``.  Track that file across commits to see
-where the loop spends its time and whether a change moved the needle.
+enabled, then sweeps the ``repro.runtime`` parallel executor over a
+multi-case workload (the Fig. 4 KITTI case set) at several worker counts,
+and writes both the per-stage wall-clock breakdown and the per-worker
+speedup table to ``results/BENCH_pipeline.json``.  Track that file across
+commits to see where the loop spends its time and whether a change moved
+the needle.
 
 Runs two ways:
 
 * ``pytest benchmarks/bench_pipeline_hotpath.py`` — full bench alongside
   the figure benchmarks.
-* ``python benchmarks/bench_pipeline_hotpath.py [--smoke]`` — standalone;
-  ``--smoke`` shrinks the session for CI.
+* ``python benchmarks/bench_pipeline_hotpath.py [--smoke] [--workers
+  1,2,4]`` — standalone; ``--smoke`` shrinks both workloads for CI.
+
+The parallel sweep also re-verifies the determinism contract: every
+worker count must reproduce the ``workers=1`` results bit-for-bit
+(wall-clock ``timings`` excluded).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import pathlib
+import time
 
 import numpy as np
 
+from repro.datasets import kitti_cases
 from repro.detection.spod import SPOD
+from repro.eval.experiments import run_cases
 from repro.fusion.agent import CooperAgent, CooperSession
 from repro.fusion.cooper import Cooper
 from repro.network.roi_policy import RoiCategory, RoiPolicy
@@ -103,6 +115,58 @@ def run_pipeline_bench(
     }
 
 
+def run_parallel_bench(
+    worker_counts: tuple[int, ...] = (1, 2, 4), repeat: int = 2, seed: int = SEED
+) -> dict:
+    """Time the multi-case workload at each worker count; verify determinism.
+
+    The workload is the Fig. 4 KITTI case set repeated ``repeat`` times —
+    independent cases, the executor's bread and butter.  Returns a
+    JSON-ready section with per-worker wall-clock seconds and speedup
+    versus the first (serial) worker count.  Raises if any worker count
+    fails to reproduce the serial results bit-for-bit (``timings``, the
+    wall-clock field, excluded).
+    """
+    cases = [case for _ in range(repeat) for case in kitti_cases(seed=seed)]
+    sweep: dict[str, dict] = {}
+    reference = None
+    for workers in worker_counts:
+        start = time.perf_counter()
+        results = run_cases(cases, workers=workers)
+        elapsed = time.perf_counter() - start
+        stripped = [dataclasses.replace(r, timings={}) for r in results]
+        if reference is None:
+            reference = stripped
+        elif stripped != reference:
+            raise AssertionError(
+                f"workers={workers} changed the results — determinism broken"
+            )
+        sweep[str(workers)] = {"seconds": elapsed}
+    base = sweep[str(worker_counts[0])]["seconds"]
+    for workers in worker_counts:
+        entry = sweep[str(workers)]
+        entry["speedup"] = base / entry["seconds"] if entry["seconds"] else 0.0
+    return {
+        "workload": f"fig04 KITTI case set x{repeat} ({len(cases)} cases)",
+        "cpu_count": os.cpu_count(),
+        "deterministic": True,
+        "workers": sweep,
+    }
+
+
+def render_parallel_table(parallel: dict) -> str:
+    """Human-readable speedup table of a :func:`run_parallel_bench` section."""
+    lines = [
+        f"workload: {parallel['workload']}  (cpus: {parallel['cpu_count']})",
+        f"{'workers':>8s} {'seconds':>9s} {'speedup':>8s}",
+    ]
+    for workers, entry in parallel["workers"].items():
+        lines.append(
+            f"{workers:>8s} {entry['seconds']:9.2f} {entry['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def write_report(report: dict) -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / REPORT_NAME
@@ -113,6 +177,9 @@ def write_report(report: dict) -> pathlib.Path:
 def test_bench_pipeline_hotpath(benchmark, detector, results_dir):
     report = run_pipeline_bench(duration_seconds=4.0, detector=detector)
     report["mode"] = "pytest"
+    # Small parallel sweep: proves the determinism contract in CI without
+    # assuming multi-core hardware (speedup is recorded, not asserted).
+    report["parallel"] = run_parallel_bench(worker_counts=(1, 2), repeat=1)
     path = write_report(report)
     print(f"\n=== {REPORT_NAME} ===\n{PROFILER.render_table()}\n")
     assert path.exists()
@@ -153,12 +220,27 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the simulated session length in seconds",
     )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker counts for the parallel sweep "
+        "(default: 1,2 when --smoke else 1,2,4)",
+    )
     args = parser.parse_args(argv)
     duration = args.duration if args.duration else (2.0 if args.smoke else 8.0)
+    if args.workers:
+        worker_counts = tuple(int(w) for w in str(args.workers).split(","))
+    else:
+        worker_counts = (1, 2) if args.smoke else (1, 2, 4)
     report = run_pipeline_bench(duration_seconds=duration)
     report["mode"] = "smoke" if args.smoke else "full"
+    report["parallel"] = run_parallel_bench(
+        worker_counts=worker_counts, repeat=1 if args.smoke else 2
+    )
     path = write_report(report)
     print(PROFILER.render_table())
+    print("\n=== parallel case evaluation ===")
+    print(render_parallel_table(report["parallel"]))
     print(f"\nwrote {path}")
     return 0
 

@@ -14,6 +14,9 @@ ICDCS 2019), built on pure numpy/scipy substrates:
 * :mod:`repro.network` — DSRC channel, ROI policies, exchange simulation.
 * :mod:`repro.eval` — the harness regenerating every evaluation figure.
 * :mod:`repro.datasets` — synthetic KITTI-like and T&J-like cases.
+* :mod:`repro.runtime` — deterministic parallel execution (process pools,
+  stable seeding, mergeable profiler snapshots) behind ``--workers``.
+* :mod:`repro.profiling` — the zero-overhead-when-off stage profiler.
 
 Quickstart::
 

@@ -21,7 +21,9 @@ def _cmd_kitti(args: argparse.Namespace) -> int:
     from repro import SPOD, kitti_cases
     from repro.eval import render_case_summary, render_detection_grid, run_cases
 
-    results = run_cases(kitti_cases(seed=args.seed), SPOD.pretrained())
+    results = run_cases(
+        kitti_cases(seed=args.seed), SPOD.pretrained(), workers=args.workers
+    )
     for result in results:
         print(render_detection_grid(result))
         print()
@@ -33,7 +35,9 @@ def _cmd_tj(args: argparse.Namespace) -> int:
     from repro import SPOD, tj_cases
     from repro.eval import render_case_summary, render_detection_grid, run_cases
 
-    results = run_cases(tj_cases(seed=args.seed), SPOD.pretrained())
+    results = run_cases(
+        tj_cases(seed=args.seed), SPOD.pretrained(), workers=args.workers
+    )
     if args.grids:
         for result in results:
             print(render_detection_grid(result))
@@ -47,8 +51,8 @@ def _cmd_cdf(args: argparse.Namespace) -> int:
     from repro.eval import improvement_samples, render_cdf_table, run_cases
 
     detector = SPOD.pretrained()
-    results = run_cases(kitti_cases(seed=args.seed), detector)
-    results += run_cases(tj_cases(seed=args.seed), detector)
+    results = run_cases(kitti_cases(seed=args.seed), detector, workers=args.workers)
+    results += run_cases(tj_cases(seed=args.seed), detector, workers=args.workers)
     print(render_cdf_table(improvement_samples(results)))
     return 0
 
@@ -144,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Cooper (ICDCS 2019) experiments.",
     )
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for case evaluation (default: $REPRO_WORKERS "
+        "or 1; results are bit-identical at any worker count)",
+    )
     parser.add_argument(
         "--profile",
         action="store_true",

@@ -9,6 +9,7 @@ difficulty), Fig. 9 (timing) and Fig. 10 (GPS drift).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +21,7 @@ from repro.eval.difficulty import Difficulty, classify_difficulty
 from repro.eval.matching import match_detections
 from repro.fusion.align import merge_packages
 from repro.geometry.boxes import Box3D
+from repro.runtime import fork_available, parallel_map, resolve_workers
 
 __all__ = [
     "CarRecord",
@@ -103,11 +105,14 @@ def run_case(
     detector: SPOD | None = None,
     gate_distance: float = 2.5,
     max_eval_range: float = 60.0,
-    time_it: bool = False,
 ) -> CaseResult:
-    """Evaluate one cooperative case: every single shot plus the merge."""
-    import time as _time
+    """Evaluate one cooperative case: every single shot plus the merge.
 
+    ``timings`` on the returned result is always populated (per-observer
+    and cooperative detection seconds) — it is wall-clock data and the
+    only field excluded from the determinism contract of
+    :func:`run_cases`.
+    """
     detector = detector or SPOD.pretrained()
     threshold = detector.config.detection_threshold
     gt_names = case.ground_truth_names()
@@ -116,9 +121,9 @@ def run_case(
 
     for observer in case.observer_names:
         gt_boxes = case.ground_truth_in(observer)
-        start = _time.perf_counter()
+        start = time.perf_counter()
         detections = detector.detect_all(case.cloud_of(observer))
-        timings[observer] = _time.perf_counter() - start
+        timings[observer] = time.perf_counter() - start
         columns[observer] = (detections, gt_boxes)
 
     receiver_obs = case.observations[case.receiver]
@@ -127,9 +132,9 @@ def run_case(
         case.cloud_of(case.receiver), packages, case.receiver_measured_pose()
     )
     gt_cooper = case.ground_truth_in(case.receiver)
-    start = _time.perf_counter()
+    start = time.perf_counter()
     cooper_detections = detector.detect_all(merged)
-    timings["cooper"] = _time.perf_counter() - start
+    timings["cooper"] = time.perf_counter() - start
     columns["cooper"] = (cooper_detections, gt_cooper)
 
     matches = {
@@ -208,16 +213,63 @@ def run_case(
         counts=counts,
         accuracies=accuracies,
         false_positives=false_positives,
-        timings=timings if time_it else {},
+        timings=timings,
     )
 
 
+#: Per-worker detector built once by :func:`_case_worker_init` (the pool
+#: warm-up hook), so parallel evaluation does not rebuild SPOD per case.
+_CASE_DETECTOR: SPOD | None = None
+
+#: Case list published by :func:`run_cases` just before the pool forks;
+#: workers inherit it through copy-on-write memory, so tasks ship a bare
+#: index instead of a multi-megabyte pickled case.
+_CASE_SET: list[CooperativeCase] | None = None
+
+
+def _case_worker_init(detector: SPOD | None) -> None:
+    """Worker warm-up: install the shared per-process detector."""
+    global _CASE_DETECTOR
+    _CASE_DETECTOR = detector if detector is not None else SPOD.pretrained()
+
+
+def _case_task(payload: tuple[int, dict]) -> CaseResult:
+    """Evaluate one fork-inherited case using the warmed-up detector."""
+    index, kwargs = payload
+    return run_case(_CASE_SET[index], _CASE_DETECTOR, **kwargs)
+
+
 def run_cases(
-    cases: list[CooperativeCase], detector: SPOD | None = None, **kwargs
+    cases: list[CooperativeCase],
+    detector: SPOD | None = None,
+    workers: int | None = None,
+    **kwargs,
 ) -> list[CaseResult]:
-    """Evaluate a list of cases with a shared detector."""
-    detector = detector or SPOD.pretrained()
-    return [run_case(case, detector, **kwargs) for case in cases]
+    """Evaluate a list of cases with a shared detector.
+
+    ``workers`` > 1 fans the (independent) cases out over a forked
+    process pool — ``None`` defers to the ``REPRO_WORKERS`` environment
+    variable, default 1.  Results keep the input order and are
+    bit-identical to a ``workers=1`` run apart from the wall-clock
+    ``timings`` field; per-worker profiler snapshots are merged back into
+    the parent so ``--profile`` stays exact.
+    """
+    global _CASE_SET
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(cases) <= 1 or not fork_available():
+        _case_worker_init(detector)
+        return [run_case(case, _CASE_DETECTOR, **kwargs) for case in cases]
+    _CASE_SET = list(cases)
+    try:
+        return parallel_map(
+            _case_task,
+            [(index, dict(kwargs)) for index in range(len(cases))],
+            workers=workers,
+            initializer=_case_worker_init,
+            initargs=(detector,),
+        )
+    finally:
+        _CASE_SET = None
 
 
 def improvement_samples(
@@ -252,8 +304,6 @@ def timing_experiment(
     Returns ``{case_name: {"single": s, "cooper": s}}``; averaging over
     cases (and datasets) is left to the caller/bench.
     """
-    import time as _time
-
     detector = detector or SPOD.pretrained()
     timings: dict[str, dict[str, float]] = {}
     for case in cases:
@@ -266,12 +316,12 @@ def timing_experiment(
         single_times = []
         cooper_times = []
         for _ in range(repeats):
-            start = _time.perf_counter()
+            start = time.perf_counter()
             detector.detect(single_cloud)
-            single_times.append(_time.perf_counter() - start)
-            start = _time.perf_counter()
+            single_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
             detector.detect(merged)
-            cooper_times.append(_time.perf_counter() - start)
+            cooper_times.append(time.perf_counter() - start)
         timings[case.name] = {
             "single": float(np.mean(single_times)),
             "cooper": float(np.mean(cooper_times)),

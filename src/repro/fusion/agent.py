@@ -30,11 +30,28 @@ from repro.network.dsrc import DsrcChannel
 from repro.network.messages import MessageFramer
 from repro.network.roi_policy import RoiPolicy, extract_roi
 from repro.profiling import PROFILER
+from repro.runtime import WorkerPool, fork_available, resolve_workers, stable_hash
 from repro.scene.trajectories import Trajectory
 from repro.scene.world import World
 from repro.sensors.rig import RigObservation, SensorRig
 
 __all__ = ["AgentStep", "CooperAgent", "CooperSession"]
+
+
+def _observe_seed(session_seed: int, step_index: int, agent_index: int) -> int:
+    """Per-agent sensing seed for one exchange period."""
+    return session_seed + 101 * step_index + agent_index
+
+
+def _channel_seed(session_seed: int, step_index: int, sender: str) -> int:
+    """Per-broadcast DSRC seed, stable across processes.
+
+    The sender's name is mixed in through :func:`repro.runtime.stable_hash`
+    (CRC-32) rather than built-in ``hash``, whose value changes with
+    ``PYTHONHASHSEED`` — channel losses must be identical run-to-run and
+    worker-to-worker for the determinism contract to hold.
+    """
+    return session_seed + 7 * step_index + stable_hash(sender) % 97
 
 
 @dataclass
@@ -132,15 +149,38 @@ class CooperSession:
         duration_seconds: float = 8.0,
         period_seconds: float = 1.0,
         seed: int = 0,
+        workers: int | None = None,
     ) -> dict[str, list[AgentStep]]:
-        """Simulate the session; returns each agent's step log."""
+        """Simulate the session; returns each agent's step log.
+
+        ``workers`` > 1 runs each agent's observe -> package and fuse ->
+        detect work of every step on a forked worker pool (``None`` defers
+        to ``REPRO_WORKERS``, default 1).  Logs are bit-identical at any
+        worker count: sensing and channel seeds are derived per
+        (step, agent) independently of scheduling.
+        """
         if period_seconds <= 0:
             raise ValueError("period_seconds must be positive")
         logs: dict[str, list[AgentStep]] = {a.name: [] for a in self.agents}
         times = np.arange(0.0, duration_seconds, period_seconds)
-        for step_index, t in enumerate(times):
-            with PROFILER.stage("session.step"):
-                self._step(logs, float(t), step_index, seed)
+        workers = resolve_workers(workers)
+        if workers <= 1 or len(self.agents) <= 1 or not fork_available():
+            for step_index, t in enumerate(times):
+                with PROFILER.stage("session.step"):
+                    self._step(logs, float(t), step_index, seed)
+            return logs
+        # One pool for the whole session: workers warm up once and serve
+        # every step's two fan-out phases.  Chunk size 1 keeps each
+        # agent's (heavy) task a separate unit of work.
+        with WorkerPool(
+            workers,
+            initializer=_session_worker_init,
+            initargs=(self.world, self.agents),
+            chunk_size=1,
+        ) as pool:
+            for step_index, t in enumerate(times):
+                with PROFILER.stage("session.step"):
+                    self._step_parallel(pool, logs, float(t), step_index, seed)
         return logs
 
     def _step(
@@ -150,10 +190,10 @@ class CooperSession:
         step_index: int,
         seed: int,
     ) -> None:
-        """Run one exchange period for every agent."""
+        """Run one exchange period for every agent (inline path)."""
         observations = {
             agent.name: agent.observe(
-                self.world, t, seed=seed + 101 * step_index + i
+                self.world, t, seed=_observe_seed(seed, step_index, i)
             )
             for i, agent in enumerate(self.agents)
         }
@@ -172,7 +212,7 @@ class CooperSession:
                     continue
                 payload, bits = wire[other.name]
                 report = self.channel.transmit(
-                    bits, seed=seed + 7 * step_index + hash(other.name) % 97
+                    bits, seed=_channel_seed(seed, step_index, other.name)
                 )
                 delivered_flags.append(report.delivered)
                 if report.delivered:
@@ -197,3 +237,109 @@ class CooperSession:
                     detections=detections,
                 )
             )
+
+    def _step_parallel(
+        self,
+        pool: WorkerPool,
+        logs: dict[str, list[AgentStep]],
+        t: float,
+        step_index: int,
+        seed: int,
+    ) -> None:
+        """One exchange period with per-agent work fanned out to ``pool``.
+
+        Phase 1 (workers): observe + build + serialize, one task per
+        agent.  Phase 2 (parent): the shared DSRC channel decides delivery
+        per broadcast — cheap, and keeps the link model in one place.
+        Phase 3 (workers): decode + fuse + detect, one task per agent.
+        Seeds match :meth:`_step` exactly, so logs are bit-identical.
+        """
+        built = pool.map(
+            _observe_build_task,
+            [
+                (i, t, _observe_seed(seed, step_index, i))
+                for i in range(len(self.agents))
+            ],
+        )
+        observations: dict[str, RigObservation] = {}
+        wire: dict[str, tuple[bytes, int]] = {}
+        for agent, (observation, payload) in zip(self.agents, built):
+            observations[agent.name] = observation
+            wire[agent.name] = (payload, len(payload) * 8)
+
+        received_payloads: dict[str, list[bytes]] = {}
+        delivered: dict[str, list[bool]] = {}
+        for agent in self.agents:
+            received_payloads[agent.name] = []
+            delivered[agent.name] = []
+            for other in self.agents:
+                if other.name == agent.name:
+                    continue
+                payload, bits = wire[other.name]
+                report = self.channel.transmit(
+                    bits, seed=_channel_seed(seed, step_index, other.name)
+                )
+                delivered[agent.name].append(report.delivered)
+                if report.delivered:
+                    frames = self.framer.fragment(payload)
+                    received_payloads[agent.name].append(
+                        MessageFramer.reassemble(frames)
+                    )
+
+        perceived = pool.map(
+            _perceive_task,
+            [
+                (i, observations[agent.name], received_payloads[agent.name])
+                for i, agent in enumerate(self.agents)
+            ],
+        )
+        for agent, (received, detections) in zip(self.agents, perceived):
+            PROFILER.count("session.packages_received", len(received))
+            PROFILER.count(
+                "session.packages_lost",
+                len(delivered[agent.name]) - len(received),
+            )
+            logs[agent.name].append(
+                AgentStep(
+                    time=t,
+                    observation=observations[agent.name],
+                    sent_bits=wire[agent.name][1],
+                    received_packages=received,
+                    delivered=delivered[agent.name],
+                    detections=detections,
+                )
+            )
+
+
+#: Session state installed in each worker by :func:`_session_worker_init`;
+#: the world and agent stacks are shipped once per worker, not per task.
+_WORKER_WORLD: World | None = None
+_WORKER_AGENTS: list[CooperAgent] | None = None
+
+
+def _session_worker_init(world: World, agents: list[CooperAgent]) -> None:
+    """Worker warm-up: install the session's world and agent stacks."""
+    global _WORKER_WORLD, _WORKER_AGENTS
+    _WORKER_WORLD = world
+    _WORKER_AGENTS = agents
+
+
+def _observe_build_task(
+    payload: tuple[int, float, int],
+) -> tuple[RigObservation, bytes]:
+    """Phase-1 worker task: one agent senses and serialises its package."""
+    agent_index, t, obs_seed = payload
+    agent = _WORKER_AGENTS[agent_index]
+    observation = agent.observe(_WORKER_WORLD, t, seed=obs_seed)
+    package = agent.build_package(_WORKER_WORLD, observation, t)
+    return observation, package.serialize()
+
+
+def _perceive_task(
+    payload: tuple[int, RigObservation, list[bytes]],
+) -> tuple[list[ExchangePackage], list[Detection]]:
+    """Phase-3 worker task: one agent decodes, fuses and detects."""
+    agent_index, observation, package_payloads = payload
+    agent = _WORKER_AGENTS[agent_index]
+    received = [ExchangePackage.deserialize(p) for p in package_payloads]
+    return received, agent.perceive(observation, received)

@@ -59,6 +59,30 @@ class StageStats:
         """Mean seconds per call (0 when never called)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: dict) -> None:
+        """Fold another stage's exported stats (:meth:`as_dict`) into this.
+
+        Counts, totals and histogram bins add exactly; min/max combine.
+        Used by :meth:`Profiler.merge_snapshot` to reconcile per-worker
+        profiler snapshots after a parallel run.
+        """
+        count = int(other["count"])
+        if count == 0:
+            return
+        histogram = other["histogram"]
+        if len(histogram) != len(self.histogram):
+            raise ValueError(
+                f"stage {self.name!r}: histogram has {len(histogram)} bins, "
+                f"expected {len(self.histogram)} (mismatched HISTOGRAM_EDGES?)"
+            )
+        other_min = float(other["min_seconds"])
+        self.min = other_min if self.count == 0 else min(self.min, other_min)
+        self.max = max(self.max, float(other["max_seconds"]))
+        self.count += count
+        self.total += float(other["total_seconds"])
+        for bucket, value in enumerate(histogram):
+            self.histogram[bucket] += int(value)
+
     def as_dict(self) -> dict:
         """JSON-ready summary of this stage."""
         return {
@@ -109,7 +133,9 @@ class Profiler:
 
     Not thread-safe by design: the OBU loop is single-threaded and lock-free
     increments keep the enabled path cheap.  Use one Profiler per thread if
-    that ever changes.
+    that ever changes.  Under process parallelism each worker accumulates
+    into its own per-process registry; :meth:`snapshot` /
+    :meth:`merge_snapshot` reconcile those back into the parent.
     """
 
     def __init__(self, enabled: bool = False) -> None:
@@ -210,6 +236,34 @@ class Profiler:
             },
             "counters": dict(self._counters),
         }
+
+    def snapshot(self) -> dict:
+        """A mergeable export of the current state (alias of :meth:`as_dict`).
+
+        Workers call this at the end of a chunk; the parent process folds
+        the result back in with :meth:`merge_snapshot`.
+        """
+        return self.as_dict()
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another process into this registry.
+
+        Stage counts, totals and histogram bins sum exactly and counters
+        add, so merging every worker's snapshot reproduces the registry a
+        single-process run would have accumulated.  Merging ignores the
+        ``enabled`` flag — it is a parent-side aggregation step, not a
+        recording one.
+        """
+        edges = snapshot.get("histogram_edges_seconds")
+        if edges is not None and tuple(edges) != HISTOGRAM_EDGES:
+            raise ValueError("snapshot recorded with different HISTOGRAM_EDGES")
+        for name, data in snapshot.get("stages", {}).items():
+            stats = self._stages.get(name)
+            if stats is None:
+                stats = self._stages[name] = StageStats(name)
+            stats.merge(data)
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0.0) + float(value)
 
     def export_json(self, path: str | Path) -> Path:
         """Write :meth:`as_dict` to ``path`` and return it."""

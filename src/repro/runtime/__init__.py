@@ -1,0 +1,45 @@
+"""Deterministic parallel execution for the Cooper reproduction.
+
+Cooper's evaluation is embarrassingly parallel twice over: cases are
+independent of each other, and within a session step each agent's
+observe -> package -> perceive work is independent of its peers.  This
+package is the execution engine that exploits both without giving up
+reproducibility:
+
+* :func:`parallel_map` / :class:`WorkerPool` — a fork-based process pool
+  with chunked work distribution, ordered result collection, per-worker
+  warm-up hooks and an inline fallback (``workers <= 1`` or no ``fork``).
+* :func:`derive_seed` / :func:`stable_hash` — CRC-32 seed derivation that
+  is identical in every process regardless of ``PYTHONHASHSEED``.
+* Profiler-aware workers: chunk snapshots of the per-process
+  :data:`repro.profiling.PROFILER` are merged back into the parent so
+  ``--profile`` stage totals stay exact under parallelism.
+
+The determinism contract: for a fixed seed, results are bit-identical at
+any worker count — parallelism only changes wall-clock time.  Worker
+counts come from an explicit argument, else the ``REPRO_WORKERS``
+environment variable, else 1.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.executor import (
+    WORKERS_ENV,
+    WorkerPool,
+    chunk_bounds,
+    fork_available,
+    parallel_map,
+    resolve_workers,
+)
+from repro.runtime.seeding import derive_seed, stable_hash
+
+__all__ = [
+    "WORKERS_ENV",
+    "WorkerPool",
+    "chunk_bounds",
+    "derive_seed",
+    "fork_available",
+    "parallel_map",
+    "resolve_workers",
+    "stable_hash",
+]

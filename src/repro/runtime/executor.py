@@ -1,0 +1,216 @@
+"""Deterministic process-pool execution for embarrassingly parallel work.
+
+The repo's fan-out layers — case evaluation, per-agent session steps, the
+benchmark harness — are all "map a pure function over independent items"
+problems.  :class:`WorkerPool` and :func:`parallel_map` run such maps over
+a pool of forked worker processes with a strict determinism contract:
+
+* **Ordered results** — the output list always matches the input order, no
+  matter which worker finished first.
+* **Chunked distribution** — items are split into contiguous chunks so a
+  worker amortises its per-task overhead; chunk boundaries never affect
+  results, only scheduling.
+* **Warm-up hooks** — an ``initializer`` runs once per worker (e.g. build
+  ``SPOD.pretrained()`` once, not once per case).  The inline fallback
+  invokes it too, so code paths stay identical.
+* **Profiler merge** — :data:`repro.profiling.PROFILER` is per-process, so
+  each chunk returns a profiler snapshot that the parent folds back into
+  its own registry; ``--profile`` output stays correct under parallelism.
+* **Inline fallback** — ``workers <= 1``, a single item, or a platform
+  without ``fork`` degrades gracefully to a plain loop in-process.
+
+Worker count resolution: an explicit ``workers`` argument wins, otherwise
+the ``REPRO_WORKERS`` environment variable, otherwise 1 (inline).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.profiling import PROFILER
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "fork_available",
+    "chunk_bounds",
+    "WorkerPool",
+    "parallel_map",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an effective worker count (always >= 1).
+
+    Precedence: explicit ``workers`` argument, then the ``REPRO_WORKERS``
+    environment variable, then 1.  A malformed environment value raises
+    ``ValueError`` rather than silently serialising.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from exc
+    return max(1, int(workers))
+
+
+def fork_available() -> bool:
+    """True when the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def chunk_bounds(
+    n_items: int, workers: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` chunk bounds covering ``n_items``.
+
+    The default chunk size targets ~4 chunks per worker so uneven per-item
+    cost still balances, while keeping per-chunk dispatch overhead small.
+    The split is a pure function of ``(n_items, workers, chunk_size)`` —
+    never of timing — so scheduling is deterministic.
+    """
+    if n_items <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(n_items / (max(1, workers) * 4)))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        (start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+def _run_chunk(fn: Callable, chunk: list, profile: bool) -> tuple[list, dict | None]:
+    """Worker-side chunk runner: map ``fn`` and snapshot the profiler.
+
+    Each chunk resets the worker's (per-process) profiler first, so the
+    returned snapshot is exactly this chunk's delta and the parent can sum
+    snapshots without double counting.
+    """
+    if profile:
+        PROFILER.reset()
+        PROFILER.enable()
+    results = [fn(item) for item in chunk]
+    if not profile:
+        return results, None
+    snapshot = PROFILER.snapshot()
+    PROFILER.reset()
+    return results, snapshot
+
+
+class WorkerPool:
+    """A persistent, deterministic process pool (or its inline stand-in).
+
+    Use as a context manager when several :meth:`map` calls should share
+    the same warmed-up workers (e.g. one pool for every step of a
+    session); :func:`parallel_map` wraps the one-shot case.
+
+    Attributes:
+        workers: resolved worker count.
+        inline: True when mapping runs in-process (``workers <= 1`` or the
+            platform lacks ``fork``).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+        chunk_size: int | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.inline = self.workers <= 1 or not fork_available()
+        self._executor: ProcessPoolExecutor | None = None
+        if self.inline:
+            # The warm-up contract holds inline too: run the hook once so
+            # both paths execute the same code.
+            if initializer is not None:
+                initializer(*initargs)
+        else:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=initializer,
+                initargs=initargs,
+            )
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results keep the input order.
+
+        When the parent profiler is enabled, each worker chunk's profiler
+        snapshot is merged back into :data:`~repro.profiling.PROFILER` so
+        stage totals and counters account for work done in workers.
+        """
+        items = list(items)
+        if self.inline:
+            return [fn(item) for item in items]
+        if not items:
+            return []
+        # Even a single item goes through the pool: in pool mode the
+        # initializer ran in the workers, not the parent, so inline
+        # execution here would miss the warm-up state.
+        assert self._executor is not None
+        profile = PROFILER.enabled
+        bounds = chunk_bounds(len(items), self.workers, self.chunk_size)
+        futures = [
+            self._executor.submit(_run_chunk, fn, items[start:stop], profile)
+            for start, stop in bounds
+        ]
+        results: list = []
+        for future in futures:  # in-order collection == deterministic output
+            chunk_results, snapshot = future.result()
+            results.extend(chunk_results)
+            if snapshot is not None:
+                PROFILER.merge_snapshot(snapshot)
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; inline pools are a no-op)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    *,
+    workers: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    chunk_size: int | None = None,
+) -> list:
+    """One-shot ordered parallel map (see :class:`WorkerPool`).
+
+    ``fn`` (and the items) must be picklable module-level callables when
+    ``workers > 1``; with ``workers <= 1`` everything runs inline.
+    """
+    with WorkerPool(
+        workers,
+        initializer=initializer,
+        initargs=initargs,
+        chunk_size=chunk_size,
+    ) as pool:
+        return pool.map(fn, items)

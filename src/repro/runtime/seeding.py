@@ -1,0 +1,37 @@
+"""Process-stable seed derivation for parallel execution.
+
+Python's built-in ``hash`` of a string changes between interpreter runs
+(``PYTHONHASHSEED``), so any simulation seed derived from it differs
+run-to-run and process-to-process — fatal for the determinism contract of
+:mod:`repro.runtime`: the same base seed must drive identical randomness
+whether a task runs inline, in worker 0 or in worker 7.  The helpers here
+mix seeds through CRC-32, which is fixed by specification and identical on
+every platform and process.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash", "derive_seed"]
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 32-bit hash of a string.
+
+    Unlike built-in ``hash``, the value does not depend on
+    ``PYTHONHASHSEED``, the platform or the interpreter run.
+    """
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def derive_seed(base_seed: int, *components: object) -> int:
+    """Derive a child seed from a base seed plus mix-in components.
+
+    The components (task indices, stage labels, agent names, ...) are
+    folded into a CRC-32 digest, so the result is stable across processes
+    and independent of where in a worker pool the task lands.  Returns a
+    value in ``[0, 2**32)``.
+    """
+    payload = ":".join([repr(int(base_seed))] + [repr(c) for c in components])
+    return zlib.crc32(payload.encode("utf-8"))
