@@ -1,0 +1,129 @@
+"""Robustness chaos bench — the degradation-curve anchor.
+
+Runs the :mod:`repro.eval.chaos` sweeps (recall vs Gilbert-Elliott loss
+rate, recall vs GPS dead-reckoning error, stale-fallback vs drop-to-ego)
+on the seeded two-agent parking-lot session and writes the report to
+``results/BENCH_robustness.json``.  Track that file across commits to see
+whether a change moved the degradation curves.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_robustness_chaos.py`` — smoke-sized sweeps
+  alongside the figure benchmarks (the full grid is minutes of SPOD).
+* ``python benchmarks/bench_robustness_chaos.py [--smoke] [--workers N]``
+  — standalone; ``--smoke`` shrinks the grids for CI.
+
+The bench also asserts the graceful-degradation contract: fault-free
+recall is not zero, recall at total chaos never *exceeds* the clean
+baseline, and the stale-package fallback does at least as well as
+dropping to ego-only perception under moderate loss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.detection.spod import SPOD
+from repro.eval.chaos import chaos_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPORT_NAME = "BENCH_robustness.json"
+
+
+def render_report(report: dict) -> str:
+    """Human-readable degradation tables of a :func:`chaos_sweep` report."""
+    lines = [f"scenario: {report['scenario']}  (mode: {report['mode']})"]
+    lines.append(f"{'loss':>6s} {'recall':>8s} {'pkgs/step':>10s}")
+    for point in report["loss_sweep"]:
+        lines.append(
+            f"{point['loss_rate']:6.2f} {point['recall']:8.3f} "
+            f"{point['mean_received']:10.2f}"
+        )
+    lines.append(f"{'gps m':>6s} {'recall':>8s}")
+    for point in report["gps_error_sweep"]:
+        lines.append(f"{point['gps_error_m']:6.1f} {point['recall']:8.3f}")
+    stale = report["stale_vs_ego"]
+    lines.append(
+        f"stale fallback {stale['stale_fallback']['recall']:.3f} vs "
+        f"drop-to-ego {stale['drop_to_ego']['recall']:.3f} "
+        f"at loss {stale['loss_rate']:.1f} (gain {stale['recall_gain']:+.3f})"
+    )
+    return "\n".join(lines)
+
+
+def check_degradation_contract(report: dict) -> None:
+    """Raise when a sweep violates the graceful-degradation claims."""
+    losses = report["loss_sweep"]
+    clean = losses[0]
+    assert clean["loss_rate"] == 0.0, "loss sweep must start fault-free"
+    assert clean["recall"] > 0.0, "clean-session recall is zero"
+    for point in losses[1:]:
+        # Monotone-ish decay: a lossy run may jitter a match or two above
+        # the baseline (stale packages shift the merged cloud slightly),
+        # but never meaningfully beat the clean channel.
+        assert point["recall"] <= clean["recall"] + 0.05, (
+            f"recall at loss {point['loss_rate']} exceeds the clean baseline"
+        )
+        # No cliff at moderate loss: the resilience machinery must hold
+        # most of the clean recall while fresh packages still trickle in.
+        if point["loss_rate"] <= 0.5:
+            assert point["recall"] >= 0.6 * clean["recall"], (
+                f"recall cliff at loss {point['loss_rate']}"
+            )
+    stale = report["stale_vs_ego"]
+    assert stale["recall_gain"] >= 0.0, (
+        "stale-package fallback lost to drop-to-ego"
+    )
+
+
+def write_report(report: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / REPORT_NAME
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_bench_robustness_chaos(detector, results_dir):
+    report = chaos_sweep(smoke=True, detector=detector)
+    report["mode"] = "pytest-smoke"
+    check_degradation_contract(report)
+    path = write_report(report)
+    print(f"\n=== {REPORT_NAME} ===\n{render_report(report)}\n")
+    assert path.exists()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the sweep grids and session length (CI smoke run)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan base seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the session loop (results identical at "
+        "any count)",
+    )
+    args = parser.parse_args(argv)
+    report = chaos_sweep(
+        smoke=args.smoke,
+        seed=args.seed,
+        detector=SPOD.pretrained(),
+        workers=args.workers,
+    )
+    check_degradation_contract(report)
+    path = write_report(report)
+    print(render_report(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ regenerates the paper's experiments from a terminal:
 * ``timing``   — Fig. 9: single vs cooperative detection time.
 * ``drift``    — Fig. 10: GPS skew robustness.
 * ``network``  — Figs. 11-12: ROI volumes vs DSRC capacity.
+* ``chaos``    — beyond-paper: recall under injected channel/sensor faults.
 """
 
 from __future__ import annotations
@@ -141,6 +142,62 @@ def _cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import SPOD
+    from repro.eval.chaos import (
+        build_chaos_session,
+        chaos_sweep,
+        session_recall,
+    )
+    from repro.faults import FaultPlan
+
+    detector = SPOD.pretrained()
+    if args.faults:
+        # One session under an explicit fault spec; print what happened.
+        plan = FaultPlan.from_spec(args.faults, seed=args.seed)
+        session = build_chaos_session(detector=detector, faults=plan)
+        logs = session.run(
+            duration_seconds=args.seconds, seed=args.seed, workers=args.workers
+        )
+        result = session_recall(session, logs)
+        print(f"fault plan : {plan.describe()}")
+        print(f"steps      : {result.steps}")
+        print(
+            f"recall     : {result.recall:.3f} "
+            f"({result.matched}/{result.visible} visible cars matched)"
+        )
+        print(f"packages   : {result.mean_received:.2f} merged per agent-step")
+        if result.degradation:
+            print("degradation:")
+            for name, count in sorted(result.degradation.items()):
+                print(f"  {name:20s} {count}")
+        else:
+            print("degradation: none")
+        return 0
+
+    report = chaos_sweep(smoke=args.smoke, seed=args.seed, workers=args.workers)
+    print("loss sweep (Gilbert-Elliott bursty channel):")
+    print(f"{'loss':>6s} {'recall':>8s} {'pkgs/step':>10s}  degradation")
+    for point in report["loss_sweep"]:
+        events = sum(point["degradation"].values())
+        print(
+            f"{point['loss_rate']:6.2f} {point['recall']:8.3f} "
+            f"{point['mean_received']:10.2f}  {events} events"
+        )
+    print("\ngps error sweep (permanent dropout, dead-reckoned fix):")
+    print(f"{'err m':>6s} {'recall':>8s}")
+    for point in report["gps_error_sweep"]:
+        print(f"{point['gps_error_m']:6.1f} {point['recall']:8.3f}")
+    stale = report["stale_vs_ego"]
+    print(
+        f"\nstale fallback vs drop-to-ego at loss {stale['loss_rate']:.1f}: "
+        f"{stale['stale_fallback']['recall']:.3f} vs "
+        f"{stale['drop_to_ego']['recall']:.3f} "
+        f"(gain {stale['recall_gain']:+.3f})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -177,6 +234,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("drift", help="Fig. 10 GPS drift robustness")
     network = sub.add_parser("network", help="Figs. 11-12 ROI volumes")
     network.add_argument("--seconds", type=float, default=8.0)
+    chaos = sub.add_parser(
+        "chaos", help="recall under injected channel/sensor faults"
+    )
+    chaos.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="run one session under a fault spec instead of the sweep: a "
+        "preset (none/mild/heavy) and/or comma-separated key=value "
+        "overrides, e.g. 'loss=0.5,jitter=10' or 'heavy,gps-dropout=1.0'",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the sweep grids and session length (CI smoke run)",
+    )
+    chaos.add_argument(
+        "--seconds",
+        type=float,
+        default=6.0,
+        help="session length for --faults runs (default 6.0)",
+    )
     return parser
 
 
@@ -187,6 +266,7 @@ _HANDLERS = {
     "timing": _cmd_timing,
     "drift": _cmd_drift,
     "network": _cmd_network,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -4,7 +4,8 @@ Everything needed to regenerate the paper's evaluation section: detection
 <-> ground-truth matching, the per-case detection grids of Figs. 3/6, the
 count/accuracy summaries of Figs. 4/7, the difficulty-stratified
 improvement CDF of Fig. 8, the timing comparison of Fig. 9 and the GPS
-drift study of Fig. 10.
+drift study of Fig. 10 — plus the beyond-paper chaos-sweep robustness
+experiment (recall under injected channel and sensor faults).
 """
 
 from repro.eval.matching import match_detections, MatchResult
@@ -24,6 +25,15 @@ from repro.eval.experiments import (
     improvement_samples,
     timing_experiment,
     gps_drift_experiment,
+)
+from repro.eval.chaos import (
+    ChaosRunResult,
+    build_chaos_session,
+    session_recall,
+    loss_sweep,
+    gps_error_sweep,
+    stale_fallback_comparison,
+    chaos_sweep,
 )
 from repro.eval.reporting import (
     render_detection_grid,
@@ -51,6 +61,13 @@ __all__ = [
     "improvement_samples",
     "timing_experiment",
     "gps_drift_experiment",
+    "ChaosRunResult",
+    "build_chaos_session",
+    "session_recall",
+    "loss_sweep",
+    "gps_error_sweep",
+    "stale_fallback_comparison",
+    "chaos_sweep",
     "render_detection_grid",
     "render_case_summary",
     "render_cdf_table",

@@ -1,0 +1,48 @@
+"""Seeded, deterministic fault injection for the Cooper reproduction.
+
+Cooper's viability argument (Section IV-G) assumes DSRC delivers; real
+vehicular channels fail in bursts, spike in latency, and the GPS/IMU
+feeds that drive the Eq. (1)-(3) alignment glitch exactly when they are
+needed most.  This package models those failures so the rest of the
+system can demonstrate *graceful degradation* instead of assuming a
+clean world:
+
+* :class:`BurstLossModel` — Gilbert-Elliott two-state bursty loss.
+* :class:`LatencyJitterModel` — per-message jitter + contention spikes.
+* :class:`FaultPlan` — one seeded schedule combining the stochastic
+  models with scripted :class:`FaultEvent`\\ s; resolved per
+  ``(step, agent)`` through pure CRC-32-seeded functions, so fault
+  schedules are bit-identical at any worker count.
+
+Injection points live where the faults physically occur: channel faults
+in :class:`repro.network.dsrc.DsrcChannel` (driven by
+:meth:`FaultPlan.channel_conditions`), sensor faults at the
+:meth:`repro.sensors.rig.SensorRig.observe` boundary (driven by
+:meth:`FaultPlan.sensor_faults`).  The resilience mechanisms that absorb
+them — stale-package fallback, circuit breaker, sanity gate — live in
+:mod:`repro.fusion.agent`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.models import BurstLossModel, ChannelState, LatencyJitterModel
+from repro.faults.plan import (
+    NO_SENSOR_FAULTS,
+    ChannelConditions,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    SensorFaults,
+)
+
+__all__ = [
+    "BurstLossModel",
+    "ChannelState",
+    "LatencyJitterModel",
+    "ChannelConditions",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "SensorFaults",
+    "NO_SENSOR_FAULTS",
+]

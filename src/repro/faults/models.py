@@ -1,0 +1,171 @@
+"""Stochastic fault models: bursty channel loss and latency jitter.
+
+Real DSRC links do not lose packets independently: fading, shadowing by
+trucks and contention produce *bursts* of consecutive losses, which is
+exactly the regime where per-message retries stop helping and a receiver
+must fall back to stale data.  The classic two-state Gilbert-Elliott
+chain captures this with four numbers: a GOOD state with low loss, a BAD
+state with high loss, and the transition probabilities between them.
+
+Latency behaves the same way — a quiet channel adds a bounded jitter,
+while occasional contention spikes add tens of milliseconds, blowing the
+per-frame deadline of a 10 Hz perception loop.
+
+Both models are pure functions of seeds: the state of a link at step
+``k`` is computed by advancing the chain from step 0 under a
+CRC-32-derived seed, so every process (and every worker count) sees the
+same fault schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime import derive_seed
+
+__all__ = ["ChannelState", "BurstLossModel", "LatencyJitterModel"]
+
+
+class ChannelState(enum.Enum):
+    """The two Gilbert-Elliott link states."""
+
+    GOOD = "good"
+    BAD = "bad"
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class BurstLossModel:
+    """Gilbert-Elliott two-state bursty loss.
+
+    Attributes:
+        p_good_to_bad: per-step probability of entering the BAD state.
+        p_bad_to_good: per-step probability of recovering to GOOD.
+        loss_good: per-attempt loss probability while GOOD.
+        loss_bad: per-attempt loss probability while BAD.
+    """
+
+    p_good_to_bad: float = 0.15
+    p_bad_to_good: float = 0.5
+    loss_good: float = 0.02
+    loss_bad: float = 0.85
+
+    def __post_init__(self) -> None:
+        _check_probability("p_good_to_bad", self.p_good_to_bad)
+        _check_probability("p_bad_to_good", self.p_bad_to_good)
+        _check_probability("loss_good", self.loss_good)
+        _check_probability("loss_bad", self.loss_bad)
+
+    @property
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of steps spent in the BAD state."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        return self.p_good_to_bad / denom if denom > 0 else 0.0
+
+    @property
+    def expected_loss_rate(self) -> float:
+        """Long-run per-attempt loss probability of the chain."""
+        bad = self.stationary_bad_fraction
+        return bad * self.loss_bad + (1.0 - bad) * self.loss_good
+
+    def state_at(self, link_seed: int, step: int) -> ChannelState:
+        """The chain state of one link at one session step.
+
+        The chain starts GOOD at step 0 and advances one transition per
+        step, drawing from a single RNG stream derived from
+        ``link_seed`` — a pure function of ``(link_seed, step)`` that is
+        identical in every process and at every worker count.
+        """
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        rng = np.random.default_rng(derive_seed(link_seed, "ge-chain"))
+        state = ChannelState.GOOD
+        for _ in range(step):
+            draw = rng.random()
+            if state is ChannelState.GOOD:
+                if draw < self.p_good_to_bad:
+                    state = ChannelState.BAD
+            elif draw < self.p_bad_to_good:
+                state = ChannelState.GOOD
+        return state
+
+    def loss_rate(self, state: ChannelState) -> float:
+        """The per-attempt loss probability while in ``state``."""
+        return self.loss_bad if state is ChannelState.BAD else self.loss_good
+
+    @classmethod
+    def for_target_loss(
+        cls,
+        target_loss: float,
+        loss_bad: float = 0.95,
+        loss_good: float = 0.02,
+        p_bad_to_good: float = 0.4,
+    ) -> "BurstLossModel":
+        """A chain whose long-run loss rate approximates ``target_loss``.
+
+        Solves the stationary BAD fraction needed for the mixture
+        ``bad * loss_bad + (1 - bad) * loss_good`` to hit the target,
+        then derives ``p_good_to_bad`` from the fixed recovery rate
+        (slowing recovery instead when the required entry rate would
+        exceed 1).  Used by the chaos sweep to place points on a
+        loss-rate axis; a target outside ``[loss_good, loss_bad]`` is
+        unreachable and raises.
+        """
+        _check_probability("target_loss", target_loss)
+        span = loss_bad - loss_good
+        if span <= 0:
+            raise ValueError("loss_bad must exceed loss_good")
+        if not loss_good <= target_loss <= loss_bad:
+            raise ValueError(
+                f"target_loss {target_loss} is outside the reachable range "
+                f"[{loss_good}, {loss_bad}]"
+            )
+        bad_fraction = (target_loss - loss_good) / span
+        if bad_fraction >= 1.0:
+            p_good_to_bad = 1.0
+            p_bad_to_good = 0.0
+        else:
+            p_good_to_bad = p_bad_to_good * bad_fraction / (1.0 - bad_fraction)
+            if p_good_to_bad > 1.0:
+                p_good_to_bad = 1.0
+                p_bad_to_good = (1.0 - bad_fraction) / bad_fraction
+        return cls(
+            p_good_to_bad=p_good_to_bad,
+            p_bad_to_good=p_bad_to_good,
+            loss_good=loss_good,
+            loss_bad=loss_bad,
+        )
+
+
+@dataclass(frozen=True)
+class LatencyJitterModel:
+    """Per-message latency jitter with occasional contention spikes.
+
+    Attributes:
+        jitter_ms: upper bound of the uniform per-attempt jitter.
+        spike_prob: probability a message hits a contention spike.
+        spike_ms: extra latency such a spike adds.
+    """
+
+    jitter_ms: float = 1.0
+    spike_prob: float = 0.0
+    spike_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.jitter_ms < 0 or self.spike_ms < 0:
+            raise ValueError("jitter/spike latencies must be non-negative")
+        _check_probability("spike_prob", self.spike_prob)
+
+    def sample_ms(self, rng: np.random.Generator) -> float:
+        """Draw one message's extra latency in milliseconds."""
+        extra = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
+        if self.spike_prob > 0 and rng.random() < self.spike_prob:
+            extra += self.spike_ms
+        return extra

@@ -14,6 +14,20 @@ exchange period:
 :class:`CooperSession` drives two or more agents through a timeline,
 delivering each agent's package to the others — the system-level
 simulation behind the paper's end-to-end claims.
+
+The session is built to *degrade*, not crash, under faults: an optional
+:class:`repro.faults.FaultPlan` injects bursty channel loss, latency
+spikes and sensor faults, and the resilience mechanisms configured by
+:class:`ResilienceConfig` absorb them — a pre-merge sanity gate
+quarantines corrupted packages, an age-bounded stale-package cache
+re-aligns a peer's last delivery through the same Eq. (1)-(3) transform
+when a fresh one is lost, and a per-peer circuit breaker stops burning
+airtime on dark links.  When every peer is dark the loop falls back to
+ego-only perception.  Every degradation event is mirrored into the
+session's :attr:`CooperSession.degradation` table and the
+:mod:`repro.profiling` registry, and all fault/resilience decisions run
+in the parent process or as pure seeded functions, so logs stay
+bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -24,8 +38,11 @@ import numpy as np
 
 from repro.detection.detections import Detection
 from repro.detection.spod import SPOD
+from repro.faults.plan import FaultPlan, SensorFaults
+from repro.fusion.align import package_intrinsically_sane, pose_delta_plausible
 from repro.fusion.cooper import Cooper
 from repro.fusion.package import ExchangePackage
+from repro.fusion.temporal import StalePackageCache
 from repro.network.dsrc import DsrcChannel
 from repro.network.messages import MessageFramer
 from repro.network.roi_policy import RoiPolicy, extract_roi
@@ -35,7 +52,13 @@ from repro.scene.trajectories import Trajectory
 from repro.scene.world import World
 from repro.sensors.rig import RigObservation, SensorRig
 
-__all__ = ["AgentStep", "CooperAgent", "CooperSession"]
+__all__ = [
+    "AgentStep",
+    "CooperAgent",
+    "CooperSession",
+    "PeerHealth",
+    "ResilienceConfig",
+]
 
 
 def _observe_seed(session_seed: int, step_index: int, agent_index: int) -> int:
@@ -62,8 +85,13 @@ class AgentStep:
         time: simulation time (seconds).
         observation: the agent's own sensing this period.
         sent_bits: size of the package it broadcast.
-        received_packages: decoded packages from cooperators.
-        delivered: per-received-package channel outcome.
+        received_packages: decoded packages that reached the merge (fresh
+            deliveries plus any stale-cache fallbacks).
+        delivered: per-peer channel outcome for this period's broadcasts
+            (False covers loss, deadline drops, blackouts and circuit-
+            breaker skips — the fresh package did not arrive).
+        stale_count: how many of ``received_packages`` were age-bounded
+            stale-cache fallbacks rather than fresh deliveries.
         detections: SPOD output on the fused cloud.
     """
 
@@ -72,7 +100,97 @@ class AgentStep:
     sent_bits: int
     received_packages: list[ExchangePackage] = field(default_factory=list)
     delivered: list[bool] = field(default_factory=list)
+    stale_count: int = 0
     detections: list[Detection] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the session's graceful-degradation machinery.
+
+    Attributes:
+        stale_fallback: merge a peer's last delivered package (re-aligned
+            by its own recorded pose through Eq. (1)-(3)) when the fresh
+            one is lost.
+        max_stale_steps: oldest cache entry the fallback may use.
+        breaker_threshold: consecutive delivery failures that open a
+            peer's circuit breaker (0 disables the breaker).
+        breaker_cooldown_steps: steps a tripped breaker skips the peer
+            before probing it again.
+        sanity_gate: reject corrupted packages (non-finite or implausible
+            points/poses) before they reach the merge.
+        max_peer_distance_m: sanity bound on the sender-receiver BEV
+            distance (DSRC is a sub-kilometre radio).
+        max_point_range_m: sanity bound on received point coordinates.
+        max_pose_jump_m_per_step: sanity bound on how far a peer's
+            claimed pose may move per step from its last delivery (50 m
+            in one second is 180 km/h — anything above is a corrupted
+            fix, not a vehicle).
+    """
+
+    stale_fallback: bool = True
+    max_stale_steps: int = 3
+    breaker_threshold: int = 3
+    breaker_cooldown_steps: int = 2
+    sanity_gate: bool = True
+    max_peer_distance_m: float = 500.0
+    max_point_range_m: float = 300.0
+    max_pose_jump_m_per_step: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_stale_steps < 0:
+            raise ValueError("max_stale_steps must be non-negative")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        if self.breaker_cooldown_steps < 1:
+            raise ValueError("breaker_cooldown_steps must be at least 1")
+        if self.max_pose_jump_m_per_step <= 0:
+            raise ValueError("max_pose_jump_m_per_step must be positive")
+
+
+@dataclass
+class PeerHealth:
+    """Circuit-breaker state of one broadcasting peer's link.
+
+    Attributes:
+        consecutive_failures: current run of failed deliveries.
+        open_until_step: the breaker skips the peer for steps strictly
+            below this; the first step at or past it is the probe.
+    """
+
+    consecutive_failures: int = 0
+    open_until_step: int = 0
+
+    def is_open(self, step: int) -> bool:
+        """Should this step skip the peer entirely?"""
+        return step < self.open_until_step
+
+    def record_success(self) -> None:
+        """A delivery landed: close the breaker's failure run."""
+        self.consecutive_failures = 0
+
+    def record_failure(self, step: int, threshold: int, cooldown: int) -> None:
+        """A delivery failed; trip the breaker once the run hits threshold."""
+        self.consecutive_failures += 1
+        if threshold > 0 and self.consecutive_failures >= threshold:
+            self.open_until_step = step + 1 + cooldown
+
+
+@dataclass
+class _Broadcast:
+    """Parent-side fate of one sender's per-step broadcast.
+
+    Attributes:
+        delivered: did the fresh package clear the channel?
+        payload: reassembled wire bytes (None unless delivered).
+        package: decoded package for gating (None unless delivered).
+        intrinsically_sane: receiver-independent sanity verdict.
+    """
+
+    delivered: bool
+    payload: bytes | None = None
+    package: ExchangePackage | None = None
+    intrinsically_sane: bool = True
 
 
 @dataclass
@@ -94,9 +212,17 @@ class CooperAgent:
     policy: RoiPolicy = field(default_factory=RoiPolicy)
     cooper: Cooper = field(default_factory=lambda: Cooper(SPOD.pretrained()))
 
-    def observe(self, world: World, t: float, seed: int) -> RigObservation:
-        """Sense the world at time ``t``."""
-        return self.rig.observe(world, self.trajectory.pose_at(t), seed=seed)
+    def observe(
+        self,
+        world: World,
+        t: float,
+        seed: int,
+        faults: SensorFaults | None = None,
+    ) -> RigObservation:
+        """Sense the world at time ``t`` (optionally under sensor faults)."""
+        return self.rig.observe(
+            world, self.trajectory.pose_at(t), seed=seed, faults=faults
+        )
 
     def build_package(
         self, world: World, observation: RigObservation, t: float
@@ -137,12 +263,30 @@ class CooperSession:
         agents: the participating vehicles.
         channel: the (shared) DSRC link model.
         framer: link-layer fragmentation.
+        faults: optional seeded fault schedule injected into the channel
+            and every rig (None — the clean-world behaviour).
+        resilience: the graceful-degradation knobs (defaults are inert in
+            a fault-free run: nothing is ever stale, insane or dark).
+        degradation: per-run degradation event counts, populated by
+            :meth:`run` (also mirrored into ``PROFILER`` counters under
+            ``session.*`` when profiling is enabled).
     """
 
     world: World
     agents: list[CooperAgent]
     channel: DsrcChannel = field(default_factory=DsrcChannel)
     framer: MessageFramer = field(default_factory=MessageFramer)
+    faults: FaultPlan | None = None
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    degradation: dict[str, int] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _health: dict[str, PeerHealth] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _stale_cache: StalePackageCache = field(
+        default_factory=StalePackageCache, init=False, repr=False
+    )
 
     def run(
         self,
@@ -156,11 +300,17 @@ class CooperSession:
         ``workers`` > 1 runs each agent's observe -> package and fuse ->
         detect work of every step on a forked worker pool (``None`` defers
         to ``REPRO_WORKERS``, default 1).  Logs are bit-identical at any
-        worker count: sensing and channel seeds are derived per
-        (step, agent) independently of scheduling.
+        worker count even with ``faults`` set: sensing, channel and fault
+        seeds are derived per (step, agent) independently of scheduling,
+        and all delivery/resilience decisions run in the parent.
         """
         if period_seconds <= 0:
             raise ValueError("period_seconds must be positive")
+        self.degradation = {}
+        self._health = {}
+        self._stale_cache = StalePackageCache(
+            max_age_steps=self.resilience.max_stale_steps
+        )
         logs: dict[str, list[AgentStep]] = {a.name: [] for a in self.agents}
         times = np.arange(0.0, duration_seconds, period_seconds)
         workers = resolve_workers(workers)
@@ -183,6 +333,184 @@ class CooperSession:
                     self._step_parallel(pool, logs, float(t), step_index, seed)
         return logs
 
+    # -- degradation accounting -------------------------------------------
+    def _count(self, name: str, value: int = 1) -> None:
+        """Record a degradation event in both observability surfaces."""
+        self.degradation[name] = self.degradation.get(name, 0) + value
+        PROFILER.count(f"session.{name}", value)
+
+    def _resolve_sensor_faults(
+        self, step_index: int, agent_name: str
+    ) -> SensorFaults | None:
+        """Resolve (and count) one agent's sensor faults for one step."""
+        if self.faults is None:
+            return None
+        faults = self.faults.sensor_faults(step_index, agent_name)
+        if faults.lidar_blackout:
+            self._count("lidar_blackouts")
+        if faults.gps_dropout:
+            self._count("gps_dropouts")
+        if faults.imu_yaw_offset_deg != 0.0:
+            self._count("imu_glitches")
+        if faults.gps_bias != (0.0, 0.0, 0.0):
+            self._count("gps_bias_steps")
+        return faults if faults.any else None
+
+    # -- exchange (parent-side in both execution paths) -------------------
+    def _broadcast_outcomes(
+        self,
+        wire: dict[str, tuple[bytes, int]],
+        step_index: int,
+        seed: int,
+    ) -> dict[str, _Broadcast]:
+        """Decide every sender's broadcast fate for one step.
+
+        The shared DSRC channel, the fault plan's per-link conditions and
+        the circuit breaker all act here, in the parent, in agent order —
+        the single ordering both execution paths share, which is what
+        keeps fault schedules and health state identical at any worker
+        count.  Delivered packages are decoded once for the
+        receiver-independent sanity checks and cached for fallback.
+        """
+        resilience = self.resilience
+        outcomes: dict[str, _Broadcast] = {}
+        for agent in self.agents:
+            sender = agent.name
+            payload, bits = wire[sender]
+            health = self._health.setdefault(sender, PeerHealth())
+            conditions = (
+                self.faults.channel_conditions(step_index, sender)
+                if self.faults is not None
+                else None
+            )
+            if resilience.breaker_threshold > 0 and health.is_open(step_index):
+                self._count("breaker_skips")
+                outcomes[sender] = _Broadcast(delivered=False)
+                continue
+            if conditions is not None and conditions.blackout:
+                self._count("channel_blackouts")
+                health.record_failure(
+                    step_index,
+                    resilience.breaker_threshold,
+                    resilience.breaker_cooldown_steps,
+                )
+                outcomes[sender] = _Broadcast(delivered=False)
+                continue
+            report = self.channel.transmit(
+                bits,
+                seed=_channel_seed(seed, step_index, sender),
+                loss_rate=conditions.loss_rate if conditions else None,
+                extra_latency_ms=(
+                    conditions.extra_latency_ms if conditions else 0.0
+                ),
+            )
+            if report.timed_out:
+                self._count("deadline_drops")
+            if not report.delivered:
+                health.record_failure(
+                    step_index,
+                    resilience.breaker_threshold,
+                    resilience.breaker_cooldown_steps,
+                )
+                outcomes[sender] = _Broadcast(delivered=False)
+                continue
+            health.record_success()
+            frames = self.framer.fragment(payload)
+            data = MessageFramer.reassemble(frames)
+            package = ExchangePackage.deserialize(data)
+            sane = not resilience.sanity_gate or package_intrinsically_sane(
+                package, resilience.max_point_range_m
+            )
+            if sane and resilience.sanity_gate:
+                # Pose-jump check against the peer's own last delivery: a
+                # physically impossible move marks a corrupted fix and
+                # must not poison the fallback cache.
+                prev = self._stale_cache.last(sender)
+                if prev is not None:
+                    jump = np.hypot(
+                        *(package.pose.position[:2] - prev.package.pose.position[:2])
+                    )
+                    limit = resilience.max_pose_jump_m_per_step * max(
+                        1, step_index - prev.step
+                    )
+                    sane = bool(jump <= limit)
+            if sane:
+                self._stale_cache.store(sender, data, package, step_index)
+            else:
+                self._count("sanity_rejects")
+            outcomes[sender] = _Broadcast(
+                delivered=True,
+                payload=data,
+                package=package,
+                intrinsically_sane=sane,
+            )
+        return outcomes
+
+    def _receiver_inbox(
+        self,
+        receiver: str,
+        receiver_pose,
+        outcomes: dict[str, _Broadcast],
+        step_index: int,
+    ) -> tuple[list[bytes], list[bool], int]:
+        """Assemble one receiver's merge inbox from the broadcast fates.
+
+        Returns ``(payloads, delivered_flags, stale_count)``: the wire
+        payloads to decode and merge (fresh deliveries that passed the
+        sanity gate, then stale-cache fallbacks for peers that went
+        dark), the per-peer channel outcome flags, and how many payloads
+        came from the cache.
+        """
+        resilience = self.resilience
+        payloads: list[bytes] = []
+        flags: list[bool] = []
+        stale = 0
+        for agent in self.agents:
+            sender = agent.name
+            if sender == receiver:
+                continue
+            outcome = outcomes[sender]
+            flags.append(outcome.delivered)
+            usable = outcome.delivered and outcome.intrinsically_sane
+            if (
+                usable
+                and resilience.sanity_gate
+                and not pose_delta_plausible(
+                    outcome.package,
+                    receiver_pose,
+                    resilience.max_peer_distance_m,
+                )
+            ):
+                self._count("sanity_rejects")
+                usable = False
+            if usable:
+                payloads.append(outcome.payload)
+                continue
+            if not resilience.stale_fallback:
+                continue
+            entry = self._stale_cache.recall(sender, step_index)
+            # A same-step entry is the very package just rejected for
+            # this receiver — only genuinely older deliveries qualify.
+            if (
+                entry is not None
+                and entry.step < step_index
+                and (
+                    not resilience.sanity_gate
+                    or pose_delta_plausible(
+                        entry.package,
+                        receiver_pose,
+                        resilience.max_peer_distance_m,
+                    )
+                )
+            ):
+                payloads.append(entry.payload)
+                stale += 1
+                self._count("stale_fallbacks")
+        if flags and not payloads:
+            self._count("ego_only_steps")
+        return payloads, flags, stale
+
+    # -- execution paths --------------------------------------------------
     def _step(
         self,
         logs: dict[str, list[AgentStep]],
@@ -193,7 +521,10 @@ class CooperSession:
         """Run one exchange period for every agent (inline path)."""
         observations = {
             agent.name: agent.observe(
-                self.world, t, seed=_observe_seed(seed, step_index, i)
+                self.world,
+                t,
+                seed=_observe_seed(seed, step_index, i),
+                faults=self._resolve_sensor_faults(step_index, agent.name),
             )
             for i, agent in enumerate(self.agents)
         }
@@ -204,27 +535,19 @@ class CooperSession:
             payload = package.serialize()
             wire[agent.name] = (payload, len(payload) * 8)
 
+        outcomes = self._broadcast_outcomes(wire, step_index, seed)
         for agent in self.agents:
-            received: list[ExchangePackage] = []
-            delivered_flags: list[bool] = []
-            for other in self.agents:
-                if other.name == agent.name:
-                    continue
-                payload, bits = wire[other.name]
-                report = self.channel.transmit(
-                    bits, seed=_channel_seed(seed, step_index, other.name)
-                )
-                delivered_flags.append(report.delivered)
-                if report.delivered:
-                    frames = self.framer.fragment(payload)
-                    received.append(
-                        ExchangePackage.deserialize(
-                            MessageFramer.reassemble(frames)
-                        )
-                    )
-            PROFILER.count("session.packages_received", len(received))
+            payloads, delivered_flags, stale = self._receiver_inbox(
+                agent.name,
+                observations[agent.name].measured_pose,
+                outcomes,
+                step_index,
+            )
+            received = [ExchangePackage.deserialize(p) for p in payloads]
+            fresh = len(received) - stale
+            PROFILER.count("session.packages_received", fresh)
             PROFILER.count(
-                "session.packages_lost", len(delivered_flags) - len(received)
+                "session.packages_lost", len(delivered_flags) - fresh
             )
             detections = agent.perceive(observations[agent.name], received)
             logs[agent.name].append(
@@ -234,6 +557,7 @@ class CooperSession:
                     sent_bits=wire[agent.name][1],
                     received_packages=received,
                     delivered=delivered_flags,
+                    stale_count=stale,
                     detections=detections,
                 )
             )
@@ -249,16 +573,23 @@ class CooperSession:
         """One exchange period with per-agent work fanned out to ``pool``.
 
         Phase 1 (workers): observe + build + serialize, one task per
-        agent.  Phase 2 (parent): the shared DSRC channel decides delivery
-        per broadcast — cheap, and keeps the link model in one place.
+        agent (resolved sensor faults ride along in the task payload).
+        Phase 2 (parent): the shared DSRC channel, fault plan and
+        resilience state decide each receiver's inbox — cheap, and keeps
+        the link model and all stateful decisions in one place.
         Phase 3 (workers): decode + fuse + detect, one task per agent.
         Seeds match :meth:`_step` exactly, so logs are bit-identical.
         """
         built = pool.map(
             _observe_build_task,
             [
-                (i, t, _observe_seed(seed, step_index, i))
-                for i in range(len(self.agents))
+                (
+                    i,
+                    t,
+                    _observe_seed(seed, step_index, i),
+                    self._resolve_sensor_faults(step_index, agent.name),
+                )
+                for i, agent in enumerate(self.agents)
             ],
         )
         observations: dict[str, RigObservation] = {}
@@ -267,37 +598,30 @@ class CooperSession:
             observations[agent.name] = observation
             wire[agent.name] = (payload, len(payload) * 8)
 
-        received_payloads: dict[str, list[bytes]] = {}
-        delivered: dict[str, list[bool]] = {}
-        for agent in self.agents:
-            received_payloads[agent.name] = []
-            delivered[agent.name] = []
-            for other in self.agents:
-                if other.name == agent.name:
-                    continue
-                payload, bits = wire[other.name]
-                report = self.channel.transmit(
-                    bits, seed=_channel_seed(seed, step_index, other.name)
-                )
-                delivered[agent.name].append(report.delivered)
-                if report.delivered:
-                    frames = self.framer.fragment(payload)
-                    received_payloads[agent.name].append(
-                        MessageFramer.reassemble(frames)
-                    )
+        outcomes = self._broadcast_outcomes(wire, step_index, seed)
+        inboxes: dict[str, tuple[list[bytes], list[bool], int]] = {
+            agent.name: self._receiver_inbox(
+                agent.name,
+                observations[agent.name].measured_pose,
+                outcomes,
+                step_index,
+            )
+            for agent in self.agents
+        }
 
         perceived = pool.map(
             _perceive_task,
             [
-                (i, observations[agent.name], received_payloads[agent.name])
+                (i, observations[agent.name], inboxes[agent.name][0])
                 for i, agent in enumerate(self.agents)
             ],
         )
         for agent, (received, detections) in zip(self.agents, perceived):
-            PROFILER.count("session.packages_received", len(received))
+            _payloads, delivered_flags, stale = inboxes[agent.name]
+            fresh = len(received) - stale
+            PROFILER.count("session.packages_received", fresh)
             PROFILER.count(
-                "session.packages_lost",
-                len(delivered[agent.name]) - len(received),
+                "session.packages_lost", len(delivered_flags) - fresh
             )
             logs[agent.name].append(
                 AgentStep(
@@ -305,7 +629,8 @@ class CooperSession:
                     observation=observations[agent.name],
                     sent_bits=wire[agent.name][1],
                     received_packages=received,
-                    delivered=delivered[agent.name],
+                    delivered=delivered_flags,
+                    stale_count=stale,
                     detections=detections,
                 )
             )
@@ -325,12 +650,12 @@ def _session_worker_init(world: World, agents: list[CooperAgent]) -> None:
 
 
 def _observe_build_task(
-    payload: tuple[int, float, int],
+    payload: tuple[int, float, int, SensorFaults | None],
 ) -> tuple[RigObservation, bytes]:
     """Phase-1 worker task: one agent senses and serialises its package."""
-    agent_index, t, obs_seed = payload
+    agent_index, t, obs_seed, faults = payload
     agent = _WORKER_AGENTS[agent_index]
-    observation = agent.observe(_WORKER_WORLD, t, seed=obs_seed)
+    observation = agent.observe(_WORKER_WORLD, t, seed=obs_seed, faults=faults)
     package = agent.build_package(_WORKER_WORLD, observation, t)
     return observation, package.serialize()
 

@@ -10,12 +10,21 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.fusion.package import ExchangePackage
 from repro.geometry.transforms import Pose, RigidTransform
 from repro.pointcloud.cloud import PointCloud, merge_clouds
 from repro.profiling import PROFILER
 
-__all__ = ["alignment_transform", "align_package", "merge_packages"]
+__all__ = [
+    "alignment_transform",
+    "align_package",
+    "merge_packages",
+    "package_intrinsically_sane",
+    "pose_delta_plausible",
+    "package_sane",
+]
 
 
 def alignment_transform(
@@ -50,3 +59,58 @@ def merge_packages(
     with PROFILER.stage("fuse.merge"):
         aligned = [align_package(p, receiver_pose) for p in packages]
         return merge_clouds([native, *aligned], frame_id="cooperative")
+
+
+def package_intrinsically_sane(
+    package: ExchangePackage, max_point_range_m: float = 300.0
+) -> bool:
+    """Receiver-independent corruption checks on one package.
+
+    A package that decodes but carries non-finite pose components,
+    non-finite points, or points far outside any LiDAR's physical range
+    was corrupted in flight (or fabricated) and must never reach the
+    Eq. (2) merge — a single NaN poisons voxelisation, and absurd
+    coordinates blow up the detector's crop window.
+    """
+    pose = package.pose
+    if not (
+        np.all(np.isfinite(pose.position))
+        and np.isfinite(pose.yaw)
+        and np.isfinite(pose.pitch)
+        and np.isfinite(pose.roll)
+    ):
+        return False
+    data = package.cloud.data
+    if len(data) == 0:
+        return True
+    xyz = data[:, :3]
+    if not np.all(np.isfinite(xyz)):
+        return False
+    return bool(np.abs(xyz).max() <= max_point_range_m)
+
+
+def pose_delta_plausible(
+    package: ExchangePackage,
+    receiver_pose: Pose,
+    max_peer_distance_m: float = 500.0,
+) -> bool:
+    """Is the sender's claimed pose physically reachable from the receiver?
+
+    DSRC is a single-hop, sub-kilometre radio: a package claiming to come
+    from tens of kilometres away is a corrupted (or spoofed) GPS fix, and
+    aligning by it would translate the cooperator's points into nonsense.
+    """
+    delta = package.pose.position - receiver_pose.position
+    return bool(np.hypot(delta[0], delta[1]) <= max_peer_distance_m)
+
+
+def package_sane(
+    package: ExchangePackage,
+    receiver_pose: Pose,
+    max_peer_distance_m: float = 500.0,
+    max_point_range_m: float = 300.0,
+) -> bool:
+    """The full pre-merge sanity gate: intrinsic checks + pose delta."""
+    return package_intrinsically_sane(
+        package, max_point_range_m
+    ) and pose_delta_plausible(package, receiver_pose, max_peer_distance_m)

@@ -13,13 +13,15 @@ the cooperative case.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.fusion.align import alignment_transform
+from repro.fusion.package import ExchangePackage
 from repro.pointcloud.cloud import PointCloud, merge_clouds
 from repro.sensors.rig import RigObservation
 
-__all__ = ["merge_timeline"]
+__all__ = ["merge_timeline", "StaleEntry", "StalePackageCache"]
 
 
 def merge_timeline(
@@ -51,3 +53,70 @@ def merge_timeline(
         )
         aligned.append(obs.scan.cloud.transformed(transform))
     return merge_clouds(aligned, frame_id="timeline")
+
+
+@dataclass(frozen=True)
+class StaleEntry:
+    """One cached delivery: the wire payload, its decoded form, its age.
+
+    Attributes:
+        payload: the reassembled wire bytes (what a worker re-decodes, so
+            fallback packages take the exact path a fresh delivery does).
+        package: the decoded package (pose checks without re-decoding).
+        step: the session step the package was delivered at.
+    """
+
+    payload: bytes
+    package: ExchangePackage
+    step: int
+
+
+@dataclass
+class StalePackageCache:
+    """Per-peer cache of the last delivered package, age-bounded.
+
+    This is the Fig. 2 temporal-emulation argument turned into a
+    resilience mechanism: a peer's *earlier* package still carries its
+    capture pose, so the Eq. (1)-(3) transform re-aligns it into the
+    receiver's current frame exactly as :func:`merge_timeline` re-aligns
+    a vehicle's own scan history.  Static structure stays valid; only
+    movers smear — which is why the fallback is bounded by
+    ``max_age_steps`` rather than kept forever.
+
+    Attributes:
+        max_age_steps: oldest usable entry, in session steps (an entry
+            from step ``s`` serves requests up to ``s + max_age_steps``).
+    """
+
+    max_age_steps: int = 3
+    _entries: dict[str, StaleEntry] = field(default_factory=dict)
+
+    def store(self, sender: str, payload: bytes, package: ExchangePackage,
+              step: int) -> None:
+        """Remember the latest delivered package of one peer."""
+        self._entries[sender] = StaleEntry(payload, package, step)
+
+    def last(self, sender: str) -> StaleEntry | None:
+        """The peer's most recent delivery, regardless of age.
+
+        The session's sanity gate uses this for its pose-jump check — a
+        physically impossible jump from the last known pose marks a
+        corrupted package even when the cached entry is too old to merge.
+        """
+        return self._entries.get(sender)
+
+    def recall(self, sender: str, step: int) -> StaleEntry | None:
+        """The peer's last delivery, if it is still young enough."""
+        entry = self._entries.get(sender)
+        if entry is None or step - entry.step > self.max_age_steps:
+            return None
+        return entry
+
+    def age(self, sender: str, step: int) -> int | None:
+        """Steps since the peer's last delivery (None if never seen)."""
+        entry = self._entries.get(sender)
+        return step - entry.step if entry is not None else None
+
+    def clear(self) -> None:
+        """Drop every entry (a session calls this at run start)."""
+        self._entries.clear()

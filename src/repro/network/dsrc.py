@@ -29,12 +29,15 @@ class TransmissionReport:
         seconds: total latency (propagation + serialisation + retries).
         delivered: False if loss persisted beyond the retry budget.
         attempts: transmission attempts used.
+        timed_out: True when the channel's latency deadline expired before
+            delivery — the package was dropped as *late*, not lost.
     """
 
     payload_bits: int
     seconds: float
     delivered: bool
     attempts: int
+    timed_out: bool = False
 
     @property
     def total_bits(self) -> int:
@@ -68,45 +71,100 @@ class DsrcChannel:
         base_latency_ms: fixed per-message overhead (MAC + propagation).
         loss_rate: independent per-attempt probability a message is lost.
         max_retries: retransmission budget before reporting failure.
+        backoff_ms: exponential retry backoff — retry ``k`` waits
+            ``backoff_ms * 2**(k-1)`` before re-sending (0 disables).
+        deadline_ms: per-frame latency budget.  A transmission that cannot
+            complete inside the deadline is *dropped as late* (reported
+            undelivered with ``timed_out``) rather than blocked on — a
+            perception loop must start fusing, not wait.  None disables.
     """
 
     bandwidth_mbps: float = 6.0
     base_latency_ms: float = 2.0
     loss_rate: float = 0.0
     max_retries: int = 3
+    backoff_ms: float = 0.0
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
             raise ValueError("bandwidth must be positive")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if self.base_latency_ms < 0:
+            raise ValueError("base_latency_ms must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_ms < 0:
+            raise ValueError("backoff_ms must be non-negative")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
 
     def serialization_seconds(self, payload_bits: int) -> float:
         """Time to clock the payload onto the air."""
         return payload_bits / (self.bandwidth_mbps * 1e6)
 
-    def transmit(self, payload_bits: int, seed: int = 0) -> TransmissionReport:
-        """Transmit a payload, retrying on (seeded) random loss."""
+    def transmit(
+        self,
+        payload_bits: int,
+        seed: int = 0,
+        *,
+        loss_rate: float | None = None,
+        extra_latency_ms: float = 0.0,
+    ) -> TransmissionReport:
+        """Transmit a payload, retrying on (seeded) random loss.
+
+        ``loss_rate`` overrides the channel's configured rate for this
+        call (a fault plan's Gilbert-Elliott state supplies it);
+        ``extra_latency_ms`` adds per-attempt jitter/spike latency.  With
+        a ``deadline_ms`` configured, an attempt that cannot finish
+        inside the budget is never started: the package is dropped as
+        late (``timed_out``) instead of blocking the perception loop.
+        """
         if payload_bits < 0:
             raise ValueError("payload_bits must be non-negative")
+        if extra_latency_ms < 0:
+            raise ValueError("extra_latency_ms must be non-negative")
+        effective_loss = self.loss_rate if loss_rate is None else loss_rate
+        effective_loss = min(max(effective_loss, 0.0), 1.0)
+        deadline_s = (
+            self.deadline_ms / 1e3 if self.deadline_ms is not None else None
+        )
+        attempt_cost = (
+            (self.base_latency_ms + extra_latency_ms) / 1e3
+            + self.serialization_seconds(payload_bits)
+        )
         with PROFILER.stage("dsrc.transmit"):
             rng = np.random.default_rng(seed)
             elapsed = 0.0
             attempts = 0
             delivered = False
+            timed_out = False
             while attempts <= self.max_retries:
-                attempts += 1
-                elapsed += (
-                    self.base_latency_ms / 1e3
-                    + self.serialization_seconds(payload_bits)
+                backoff = (
+                    self.backoff_ms / 1e3 * 2 ** (attempts - 1)
+                    if attempts > 0 and self.backoff_ms > 0
+                    else 0.0
                 )
-                if rng.random() >= self.loss_rate:
+                if (
+                    deadline_s is not None
+                    and elapsed + backoff + attempt_cost > deadline_s
+                ):
+                    timed_out = True
+                    break
+                attempts += 1
+                elapsed += backoff + attempt_cost
+                if rng.random() >= effective_loss:
                     delivered = True
                     break
-            report = TransmissionReport(payload_bits, elapsed, delivered, attempts)
+            report = TransmissionReport(
+                payload_bits, elapsed, delivered, attempts, timed_out
+            )
         PROFILER.count("dsrc.payload_bits", payload_bits)
         PROFILER.count("dsrc.total_bits", report.total_bits)
         PROFILER.count("dsrc.attempts", attempts)
+        if timed_out:
+            PROFILER.count("dsrc.deadline_drops")
         return report
 
     def fits_in_budget(self, payload_bits: int, budget_seconds: float) -> bool:

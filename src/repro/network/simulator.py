@@ -37,6 +37,8 @@ class ExchangeTrace:
         per_frame_megabits: Mbit of each individual package sent.
         delivered: per-package DSRC delivery outcome.
         latencies: per-package transmission latency (seconds).
+        attempts: per-package transmission attempts — exposes the
+            retransmission cost a lossy link adds to the Fig. 12 trace.
     """
 
     seconds: np.ndarray
@@ -44,6 +46,12 @@ class ExchangeTrace:
     per_frame_megabits: list[float] = field(default_factory=list)
     delivered: list[bool] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
+    attempts: list[int] = field(default_factory=list)
+
+    @property
+    def total_attempts(self) -> int:
+        """Transmission attempts summed over every package."""
+        return int(sum(self.attempts))
 
     @property
     def peak_volume_megabits(self) -> float:
@@ -123,4 +131,5 @@ class ExchangeSimulator:
                 trace.per_frame_megabits.append(bits / 1e6)
                 trace.delivered.append(report.delivered)
                 trace.latencies.append(report.seconds)
+                trace.attempts.append(report.attempts)
         return trace

@@ -5,15 +5,24 @@ package needs (Section II-D): the LiDAR scan in the sensor frame and the
 *measured* pose assembled from the GPS position reading and the IMU
 attitude reading.  The measured pose — not the true one — is what gets
 transmitted, so GPS drift propagates into alignment exactly as in Fig. 10.
+
+Fault injection happens here, at the boundary where real sensors fail:
+a :class:`repro.faults.SensorFaults` value (resolved per step/agent by a
+:class:`repro.faults.FaultPlan`) can black out the LiDAR frame, degrade
+the GPS fix to a dead-reckoned guess, add drift bias, or glitch the IMU
+yaw — and every downstream consumer sees the corrupted observation the
+way a deployed OBU would.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.faults.plan import SensorFaults
 from repro.geometry.transforms import Pose
+from repro.pointcloud.cloud import PointCloud
 from repro.scene.world import World
 from repro.sensors.gps import GpsModel, GpsSkew
 from repro.sensors.imu import ImuModel
@@ -59,13 +68,21 @@ class SensorRig:
         true_pose: Pose,
         seed: int = 0,
         gps_skew: GpsSkew = GpsSkew.NONE,
+        faults: SensorFaults | None = None,
     ) -> RigObservation:
         """Scan the world and read the positioning sensors.
 
         ``seed`` controls all sensor noise for the observation; pass
-        ``gps_skew`` to run the Fig. 10 robustness protocols.
+        ``gps_skew`` to run the Fig. 10 robustness protocols and
+        ``faults`` to inject a resolved per-step fault state (LiDAR
+        blackout, GPS dropout/bias, IMU yaw glitch).  ``faults=None`` is
+        byte-identical to the fault-free path.
         """
-        scan = self.lidar.scan(world, true_pose, seed=seed)
+        blackout = faults is not None and faults.lidar_blackout
+        if blackout:
+            scan = _blackout_scan(true_pose)
+        else:
+            scan = self.lidar.scan(world, true_pose, seed=seed)
         gps_pose = self.gps.read(true_pose, seed=seed + 1, skew=gps_skew)
         imu_pose = self.imu.read(true_pose, seed=seed + 2)
         measured = Pose(
@@ -74,4 +91,43 @@ class SensorRig:
             pitch=imu_pose.pitch,
             roll=imu_pose.roll,
         )
+        if faults is not None and faults.any:
+            measured = _apply_pose_faults(measured, true_pose, seed, faults)
         return RigObservation(scan=scan, measured_pose=measured, true_pose=true_pose)
+
+
+def _blackout_scan(true_pose: Pose) -> LidarScan:
+    """An empty frame: the LiDAR produced no returns this period."""
+    return LidarScan(
+        cloud=PointCloud.empty(frame_id="sensor"),
+        labels=np.empty(0, dtype="<U1"),
+        pose=true_pose,
+    )
+
+
+def _apply_pose_faults(
+    measured: Pose, true_pose: Pose, seed: int, faults: SensorFaults
+) -> Pose:
+    """Corrupt a measured pose according to the resolved fault state.
+
+    A GPS dropout replaces the fix with a dead-reckoned estimate: truth
+    plus an error of up to ``gps_error_m`` in a seed-determined
+    direction (the RNG stream is ``seed + 3``, disjoint from the nominal
+    GPS/IMU streams, so a dropout never reshuffles the other noise).
+    Bias and yaw glitch are additive.
+    """
+    position = measured.position
+    if faults.gps_dropout:
+        rng = np.random.default_rng(seed + 3)
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        magnitude = rng.uniform(0.5, 1.0) * faults.gps_error_m
+        position = true_pose.position + magnitude * np.array(
+            [np.cos(angle), np.sin(angle), 0.0]
+        )
+    if faults.gps_bias != (0.0, 0.0, 0.0):
+        position = position + np.asarray(faults.gps_bias)
+    return replace(
+        measured,
+        position=position,
+        yaw=measured.yaw + np.deg2rad(faults.imu_yaw_offset_deg),
+    )

@@ -1,0 +1,234 @@
+"""Tests for the seeded fault-injection layer (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BurstLossModel,
+    ChannelState,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    LatencyJitterModel,
+    NO_SENSOR_FAULTS,
+    SensorFaults,
+)
+from repro.geometry.transforms import Pose
+from repro.scene.objects import make_car
+from repro.scene.world import World
+from repro.sensors.lidar import BeamPattern, LidarModel
+from repro.sensors.rig import SensorRig
+
+
+class TestBurstLossModel:
+    def test_stationary_fraction(self):
+        model = BurstLossModel(p_good_to_bad=0.2, p_bad_to_good=0.3)
+        assert model.stationary_bad_fraction == pytest.approx(0.4)
+
+    def test_for_target_loss_hits_target(self):
+        for target in (0.1, 0.3, 0.5, 0.8):
+            model = BurstLossModel.for_target_loss(target)
+            assert model.expected_loss_rate == pytest.approx(target, abs=1e-6)
+
+    def test_state_sequence_deterministic(self):
+        model = BurstLossModel(p_good_to_bad=0.4, p_bad_to_good=0.4)
+        states_a = [model.state_at(123, s) for s in range(20)]
+        states_b = [model.state_at(123, s) for s in range(20)]
+        assert states_a == states_b
+        # A different link seed produces a different schedule.
+        assert states_a != [model.state_at(456, s) for s in range(20)]
+
+    def test_losses_are_bursty(self):
+        """BAD states cluster: consecutive steps correlate far above i.i.d."""
+        model = BurstLossModel(p_good_to_bad=0.1, p_bad_to_good=0.3)
+        states = [model.state_at(7, s) for s in range(400)]
+        bad = np.array([s is ChannelState.BAD for s in states])
+        assert 0.05 < bad.mean() < 0.6
+        # P(bad | previous bad) should be near 1 - p_bad_to_good = 0.7,
+        # far above the stationary fraction 0.25.
+        prev = bad[:-1]
+        cond = bad[1:][prev].mean()
+        assert cond > bad.mean() + 0.2
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            BurstLossModel(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            BurstLossModel(loss_bad=-0.1)
+
+    def test_for_target_loss_bounds(self):
+        with pytest.raises(ValueError):
+            BurstLossModel.for_target_loss(0.0)
+        with pytest.raises(ValueError):
+            BurstLossModel.for_target_loss(0.99, loss_bad=0.5)
+
+
+class TestLatencyJitter:
+    def test_sample_nonnegative(self):
+        model = LatencyJitterModel(jitter_ms=2.0, spike_prob=0.5, spike_ms=50.0)
+        rng = np.random.default_rng(0)
+        samples = [model.sample_ms(rng) for _ in range(200)]
+        assert all(s >= 0.0 for s in samples)
+        assert max(samples) >= 50.0  # spikes do fire at p=0.5
+
+    def test_zero_model(self):
+        model = LatencyJitterModel(jitter_ms=0.0)
+        rng = np.random.default_rng(0)
+        assert model.sample_ms(rng) == 0.0
+
+
+class TestFaultPlan:
+    def test_channel_conditions_deterministic(self):
+        plan = FaultPlan.lossy(0.5, seed=3)
+        a = [plan.channel_conditions(s, "alpha") for s in range(10)]
+        b = [plan.channel_conditions(s, "alpha") for s in range(10)]
+        assert a == b
+
+    def test_per_sender_schedules_differ(self):
+        plan = FaultPlan.lossy(0.5, seed=3)
+        states_a = [plan.channel_conditions(s, "alpha").state for s in range(40)]
+        states_b = [plan.channel_conditions(s, "beta").state for s in range(40)]
+        assert states_a != states_b
+
+    def test_empty_plan_is_inert(self):
+        plan = FaultPlan.none()
+        conditions = plan.channel_conditions(0, "alpha")
+        assert conditions.loss_rate is None
+        assert conditions.extra_latency_ms == 0.0
+        assert not conditions.blackout
+        assert plan.sensor_faults(0, "alpha") is NO_SENSOR_FAULTS
+
+    def test_sensor_faults_deterministic_and_picklable(self):
+        import pickle
+
+        plan = FaultPlan(seed=9, gps_dropout_prob=0.5, imu_glitch_prob=0.5,
+                         lidar_blackout_prob=0.5)
+        faults = [plan.sensor_faults(s, "alpha") for s in range(20)]
+        assert faults == [plan.sensor_faults(s, "alpha") for s in range(20)]
+        assert any(f.gps_dropout for f in faults)
+        assert any(f.lidar_blackout for f in faults)
+        assert any(f.imu_yaw_offset_deg != 0.0 for f in faults)
+        # Resolved faults ship to worker processes in task payloads.
+        assert pickle.loads(pickle.dumps(faults)) == faults
+
+    def test_gps_bias_grows_linearly(self):
+        plan = FaultPlan(seed=1, gps_bias_drift_m_per_step=0.5)
+        b1 = np.array(plan.sensor_faults(1, "alpha").gps_bias)
+        b4 = np.array(plan.sensor_faults(4, "alpha").gps_bias)
+        assert np.linalg.norm(b1[:2]) == pytest.approx(0.5)
+        assert np.linalg.norm(b4[:2]) == pytest.approx(2.0)
+        # Same direction every step (drift, not a random walk).
+        assert np.allclose(b4[:2] / 4.0, b1[:2])
+
+    def test_scripted_events(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(FaultKind.CHANNEL_BLACKOUT, step=2, agent="beta"),
+                FaultEvent(FaultKind.LATENCY_SPIKE, step=1, magnitude=40.0),
+                FaultEvent(FaultKind.GPS_BIAS, step=3, agent="alpha",
+                           magnitude=7.0),
+                FaultEvent(FaultKind.LIDAR_BLACKOUT, step=0, agent="alpha"),
+            ),
+        )
+        assert plan.channel_conditions(2, "beta").blackout
+        assert not plan.channel_conditions(2, "alpha").blackout
+        assert plan.channel_conditions(1, "beta").extra_latency_ms == 40.0
+        assert plan.sensor_faults(3, "alpha").gps_bias[0] == 7.0
+        assert plan.sensor_faults(0, "alpha").lidar_blackout
+        assert plan.sensor_faults(0, "beta") is NO_SENSOR_FAULTS
+
+    def test_from_spec_overrides(self):
+        plan = FaultPlan.from_spec("loss=0.4,jitter=3,gps-dropout=0.2,seed=5")
+        assert plan.seed == 5
+        assert plan.burst.expected_loss_rate == pytest.approx(0.4)
+        assert plan.jitter.jitter_ms == 3.0
+        assert plan.gps_dropout_prob == 0.2
+
+    def test_from_spec_presets(self):
+        assert FaultPlan.from_spec("none") == FaultPlan()
+        heavy = FaultPlan.from_spec("heavy,lidar-blackout=0.5")
+        assert heavy.burst is not None
+        assert heavy.lidar_blackout_prob == 0.5
+
+    def test_from_spec_rejects_junk(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("catastrophic")
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("loss=0.2,frobnicate=1")
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(gps_dropout_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(gps_dropout_error_m=-1.0)
+
+    def test_describe_mentions_active_faults(self):
+        assert FaultPlan().describe() == "no faults"
+        text = FaultPlan.from_spec("loss=0.3,gps-dropout=0.1").describe()
+        assert "burst loss" in text and "gps-dropout" in text
+
+
+class TestRigFaultInjection:
+    @pytest.fixture(scope="class")
+    def rig_world(self):
+        world = World((make_car(10.0, 0.0, name="target"),))
+        pattern = BeamPattern(
+            "faults-16", tuple(np.linspace(-15, 15, 16)),
+            azimuth_resolution_deg=1.0,
+        )
+        rig = SensorRig(lidar=LidarModel(pattern=pattern, dropout=0.0))
+        pose = Pose(np.array([0.0, 0.0, 1.73]))
+        return world, rig, pose
+
+    def test_no_faults_is_byte_identical(self, rig_world):
+        world, rig, pose = rig_world
+        clean = rig.observe(world, pose, seed=4)
+        with_none = rig.observe(world, pose, seed=4, faults=None)
+        assert np.array_equal(clean.scan.cloud.data, with_none.scan.cloud.data)
+        assert np.array_equal(
+            clean.measured_pose.position, with_none.measured_pose.position
+        )
+        assert clean.measured_pose.yaw == with_none.measured_pose.yaw
+
+    def test_lidar_blackout_empties_scan(self, rig_world):
+        world, rig, pose = rig_world
+        obs = rig.observe(
+            world, pose, seed=4, faults=SensorFaults(lidar_blackout=True)
+        )
+        assert len(obs.scan.cloud) == 0
+        # Positioning still works during a LiDAR blackout.
+        assert np.all(np.isfinite(obs.measured_pose.position))
+
+    def test_gps_dropout_bounded_error(self, rig_world):
+        world, rig, pose = rig_world
+        obs = rig.observe(
+            world, pose, seed=4,
+            faults=SensorFaults(gps_dropout=True, gps_error_m=6.0),
+        )
+        error = np.linalg.norm(obs.measured_pose.position[:2] - pose.position[:2])
+        assert 3.0 <= error <= 6.0  # within [0.5, 1.0] * gps_error_m
+
+    def test_gps_dropout_keeps_scan_unchanged(self, rig_world):
+        """The dropout RNG stream is disjoint from the nominal noise."""
+        world, rig, pose = rig_world
+        clean = rig.observe(world, pose, seed=4)
+        faulted = rig.observe(
+            world, pose, seed=4, faults=SensorFaults(gps_dropout=True)
+        )
+        assert np.array_equal(clean.scan.cloud.data, faulted.scan.cloud.data)
+        assert clean.measured_pose.yaw == faulted.measured_pose.yaw
+
+    def test_bias_and_yaw_glitch_additive(self, rig_world):
+        world, rig, pose = rig_world
+        clean = rig.observe(world, pose, seed=4)
+        faulted = rig.observe(
+            world, pose, seed=4,
+            faults=SensorFaults(gps_bias=(2.0, -1.0, 0.0),
+                                imu_yaw_offset_deg=10.0),
+        )
+        shift = faulted.measured_pose.position - clean.measured_pose.position
+        assert np.allclose(shift, [2.0, -1.0, 0.0])
+        assert faulted.measured_pose.yaw - clean.measured_pose.yaw == (
+            pytest.approx(np.deg2rad(10.0))
+        )

@@ -92,6 +92,54 @@ class TestDsrc:
         with pytest.raises(ValueError):
             DsrcChannel().transmit(-1)
 
+    def test_negative_config_rejected(self):
+        """Regression: negative latency/retry budgets silently passed
+        validation and produced nonsense timings."""
+        with pytest.raises(ValueError):
+            DsrcChannel(base_latency_ms=-1.0)
+        with pytest.raises(ValueError):
+            DsrcChannel(max_retries=-1)
+        with pytest.raises(ValueError):
+            DsrcChannel(backoff_ms=-0.5)
+        with pytest.raises(ValueError):
+            DsrcChannel(deadline_ms=0.0)
+
+    def test_backoff_grows_latency(self):
+        """Retry k waits backoff_ms * 2**(k-1) before re-sending."""
+        base = DsrcChannel(loss_rate=0.9, max_retries=50)
+        slow = DsrcChannel(loss_rate=0.9, max_retries=50, backoff_ms=10.0)
+        a = base.transmit(1000, seed=1)
+        b = slow.transmit(1000, seed=1)
+        assert a.attempts == b.attempts > 1
+        expected_backoff = sum(
+            10e-3 * 2 ** (k - 1) for k in range(1, b.attempts)
+        )
+        assert b.seconds - a.seconds == pytest.approx(expected_backoff)
+
+    def test_deadline_drops_late_package(self):
+        """A transmission that cannot finish in the deadline is dropped as
+        late (timed_out), not blocked on."""
+        channel = DsrcChannel(
+            bandwidth_mbps=6.0, base_latency_ms=2.0, loss_rate=0.95,
+            max_retries=50, deadline_ms=30.0,
+        )
+        report = channel.transmit(60_000, seed=3)  # ~12 ms per attempt
+        assert not report.delivered
+        assert report.timed_out
+        assert report.seconds <= 30e-3
+        # A clean channel under the same deadline delivers normally.
+        clean = DsrcChannel(bandwidth_mbps=6.0, loss_rate=0.0,
+                            deadline_ms=30.0)
+        assert clean.transmit(60_000, seed=3).delivered
+
+    def test_loss_rate_override(self):
+        """A per-call loss_rate (the fault plan's hook) overrides the
+        channel's configured rate."""
+        channel = DsrcChannel(loss_rate=0.0, max_retries=0)
+        assert not channel.transmit(1000, seed=0, loss_rate=1.0).delivered
+        lossy = DsrcChannel(loss_rate=0.99, max_retries=0)
+        assert lossy.transmit(1000, seed=0, loss_rate=0.0).delivered
+
 
 class TestFramer:
     def test_fragment_reassemble(self):
@@ -237,6 +285,19 @@ class TestExchangeSimulator:
             duration_seconds=4.0,
         )
         assert trace.within_capacity(DsrcChannel(bandwidth_mbps=6.0))
+
+    def test_trace_records_attempts(self, simulator):
+        """ExchangeTrace exposes per-package transmission attempts."""
+        sim, layout = simulator
+        trace = sim.run(
+            StationaryTrajectory(layout.viewpoint("ego")),
+            StationaryTrajectory(layout.viewpoint("oncoming")),
+            RoiPolicy(category=RoiCategory.FULL_FRAME),
+            duration_seconds=3.0,
+        )
+        assert len(trace.attempts) == len(trace.delivered)
+        assert all(a >= 1 for a in trace.attempts)
+        assert trace.total_attempts >= len(trace.attempts)
 
     def test_higher_rate_more_volume(self, simulator):
         sim, layout = simulator
