@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel chaos figures examples clean
+.PHONY: install test bench bench-parallel bench-detect chaos figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,6 +11,9 @@ bench:
 
 bench-parallel:
 	python benchmarks/bench_pipeline_hotpath.py --workers 1,2,4
+
+bench-detect:
+	python benchmarks/bench_pipeline_hotpath.py --detect-only
 
 chaos:
 	python benchmarks/bench_robustness_chaos.py

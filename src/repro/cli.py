@@ -18,12 +18,26 @@ import argparse
 import sys
 
 
+def _detector(args: argparse.Namespace):
+    """Build the shared SPOD detector honouring the global ``--dtype`` flag.
+
+    Default (None) keeps :meth:`SPOD.pretrained`'s float32 inference path;
+    ``--dtype float64`` reproduces the seed's double-precision numerics.
+    """
+    from repro import SPOD
+    from repro.detection.spod import SPODConfig
+
+    if args.dtype is None:
+        return SPOD.pretrained()
+    return SPOD.pretrained(SPODConfig(dtype=args.dtype))
+
+
 def _cmd_kitti(args: argparse.Namespace) -> int:
-    from repro import SPOD, kitti_cases
+    from repro import kitti_cases
     from repro.eval import render_case_summary, render_detection_grid, run_cases
 
     results = run_cases(
-        kitti_cases(seed=args.seed), SPOD.pretrained(), workers=args.workers
+        kitti_cases(seed=args.seed), _detector(args), workers=args.workers
     )
     for result in results:
         print(render_detection_grid(result))
@@ -33,11 +47,11 @@ def _cmd_kitti(args: argparse.Namespace) -> int:
 
 
 def _cmd_tj(args: argparse.Namespace) -> int:
-    from repro import SPOD, tj_cases
+    from repro import tj_cases
     from repro.eval import render_case_summary, render_detection_grid, run_cases
 
     results = run_cases(
-        tj_cases(seed=args.seed), SPOD.pretrained(), workers=args.workers
+        tj_cases(seed=args.seed), _detector(args), workers=args.workers
     )
     if args.grids:
         for result in results:
@@ -48,10 +62,10 @@ def _cmd_tj(args: argparse.Namespace) -> int:
 
 
 def _cmd_cdf(args: argparse.Namespace) -> int:
-    from repro import SPOD, kitti_cases, tj_cases
+    from repro import kitti_cases, tj_cases
     from repro.eval import improvement_samples, render_cdf_table, run_cases
 
-    detector = SPOD.pretrained()
+    detector = _detector(args)
     results = run_cases(kitti_cases(seed=args.seed), detector, workers=args.workers)
     results += run_cases(tj_cases(seed=args.seed), detector, workers=args.workers)
     print(render_cdf_table(improvement_samples(results)))
@@ -61,10 +75,10 @@ def _cmd_cdf(args: argparse.Namespace) -> int:
 def _cmd_timing(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro import SPOD, kitti_cases, tj_cases
+    from repro import kitti_cases, tj_cases
     from repro.eval.experiments import timing_experiment
 
-    detector = SPOD.pretrained()
+    detector = _detector(args)
     for label, cases in (
         ("KITTI (64-beam)", kitti_cases(seed=args.seed)),
         ("T&J (16-beam)", tj_cases(seed=args.seed)[:4]),
@@ -80,7 +94,6 @@ def _cmd_timing(args: argparse.Namespace) -> int:
 
 
 def _cmd_drift(args: argparse.Namespace) -> int:
-    from repro import SPOD
     from repro.eval.experiments import gps_drift_experiment
     from repro.scene.layouts import parking_lot
     from repro.sensors.gps import GpsSkew
@@ -94,7 +107,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     }
     results = gps_drift_experiment(
         parking_lot, ("car1", "car2"), VLP_16, skews,
-        seed=args.seed, detector=SPOD.pretrained(),
+        seed=args.seed, detector=_detector(args),
     )
     cars = sorted(results["baseline"], key=lambda c: -results["baseline"][c])
     print("car".ljust(12) + "".join(k.rjust(12) for k in skews))
@@ -143,7 +156,6 @@ def _cmd_network(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro import SPOD
     from repro.eval.chaos import (
         build_chaos_session,
         chaos_sweep,
@@ -151,7 +163,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.faults import FaultPlan
 
-    detector = SPOD.pretrained()
+    detector = _detector(args)
     if args.faults:
         # One session under an explicit fault spec; print what happened.
         plan = FaultPlan.from_spec(args.faults, seed=args.seed)
@@ -211,6 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for case evaluation (default: $REPRO_WORKERS "
         "or 1; results are bit-identical at any worker count)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="detector compute precision (default: the pretrained "
+        "detector's float32 inference path; float64 reproduces the "
+        "seed's double-precision numerics bit for bit)",
     )
     parser.add_argument(
         "--profile",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.spatial import cKDTree
 
-from repro.geometry.boxes import Box3D, points_in_box
+from repro.geometry.boxes import Box3D
 
 __all__ = ["ConfidenceCalibrator", "CalibratorWeights", "BoxEvidence"]
 
@@ -106,39 +106,44 @@ class ConfidenceCalibrator:
         if self._tree is None:
             return BoxEvidence(0, 0.0, 0, 0.0)
         w = self.weights
-        neighbors_idx = self._tree.query_ball_point(
-            box.center[:2], w.neighborhood_radius
+        neighbor_indices = np.asarray(
+            self._tree.query_ball_point(box.center[:2], w.neighborhood_radius),
+            dtype=int,
         )
-        neighborhood = self.points[neighbors_idx]
+        neighborhood = self.points[neighbor_indices]
         if len(neighborhood) == 0:
             return BoxEvidence(0, 0.0, 0, 0.0)
-        pts4 = np.column_stack([neighborhood, np.zeros(len(neighborhood))])
 
-        # Column test ignoring height: catches wall points above the box.
-        column = Box3D(
-            np.array([box.center[0], box.center[1], box.center[2] + 2.0]),
-            box.length,
-            box.width,
-            box.height + 6.0,
-            box.yaw,
+        # The box test and the column test (same footprint extruded in z,
+        # catching wall points above the box) share the yaw rotation and
+        # the xy bounds; compute them once instead of two points_in_box
+        # passes over per-call padded copies.
+        rel = neighborhood[:, :2] - box.center[:2]
+        cos_y, sin_y = np.cos(-box.yaw), np.sin(-box.yaw)
+        u = rel[:, 0] * cos_y - rel[:, 1] * sin_y
+        v = rel[:, 0] * sin_y + rel[:, 1] * cos_y
+        in_footprint = (np.abs(u) <= box.length / 2 + 0.1) & (
+            np.abs(v) <= box.width / 2 + 0.1
         )
-        in_column = points_in_box(pts4, column, margin=0.1)
-        column_points = neighborhood[in_column]
+        dz = neighborhood[:, 2] - box.center[2]
+        in_column = in_footprint & (
+            np.abs(dz - 2.0) <= (box.height + 6.0) / 2 + 0.1
+        )
         tall_count = int(
-            (column_points[:, 2] > self.ground_z + CAR_MAX_HEIGHT).sum()
+            (neighborhood[in_column, 2] > self.ground_z + CAR_MAX_HEIGHT).sum()
         )
-        inside = points_in_box(pts4, box, margin=0.1)
+        inside = in_footprint & (np.abs(dz) <= box.height / 2 + 0.1)
         box_points = neighborhood[inside]
         if len(box_points) == 0:
             return BoxEvidence(0, 0.0, tall_count, 0.0)
 
-        neighbor_indices = np.asarray(neighbors_idx, dtype=int)
         overrun = self._contiguous_overrun(box, neighbor_indices[inside])
         rel = box_points[:, :2] - box.center[:2]
         azimuth = np.arctan2(rel[:, 1], rel[:, 0])
         bins = ((azimuth + np.pi) / (2 * np.pi) * w.coverage_bins).astype(int)
         bins = np.clip(bins, 0, w.coverage_bins - 1)
-        coverage = len(np.unique(bins)) / w.coverage_bins
+        occupied = np.count_nonzero(np.bincount(bins, minlength=w.coverage_bins))
+        coverage = occupied / w.coverage_bins
         return BoxEvidence(
             int(len(box_points)), float(coverage), tall_count, overrun
         )
@@ -219,20 +224,39 @@ def _label_clusters(
     labels, _count = ndimage.label(occupancy, structure=np.ones((3, 3), dtype=int))
     point_labels = labels[cells[:, 0], cells[:, 1]]
     num = int(point_labels.max()) + 1
+    # All clusters at once: per-cluster 2x2 covariances from label-indexed
+    # sums, principal axes in closed form (a 2x2 symmetric eigenproblem is
+    # a single rotation angle), spans via per-label extrema.  Replaces a
+    # per-cluster Python loop over np.linalg.eigh that ran twice per
+    # detect (refiner + calibrator) and dominated decode profiles.
+    counts = np.bincount(point_labels, minlength=num)
+    safe = np.maximum(counts, 1)
+    mean_x = np.bincount(point_labels, weights=xy[:, 0], minlength=num) / safe
+    mean_y = np.bincount(point_labels, weights=xy[:, 1], minlength=num) / safe
+    cx = xy[:, 0] - mean_x[point_labels]
+    cy = xy[:, 1] - mean_y[point_labels]
+    a = np.bincount(point_labels, weights=cx * cx, minlength=num) / safe
+    b = np.bincount(point_labels, weights=cx * cy, minlength=num) / safe
+    c = np.bincount(point_labels, weights=cy * cy, minlength=num) / safe
+    # Angle of the larger-eigenvalue axis; the eigh convention this
+    # replaces ordered eigenvalues ascending, so axis 0 (minor) is the
+    # perpendicular and axis 1 (major) is this direction.
+    theta = 0.5 * np.arctan2(2.0 * b, a - c)
+    ux, uy = np.cos(theta), np.sin(theta)
+    proj_major = cx * ux[point_labels] + cy * uy[point_labels]
+    proj_minor = cy * ux[point_labels] - cx * uy[point_labels]
     majors = np.zeros(num)
     minors = np.zeros(num)
-    order = np.argsort(point_labels, kind="stable")
-    sorted_labels = point_labels[order]
-    boundaries = np.searchsorted(sorted_labels, np.arange(num + 1))
-    for label in range(num):
-        members = xy[order[boundaries[label] : boundaries[label + 1]]]
-        if len(members) < 2:
-            continue
-        centered = members - members.mean(axis=0)
-        cov = centered.T @ centered / len(members)
-        _evals, evecs = np.linalg.eigh(cov)
-        projected = centered @ evecs
-        spans = projected.max(axis=0) - projected.min(axis=0)
-        minors[label] = float(spans[0])
-        majors[label] = float(spans[1])
+    multi = counts >= 2
+    if multi.any():
+        hi = np.full(num, -np.inf)
+        lo = np.full(num, np.inf)
+        np.maximum.at(hi, point_labels, proj_major)
+        np.minimum.at(lo, point_labels, proj_major)
+        majors[multi] = (hi - lo)[multi]
+        hi.fill(-np.inf)
+        lo.fill(np.inf)
+        np.maximum.at(hi, point_labels, proj_minor)
+        np.minimum.at(lo, point_labels, proj_minor)
+        minors[multi] = (hi - lo)[multi]
     return point_labels, majors, minors

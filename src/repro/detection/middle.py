@@ -60,10 +60,16 @@ class SparseMiddleExtractor(Module):
         self.in_channels = in_channels
         self.out_channels = out_channels
 
-    def forward(self, tensor: SparseTensor3d) -> np.ndarray:
-        x = self.relu1(self.conv1(tensor))
-        x = self.relu2(self.conv2(x))
-        return self.to_dense(x)
+    def forward(
+        self, tensor: SparseTensor3d, channel_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        # Both convolutions are stride-1 submanifold: the active set is
+        # invariant through the block, so one rulebook (memoised across
+        # frames by RULEBOOK_CACHE) serves them both.
+        rulebook = self.conv1.build_rulebook(tensor)
+        x = self.relu1(self.conv1(tensor, rulebook=rulebook))
+        x = self.relu2(self.conv2(x, rulebook=rulebook))
+        return self.to_dense(x, channel_mask=channel_mask)
 
     def backward(self, grad_output: np.ndarray) -> SparseTensor3d:
         grad = self.to_dense.backward(grad_output)

@@ -34,9 +34,12 @@ class Linear(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._input = x
-        out = x @ self.weight.value.T
+        weight = self.weight.value
+        if weight.dtype != x.dtype and np.issubdtype(x.dtype, np.floating):
+            weight = weight.astype(x.dtype)
+        out = x @ weight.T
         if self.bias is not None:
-            out = out + self.bias.value
+            out += self.bias.value
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -165,11 +168,24 @@ class Conv2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         k, s, p = self.kernel_size, self.stride, self.padding
         n, _, h, w = x.shape
-        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p else x
         out_h = (h + 2 * p - k) // s + 1
         out_w = (w + 2 * p - k) // s + 1
         weight = self.weight.value
-        out = np.zeros((n, weight.shape[0], out_h, out_w))
+        if weight.dtype != x.dtype and np.issubdtype(x.dtype, np.floating):
+            weight = weight.astype(x.dtype)
+        # Input channels whose weights are identically zero contribute
+        # nothing to any tap; dropping them *before* padding is exact
+        # (zero-padding commutes with channel selection) and, for the
+        # analytic RPN (4 of 20 BEV channels live), shrinks both the pad
+        # copy and the dominant matmul 5x.  Backward re-pads the full
+        # input, so gradients cover every channel.
+        used = np.any(weight, axis=(0, 2, 3))
+        source = x
+        if not used.all():
+            weight = weight[:, used]
+            source = np.ascontiguousarray(x[:, used])
+        padded = np.pad(source, ((0, 0), (0, 0), (p, p), (p, p))) if p else source
+        out = np.zeros((n, weight.shape[0], out_h, out_w), dtype=x.dtype)
         for i in range(k):
             for j in range(k):
                 patch = padded[self._tap_slices(i, j, out_h, out_w)]
@@ -179,12 +195,13 @@ class Conv2d(Module):
                 ).transpose(1, 0, 2, 3)
         if self.bias is not None:
             out += self.bias.value[None, :, None, None]
-        self._cache = (x.shape, padded)
+        self._cache = (x,)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x_shape, padded = self._cache
+        (x,) = self._cache
         k, s, p = self.kernel_size, self.stride, self.padding
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p else x
         out_h, out_w = grad_output.shape[2], grad_output.shape[3]
         weight = self.weight.value
         grad_padded = np.zeros_like(padded)

@@ -54,8 +54,8 @@ class Module:
         return dLoss/dInput."""
         raise NotImplementedError
 
-    def __call__(self, x):
-        return self.forward(x)
+    def __call__(self, x, **kwargs):
+        return self.forward(x, **kwargs)
 
     def parameters(self) -> Iterator[Parameter]:
         """Yield this module's parameters, recursing into sub-modules."""

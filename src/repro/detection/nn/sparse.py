@@ -7,18 +7,37 @@ sites — integer coordinates plus a feature row each — and
 :class:`SubmanifoldConv3d` convolves them without ever materialising the
 dense grid: for each kernel offset it gathers the (input, output) site
 pairs related by that offset and applies one matmul.
+
+The gather lists form a *rulebook* (:class:`Rulebook`), the SECOND-lineage
+term for the per-offset (in_rows, out_rows) index pairs.  Rulebooks are a
+pure function of the active-site set, so they are shared between the
+stride-1 convolutions of a block (the submanifold property keeps the
+active set invariant) and memoised across frames in
+:data:`RULEBOOK_CACHE`, keyed by a hash of the site list and verified
+exactly on every hit — a cache hit therefore returns bit-identical gather
+lists, keeping results independent of cache state and worker count.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.detection.nn.module import Module, Parameter
+from repro.profiling import PROFILER
 
-__all__ = ["SparseTensor3d", "SubmanifoldConv3d", "SparseToDense"]
+__all__ = [
+    "SparseTensor3d",
+    "Rulebook",
+    "RulebookCache",
+    "RULEBOOK_CACHE",
+    "SubmanifoldConv3d",
+    "SparseToDense",
+]
 
 
 @dataclass
@@ -27,17 +46,37 @@ class SparseTensor3d:
 
     Attributes:
         coords: ``(V, 3)`` integer coordinates (ix, iy, iz).
-        features: ``(V, C)`` feature rows.
+        features: ``(V, C)`` feature rows.  Any floating dtype is preserved
+            (the float32 inference path flows through unchanged); non-float
+            inputs are promoted to float64.
         grid_shape: dense extent ``(nx, ny, nz)`` the coordinates live in.
     """
 
     coords: np.ndarray
     features: np.ndarray
     grid_shape: tuple[int, int, int]
+    _linear: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sort_order: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
-        self.coords = np.asarray(self.coords, dtype=np.int64).reshape(-1, 3)
-        self.features = np.asarray(self.features, dtype=np.float64)
+        # Tensors cross a layer boundary on every block: avoid the
+        # unconditional re-copy of well-formed inputs — ``asarray`` is a
+        # no-op when dtype and shape already match, and integer coords of
+        # any width are accepted (linear_index upcasts as needed).
+        coords = np.asarray(self.coords)
+        if not np.issubdtype(coords.dtype, np.integer):
+            coords = coords.astype(np.int64)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            coords = coords.reshape(-1, 3)
+        self.coords = coords
+        features = np.asarray(self.features)
+        if not np.issubdtype(features.dtype, np.floating):
+            features = features.astype(np.float64)
+        self.features = features
         if len(self.coords) != len(self.features):
             raise ValueError("coords and features row counts differ")
 
@@ -52,10 +91,26 @@ class SparseTensor3d:
         return self.features.shape[1] if self.features.ndim == 2 else 0
 
     def linear_index(self) -> np.ndarray:
-        """Linearised coordinates, usable as dict keys / sort keys."""
-        nx, ny, nz = self.grid_shape
-        c = self.coords
-        return c[:, 0] * (ny * nz) + c[:, 1] * nz + c[:, 2]
+        """Linearised coordinates, usable as dict keys / sort keys.
+
+        Computed once and cached on the tensor — every convolution that
+        touches this tensor reuses the same array.
+        """
+        if self._linear is None:
+            nx, ny, nz = self.grid_shape
+            c = self.coords
+            self._linear = (
+                c[:, 0].astype(np.int64) * (ny * nz)
+                + c[:, 1].astype(np.int64) * nz
+                + c[:, 2]
+            )
+        return self._linear
+
+    def sort_order(self) -> np.ndarray:
+        """Argsort of :meth:`linear_index`, cached alongside it."""
+        if self._sort_order is None:
+            self._sort_order = np.argsort(self.linear_index())
+        return self._sort_order
 
     def densify(self) -> np.ndarray:
         """Materialise the dense ``(C, nx, ny, nz)`` array (tests only)."""
@@ -67,23 +122,45 @@ class SparseTensor3d:
         return dense
 
 
+@dataclass
+class Rulebook:
+    """Gather lists relating input to output sites for one active set.
+
+    Attributes:
+        out_coords: ``(O, 3)`` output site coordinates.
+        out_grid: dense extent of the output sites.
+        pairs: per-kernel-offset ``(offset_index, in_rows, out_rows)``
+            gather lists (offsets with no related pairs are omitted).
+        linear: the *unsorted* linearised input site list the rulebook was
+            built from — the exact-match key for cache verification.
+    """
+
+    out_coords: np.ndarray
+    out_grid: tuple[int, int, int]
+    pairs: list[tuple[int, np.ndarray, np.ndarray]]
+    linear: np.ndarray
+
+
 def _build_pairs(
     in_tensor: SparseTensor3d,
     out_coords: np.ndarray,
-    out_grid: tuple[int, int, int],
     kernel_size: int,
     stride: int,
-) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+) -> list[tuple[int, np.ndarray, np.ndarray]]:
     """For each kernel offset, the (offset, in_rows, out_rows) gather lists.
 
     An output site ``o`` receives input site ``i`` through offset ``k`` when
     ``i = o * stride + k - pad`` (pad centres the kernel).
     """
+    # A blackout frame (repro.faults) voxelises to zero active sites; so
+    # can an out-of-range cloud.  There is nothing to relate — and indexing
+    # an empty sorted site list would raise — so short-circuit to no pairs.
+    if in_tensor.num_active == 0 or len(out_coords) == 0:
+        return []
     pad = (kernel_size - 1) // 2
     nx, ny, nz = in_tensor.grid_shape
-    lin_in = in_tensor.linear_index()
-    order = np.argsort(lin_in)
-    lin_sorted = lin_in[order]
+    order = in_tensor.sort_order()
+    lin_sorted = in_tensor.linear_index()[order]
     offsets = list(itertools.product(range(kernel_size), repeat=3))
     pairs = []
     out = out_coords
@@ -102,11 +179,10 @@ def _build_pairs(
             candidate[:, 0] * (ny * nz) + candidate[:, 1] * nz + candidate[:, 2]
         )
         pos = np.searchsorted(lin_sorted, lin_cand)
-        pos_clipped = np.minimum(pos, len(lin_sorted) - 1) if len(lin_sorted) else pos
+        pos_clipped = np.minimum(pos, len(lin_sorted) - 1)
         found = (
             in_bounds
             & (pos < len(lin_sorted))
-            & (len(lin_sorted) > 0)
             & (lin_sorted[pos_clipped] == lin_cand)
         )
         if found.any():
@@ -120,6 +196,87 @@ def _build_pairs(
     return pairs
 
 
+class RulebookCache:
+    """Cross-frame memoisation of rulebooks, keyed by the active-site set.
+
+    The key is ``(grid_shape, kernel_size, stride, #sites, crc32(sites))``;
+    a hit additionally verifies the stored site list element-for-element,
+    so a returned rulebook is always *exactly* the one a fresh build would
+    produce — results never depend on cache state, process, or worker
+    count.  Entries are evicted LRU-style beyond ``maxsize``.
+
+    Hit/miss totals are kept on the cache (``hits`` / ``misses``) and
+    mirrored into :mod:`repro.profiling` counters
+    ``spod.rulebook_hits`` / ``spod.rulebook_misses`` when profiling is
+    enabled.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, Rulebook] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def _key(
+        tensor: SparseTensor3d, kernel_size: int, stride: int
+    ) -> tuple:
+        linear = tensor.linear_index()
+        digest = zlib.crc32(np.ascontiguousarray(linear).view(np.uint8))
+        return (tensor.grid_shape, kernel_size, stride, len(linear), digest)
+
+    def lookup(
+        self,
+        tensor: SparseTensor3d,
+        kernel_size: int,
+        stride: int,
+        build,
+    ) -> Rulebook:
+        """Return the memoised rulebook for ``tensor``, building on miss.
+
+        ``build`` is a zero-argument callable producing the
+        :class:`Rulebook` when the cache cannot serve the request.
+        """
+        if not self.enabled:
+            return build()
+        key = self._key(tensor, kernel_size, stride)
+        entry = self._entries.get(key)
+        if entry is not None and np.array_equal(entry.linear, tensor.linear_index()):
+            self._entries.move_to_end(key)
+            self.hits += 1
+            PROFILER.count("spod.rulebook_hits")
+            return entry
+        self.misses += 1
+        PROFILER.count("spod.rulebook_misses")
+        entry = build()
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+
+#: Process-wide rulebook memo shared by every sparse convolution.  Forked
+#: workers inherit a snapshot and diverge independently; because hits are
+#: verified exactly, per-process cache divergence can never change results.
+RULEBOOK_CACHE = RulebookCache()
+
+
 class SubmanifoldConv3d(Module):
     """Sparse 3D convolution.
 
@@ -127,6 +284,10 @@ class SubmanifoldConv3d(Module):
     the input active set, so sparsity never dilates (the property that makes
     deep sparse CNNs tractable).  With ``stride > 1`` it is a regular sparse
     convolution whose output sites are the distinct downsampled input sites.
+
+    The forward pass computes in the dtype of the incoming features (the
+    weights are cast to match), so a float32 tensor flows through a float32
+    kernel; float64 training inputs keep the float64 kernels bit-for-bit.
     """
 
     def __init__(
@@ -156,7 +317,7 @@ class SubmanifoldConv3d(Module):
         self, tensor: SparseTensor3d
     ) -> tuple[np.ndarray, tuple[int, int, int]]:
         if self.stride == 1:
-            return tensor.coords.copy(), tensor.grid_shape
+            return tensor.coords, tensor.grid_shape
         down = tensor.coords // self.stride
         out_grid = tuple(
             int(np.ceil(g / self.stride)) for g in tensor.grid_shape
@@ -164,22 +325,43 @@ class SubmanifoldConv3d(Module):
         unique = np.unique(down, axis=0)
         return unique, out_grid  # type: ignore[return-value]
 
-    def forward(self, tensor: SparseTensor3d) -> SparseTensor3d:
-        out_coords, out_grid = self._output_sites(tensor)
-        pairs = _build_pairs(
-            tensor, out_coords, out_grid, self.kernel_size, self.stride
+    def build_rulebook(self, tensor: SparseTensor3d) -> Rulebook:
+        """The (possibly memoised) rulebook relating ``tensor`` to its output.
+
+        Stride-1 rulebooks depend only on the active-site set, so a block
+        of submanifold convolutions builds one rulebook and passes it to
+        every :meth:`forward` in the block.
+        """
+
+        def build() -> Rulebook:
+            out_coords, out_grid = self._output_sites(tensor)
+            pairs = _build_pairs(tensor, out_coords, self.kernel_size, self.stride)
+            return Rulebook(out_coords, out_grid, pairs, tensor.linear_index())
+
+        return RULEBOOK_CACHE.lookup(tensor, self.kernel_size, self.stride, build)
+
+    def forward(
+        self, tensor: SparseTensor3d, rulebook: Rulebook | None = None
+    ) -> SparseTensor3d:
+        if rulebook is None:
+            rulebook = self.build_rulebook(tensor)
+        dtype = tensor.features.dtype
+        weight = self.weight.value
+        if weight.dtype != dtype:
+            weight = weight.astype(dtype)
+        out_features = np.zeros(
+            (len(rulebook.out_coords), weight.shape[2]), dtype=dtype
         )
-        out_features = np.zeros((len(out_coords), self.weight.shape[2]))
-        for k, in_rows, out_rows in pairs:
+        for k, in_rows, out_rows in rulebook.pairs:
             np.add.at(
                 out_features,
                 out_rows,
-                tensor.features[in_rows] @ self.weight.value[k],
+                tensor.features[in_rows] @ weight[k],
             )
         if self.bias is not None:
             out_features += self.bias.value
-        self._cache = (tensor, pairs, len(out_coords))
-        return SparseTensor3d(out_coords, out_features, out_grid)
+        self._cache = (tensor, rulebook.pairs, len(rulebook.out_coords))
+        return SparseTensor3d(rulebook.out_coords, out_features, rulebook.out_grid)
 
     def backward(self, grad_output: SparseTensor3d | np.ndarray) -> SparseTensor3d:
         tensor, pairs, num_out = self._cache
@@ -202,23 +384,56 @@ class SparseToDense(Module):
     """Scatter a sparse tensor to a dense BEV map, stacking z into channels.
 
     Output shape is ``(1, C * nz, nx, ny)`` — the standard trick the SECOND
-    lineage uses to hand the 3D feature volume to a 2D RPN.
+    lineage uses to hand the 3D feature volume to a 2D RPN.  The dense map
+    is allocated in the feature dtype, so the float32 inference path never
+    round-trips through float64.
+
+    ``channel_mask`` (inference only) skips scattering BEV channels the
+    downstream network provably ignores — with the analytic RPN only the
+    occupancy channel's car-band and tall z bins carry weight, so most of
+    the scatter is wasted work.  Masked channels stay zero, which is
+    exactly what a zero-weight consumer sees; ``backward`` refuses to run
+    after a masked forward because the gradient of a discarded channel is
+    not recoverable.
     """
 
     def __init__(self) -> None:
         self._cache: tuple | None = None
 
-    def forward(self, tensor: SparseTensor3d) -> np.ndarray:
+    def forward(
+        self, tensor: SparseTensor3d, channel_mask: np.ndarray | None = None
+    ) -> np.ndarray:
         nx, ny, nz = tensor.grid_shape
         c = tensor.num_channels
-        dense = np.zeros((c, nz, nx, ny))
+        dense = np.zeros((c, nz, nx, ny), dtype=tensor.features.dtype)
         coords = tensor.coords
-        dense[:, coords[:, 2], coords[:, 0], coords[:, 1]] = tensor.features.T
-        self._cache = (tensor, (nx, ny, nz, c))
+        if channel_mask is None:
+            dense[:, coords[:, 2], coords[:, 0], coords[:, 1]] = tensor.features.T
+        else:
+            mask = np.asarray(channel_mask, dtype=bool).reshape(c, nz)
+            for ch in range(c):
+                z_used = mask[ch]
+                if not z_used.any():
+                    continue
+                if z_used.all():
+                    dense[ch, coords[:, 2], coords[:, 0], coords[:, 1]] = (
+                        tensor.features[:, ch]
+                    )
+                    continue
+                keep = z_used[coords[:, 2]]
+                dense[ch, coords[keep, 2], coords[keep, 0], coords[keep, 1]] = (
+                    tensor.features[keep, ch]
+                )
+        self._cache = (tensor, (nx, ny, nz, c), channel_mask is not None)
         return dense.reshape(1, c * nz, nx, ny)
 
     def backward(self, grad_output: np.ndarray) -> SparseTensor3d:
-        tensor, (nx, ny, nz, c) = self._cache
+        tensor, (nx, ny, nz, c), masked = self._cache
+        if masked:
+            raise RuntimeError(
+                "SparseToDense.backward after a channel-masked forward: "
+                "the mask is an inference-only optimisation"
+            )
         grad = grad_output.reshape(c, nz, nx, ny)
         coords = tensor.coords
         grad_feat = grad[:, coords[:, 2], coords[:, 0], coords[:, 1]].T

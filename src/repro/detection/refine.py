@@ -109,52 +109,112 @@ class BoxRefiner:
         when the neighbourhood is too sparse to support an object
         hypothesis.
         """
-        if self._tree is None:
-            return None
+        return self.refine_batch([proposal_xy])[0]
+
+    def refine_batch(self, proposals_xy) -> list[Fit | None]:
+        """Fit boxes near each proposal; one entry per input, None = drop.
+
+        Identical results to calling :meth:`refine` per proposal, but the
+        KD-tree lookups (seed, each mean-shift round, gather) are issued
+        as *vector* queries across all still-active proposals — the decode
+        path hands over ~40 proposals per cloud, and per-call query
+        overhead dominated the scalar version's profile.
+        """
         spec = self.spec
-        center = np.asarray(proposal_xy[:2], dtype=float)
-        seed_idx = np.asarray(
-            self._tree.query_ball_point(center, spec.seed_radius), dtype=int
+        n = len(proposals_xy)
+        fits: list[Fit | None] = [None] * n
+        if self._tree is None or n == 0:
+            return fits
+        centers = np.array([p[:2] for p in proposals_xy], dtype=float)
+        seed_lists = self._tree.query_ball_point(
+            centers, spec.seed_radius, return_sorted=True
         )
-        if not len(seed_idx):
-            return None
-        # Adopt the *nearest* structure under the proposal, plus anything
-        # almost as close — but not a neighbouring object that merely grazes
-        # the seed radius (a pedestrian proposal must not adopt the car
-        # parked 1.2 m away).
-        distances = np.linalg.norm(self._car_points[seed_idx, :2] - center, axis=1)
-        cutoff = max(0.7, float(distances.min()) + 0.25)
-        seed_clusters = np.unique(self._clusters[seed_idx[distances <= cutoff]])
+        seed_clusters: list[np.ndarray | None] = [None] * n
+        modes = centers.copy()
+        shifting = np.zeros(n, dtype=bool)
+        for i in range(n):
+            seed_idx = np.asarray(seed_lists[i], dtype=int)
+            if not len(seed_idx):
+                continue
+            # Adopt the *nearest* structure under the proposal, plus
+            # anything almost as close — but not a neighbouring object that
+            # merely grazes the seed radius (a pedestrian proposal must not
+            # adopt the car parked 1.2 m away).
+            distances = np.linalg.norm(
+                self._car_points[seed_idx, :2] - centers[i], axis=1
+            )
+            cutoff = max(0.7, float(distances.min()) + 0.25)
+            seed_clusters[i] = np.unique(
+                self._clusters[seed_idx[distances <= cutoff]]
+            )
+            shifting[i] = True
         # Mean-shift with a sub-car radius: converge onto the local density
         # mode (one vehicle's own point mass) instead of the centroid of
         # whatever the proposal radius happens to cover.  Essential on
         # merged clouds, where two viewpoints can fuse a whole row of
         # parked cars into one connected cluster.
-        mode = center
         for _ in range(spec.meanshift_iterations):
-            near = np.asarray(
-                self._tree.query_ball_point(mode, spec.meanshift_radius), dtype=int
-            )
-            near = near[np.isin(self._clusters[near], seed_clusters)]
-            if len(near) < spec.min_points:
+            live = np.flatnonzero(shifting)
+            if not len(live):
                 break
-            mode = self._car_points[near][:, :2].mean(axis=0)
-        idx = np.asarray(
-            self._tree.query_ball_point(mode, spec.gather_radius), dtype=int
+            near_lists = self._tree.query_ball_point(
+                modes[live], spec.meanshift_radius, return_sorted=True
+            )
+            for j, i in enumerate(live):
+                near = np.asarray(near_lists[j], dtype=int)
+                near = near[_in_clusters(self._clusters[near], seed_clusters[i])]
+                if len(near) < spec.min_points:
+                    shifting[i] = False
+                    continue
+                new_mode = self._car_points[near, :2].mean(axis=0)
+                if new_mode[0] == modes[i, 0] and new_mode[1] == modes[i, 1]:
+                    # A fixed point: every further round would reproduce
+                    # this exact mode, so the remaining queries are pure
+                    # cost.
+                    shifting[i] = False
+                modes[i] = new_mode
+        seeded = [i for i in range(n) if seed_clusters[i] is not None]
+        if not seeded:
+            return fits
+        gather_lists = self._tree.query_ball_point(
+            modes[seeded], spec.gather_radius, return_sorted=True
         )
-        idx = idx[np.isin(self._clusters[idx], seed_clusters)]
-        if len(idx) < spec.min_points:
-            return None
-        local = self._car_points[idx]
+        for j, i in enumerate(seeded):
+            idx = np.asarray(gather_lists[j], dtype=int)
+            idx = idx[_in_clusters(self._clusters[idx], seed_clusters[i])]
+            if len(idx) >= spec.min_points:
+                fits[i] = self._fit(self._car_points[idx])
+        return fits
+
+    def _fit(self, local: np.ndarray) -> Fit:
+        """Fit a template box to the gathered local points of one proposal."""
+        spec = self.spec
+        local_xy = local[:, :2]
+        # Extents (classification) and yaw share one principal-axis
+        # analysis: both need the same centred covariance and its
+        # eigendecomposition, so compute it once per proposal.
+        centroid = local_xy.mean(axis=0)
+        if len(local_xy) >= 2:
+            centered = local_xy - centroid
+            cov = centered.T @ centered / len(local_xy)
+            eigenvalues, eigenvectors = np.linalg.eigh(cov)
+            projected = centered @ eigenvectors
+            spans = projected.max(axis=0) - projected.min(axis=0)
+            major, minor = float(spans[1]), float(spans[0])
+        else:
+            major = minor = 0.0
         object_class = CAR
         if spec.multi_class:
-            major, minor = _planar_extents(local[:, :2])
             height_span = float(local[:, 2].max() - self.ground_z)
             object_class = classify_cluster(major, minor, height_span)
             length, width, height = object_class.template
         else:
             length, width, height = spec.template_size
-        base_yaw = _principal_yaw(local[:, :2])
+        if len(local_xy) >= 3:
+            axis = eigenvectors[:, int(np.argmax(eigenvalues))]
+            base_yaw = float(np.arctan2(axis[1], axis[0]))
+        else:
+            base_yaw = 0.0
         # PCA orientation is ambiguous on merged clouds: a row of parked
         # cars fused into one cluster has its principal axis along the
         # *row*, perpendicular to every car in it.  Fit both orientations
@@ -164,10 +224,13 @@ class BoxRefiner:
         # a *cooperator* (the receiver-frame origin is not their sensor):
         # both slide directions are tried, tie-broken by the ground-shadow
         # test — the real vehicle sits where the ground shows no returns.
-        pts4 = np.column_stack([local, np.zeros(len(local))])
-        best: tuple[float, float, Box3D] | None = None
-        for yaw in (base_yaw, base_yaw + np.pi / 2.0):
-            candidates = _l_shape_centers(local[:, :2], yaw, length, width)
+        yaw_candidates = [
+            (yaw, _l_shape_centers(local_xy, yaw, length, width, centroid=centroid))
+            for yaw in (base_yaw, base_yaw + np.pi / 2.0)
+        ]
+        ground = self._ground_neighborhood(centroid, yaw_candidates, length, width)
+        best: tuple[float, float, float, Box3D] | None = None
+        for yaw, candidates in yaw_candidates:
             boxes = [
                 Box3D(
                     np.array([c[0], c[1], self.ground_z + height / 2.0]),
@@ -180,18 +243,18 @@ class BoxRefiner:
             ]
             chosen = boxes[0]
             flipped = 0.0
-            shadow = self._ground_points_under(chosen)
+            shadow = _ground_points_under(ground, chosen)
             if len(boxes) == 2:
                 # Override the receiver-as-sensor slide only on decisive
                 # ground evidence: many returns under the default placement
                 # and clearly fewer under the mirrored one.  Doubly-shadowed
                 # ground (occluders on both sides) must not flip the box.
-                shadow_mirrored = self._ground_points_under(boxes[1])
+                shadow_mirrored = _ground_points_under(ground, boxes[1])
                 if shadow >= 8 and shadow_mirrored * 2 <= shadow:
                     chosen = boxes[1]
                     shadow = shadow_mirrored
                     flipped = 1.0
-            inside = int(points_in_box(pts4, chosen, margin=0.1).sum())
+            inside = int(points_in_box(local, chosen, margin=0.1).sum())
             fitness = inside - 2 * (len(local) - inside)
             # Orientation choice: best point fit first; then the placement
             # whose footprint shadows the ground (a box sticking out over
@@ -203,29 +266,85 @@ class BoxRefiner:
                 best = (fitness, -float(shadow), -flipped, chosen)
         return Fit(best[3], local, object_class)
 
-    def _ground_points_under(self, box: Box3D) -> int:
-        """Ground returns inside the box footprint (0 without ground data)."""
+    def _ground_neighborhood(
+        self,
+        centroid: np.ndarray,
+        yaw_candidates: list,
+        length: float,
+        width: float,
+    ) -> np.ndarray | None:
+        """Ground returns covering every candidate footprint of one fit.
+
+        One KD-tree lookup on a disk that provably contains all candidate
+        boxes (each centre's offset from the centroid plus the footprint
+        circumradius) replaces a per-box query; the footprint membership
+        test then runs on this superset with identical results.
+        """
         if self._ground_tree is None:
-            return 0
-        radius = float(np.hypot(box.length, box.width)) / 2.0
-        idx = self._ground_tree.query_ball_point(box.center[:2], radius)
-        if not idx:
-            return 0
-        candidates = self._ground_tree.data[idx]
-        pts4 = np.column_stack(
-            [
-                candidates,
-                np.full(len(candidates), box.center[2]),
-                np.zeros(len(candidates)),
-            ]
+            return None
+        circumradius = float(np.hypot(length, width)) / 2.0
+        radius = 0.0
+        for _yaw, candidates in yaw_candidates:
+            for c in candidates:
+                offset = float(np.hypot(c[0] - centroid[0], c[1] - centroid[1]))
+                radius = max(radius, offset + circumradius)
+        idx = self._ground_tree.query_ball_point(
+            (float(centroid[0]), float(centroid[1])), radius
         )
-        # Interior only: returns hugging the box *edges* are object-face
-        # points grazing the ground band, not open ground.
-        return int(points_in_box(pts4, box, margin=-0.4).sum())
+        if not idx:
+            return None
+        return self._ground_tree.data[idx]
+
+
+def _ground_points_under(ground: np.ndarray | None, box: Box3D) -> int:
+    """Ground returns inside the box footprint.
+
+    ``ground`` must be a superset of the footprint's ground returns (see
+    :meth:`BoxRefiner._ground_neighborhood`); None means no ground data.
+    Interior only (negative margin): returns hugging the box *edges* are
+    object-face points grazing the ground band, not open ground.  The test
+    is purely planar — the z comparison is vacuous for ground returns —
+    so only the footprint rotation is computed.
+    """
+    if ground is None:
+        return 0
+    cx, cy = float(box.center[0]), float(box.center[1])
+    rx = ground[:, 0] - cx
+    ry = ground[:, 1] - cy
+    cos_y, sin_y = np.cos(-box.yaw), np.sin(-box.yaw)
+    u = rx * cos_y - ry * sin_y
+    v = rx * sin_y + ry * cos_y
+    return int(
+        (
+            (np.abs(u) <= box.length / 2 - 0.4)
+            & (np.abs(v) <= box.width / 2 - 0.4)
+        ).sum()
+    )
+
+
+def _in_clusters(labels: np.ndarray, seed_clusters: np.ndarray) -> np.ndarray:
+    """Membership mask of ``labels`` in ``seed_clusters``.
+
+    Equivalent to ``np.isin`` but skips its sort-based machinery for the
+    common few-seed-cluster cases (a proposal usually sits on one or two
+    structures), which profile hot inside refine.
+    """
+    if len(seed_clusters) == 1:
+        return labels == seed_clusters[0]
+    if len(seed_clusters) <= 4:
+        mask = labels == seed_clusters[0]
+        for cluster in seed_clusters[1:]:
+            mask |= labels == cluster
+        return mask
+    return np.isin(labels, seed_clusters)
 
 
 def _l_shape_centers(
-    xy: np.ndarray, yaw: float, length: float, width: float
+    xy: np.ndarray,
+    yaw: float,
+    length: float,
+    width: float,
+    centroid: np.ndarray | None = None,
 ) -> list[np.ndarray]:
     """Candidate box centres for a partial view: both slide directions.
 
@@ -233,12 +352,48 @@ def _l_shape_centers(
     :func:`_l_shape_center`; the second slides the unseen half the opposite
     way (correct when the points came from a cooperator on the far side).
     Identical candidates (full views, no deficit) are deduplicated.
+
+    Both candidates share every intermediate (centroid, yaw frame,
+    observed extents); only the final slide direction differs.  The maths
+    is kept in scalars — this runs twice per proposal and array-op
+    overhead on 2-vectors dominated its profile.
     """
-    primary = _l_shape_center(xy, yaw, length, width)
-    mirrored = _l_shape_center(xy, yaw, length, width, flip=True)
-    if np.allclose(primary, mirrored, atol=1e-9):
-        return [primary]
-    return [primary, mirrored]
+    if centroid is None:
+        centroid = xy.mean(axis=0)
+    c0, c1 = float(centroid[0]), float(centroid[1])
+    cos_y, sin_y = float(np.cos(yaw)), float(np.sin(yaw))
+    dx = xy[:, 0] - c0
+    dy = xy[:, 1] - c1
+    u = dx * cos_y + dy * sin_y
+    v = dy * cos_y - dx * sin_y
+    # The sensor sits at the frame origin; project it into the yaw frame.
+    sensor_u = -c0 * cos_y - c1 * sin_y
+    sensor_v = c0 * sin_y - c1 * cos_y
+    norm = float(np.sqrt(sensor_u * sensor_u + sensor_v * sensor_v))
+    if norm > 1e-9:
+        unit_u, unit_v = sensor_u / norm, sensor_v / norm
+    else:
+        unit_u = unit_v = 0.0
+    primary_uv = [0.0, 0.0]
+    mirrored_uv = [0.0, 0.0]
+    for axis, dim, unit, proj in (
+        (0, length, unit_u, u),
+        (1, width, unit_v, v),
+    ):
+        lo, hi = float(proj.min()), float(proj.max())
+        observed_mid = (lo + hi) / 2.0
+        deficit = max(0.0, (dim - (hi - lo)) / 2.0)
+        primary_uv[axis] = observed_mid - deficit * unit
+        mirrored_uv[axis] = observed_mid + deficit * unit
+    px = c0 + primary_uv[0] * cos_y - primary_uv[1] * sin_y
+    py = c1 + primary_uv[0] * sin_y + primary_uv[1] * cos_y
+    mx = c0 + mirrored_uv[0] * cos_y - mirrored_uv[1] * sin_y
+    my = c1 + mirrored_uv[0] * sin_y + mirrored_uv[1] * cos_y
+    # Same tolerance semantics as np.allclose(primary, mirrored, atol=1e-9)
+    # without its (measurably slow) broadcasting machinery.
+    if abs(px - mx) <= 1e-9 + 1e-5 * abs(mx) and abs(py - my) <= 1e-9 + 1e-5 * abs(my):
+        return [np.array([px, py])]
+    return [np.array([px, py]), np.array([mx, my])]
 
 
 def _l_shape_center(

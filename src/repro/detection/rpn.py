@@ -49,6 +49,17 @@ class RegionProposalNetwork(Module):
         self._trunk = trunk
         return self.cls_head(trunk), self.reg_head(trunk)
 
+    def used_input_channels(self) -> np.ndarray:
+        """Boolean mask of BEV input channels ``conv1`` actually reads.
+
+        Derived from the live weights on every call, so it self-invalidates
+        when the network is (re)trained.  With the analytic weights only
+        the occupancy channel's car-band and tall z bins are live (4 of
+        ``in_channels``), which lets the BEV densification skip most of its
+        scatter at inference time.
+        """
+        return np.any(self.conv1.weight.value, axis=(0, 2, 3))
+
     def backward(
         self, grad_cls: np.ndarray, grad_reg: np.ndarray | None = None
     ) -> np.ndarray:

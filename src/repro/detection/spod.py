@@ -78,6 +78,11 @@ class SPODConfig:
             heads instead of the analytic refine+calibrate path.
         refinement: box-fitting knobs for the analytic path.
         calibrator: confidence model weights.
+        dtype: compute dtype for the kernel path (voxelize -> VFE ->
+            middle -> RPN): ``"float32"``, ``"float64"``, or ``None`` to
+            auto-select — float32 for :meth:`SPOD.pretrained` (inference),
+            float64 for a plain :class:`SPOD` (training/calibration).  The
+            analytic decode stage always runs in float64.
     """
 
     voxel_spec: VoxelGridSpec = field(
@@ -98,12 +103,15 @@ class SPODConfig:
     refinement: RefinementSpec = field(default_factory=RefinementSpec)
     calibrator: CalibratorWeights = field(default_factory=CalibratorWeights)
     seed: int = 0
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.candidate_threshold < 1.0:
             raise ValueError("candidate_threshold must be in (0, 1)")
         if not 0.0 <= self.detection_threshold <= 1.0:
             raise ValueError("detection_threshold must be in [0, 1]")
+        if self.dtype not in (None, "float32", "float64"):
+            raise ValueError("dtype must be None, 'float32' or 'float64'")
 
 
 class SPOD:
@@ -120,15 +128,22 @@ class SPOD:
     recover the raw scores behind the X cells of Figs. 3 and 6.
     """
 
-    def __init__(self, config: SPODConfig | None = None) -> None:
+    def __init__(
+        self, config: SPODConfig | None = None, *, default_dtype: str = "float64"
+    ) -> None:
         self.config = config or SPODConfig()
         cfg = self.config
+        # The config wins; otherwise the constructor's default applies —
+        # float64 for a plain SPOD (training/calibration), float32 when
+        # built through :meth:`pretrained` (inference).
+        self.dtype = np.dtype(cfg.dtype or default_dtype)
         nz = cfg.voxel_spec.grid_shape[2]
         self.vfe = VoxelFeatureEncoder(
             cfg.vfe_channels,
             z_range=(cfg.voxel_spec.point_range[2], cfg.voxel_spec.point_range[5]),
             seed=cfg.seed,
         )
+        self.vfe.compute_dtype = self.dtype
         self.middle = SparseMiddleExtractor(
             cfg.vfe_channels, cfg.vfe_channels, cfg.vfe_channels, seed=cfg.seed + 1
         )
@@ -147,8 +162,11 @@ class SPOD:
 
         The weights make the network compute car-band point density minus a
         tall-structure penalty; see :meth:`RegionProposalNetwork.analytic_init`.
+        Unless the config pins a dtype, the kernel path runs in float32 —
+        the inference default (use ``SPODConfig(dtype="float64")`` to force
+        the training-precision path).
         """
-        detector = SPOD(config)
+        detector = SPOD(config, default_dtype="float32")
         detector.vfe.analytic_init()
         detector.middle.analytic_init()
         nz = detector._nz
@@ -157,12 +175,39 @@ class SPOD:
         detector.rpn.analytic_init(nz, car_bins=car_bins, tall_bin=tall_bin)
         return detector
 
-    # -- network forward ---------------------------------------------------
-    def forward(self, cloud: PointCloud):
-        """Run preprocessing + the network; return the internal tensors.
+    def parameters(self):
+        """Yield every trainable parameter of the network stages."""
+        yield from self.vfe.parameters()
+        yield from self.middle.parameters()
+        yield from self.rpn.parameters()
 
-        Returns a dict with the preprocess result, voxel grid, BEV feature
-        map and the RPN's (cls_logits, reg) outputs.
+    def equivalent_to(self, other: "SPOD") -> bool:
+        """True when two detectors are interchangeable for batching.
+
+        The session's batched detection path runs one detector over every
+        agent's cloud, which is only sound when the agents' detectors
+        would compute the same thing — same config, same compute dtype,
+        same weights.  Checked on live values (not identity), since the
+        default agent factory builds separate-but-identical detectors.
+        """
+        if self is other:
+            return True
+        if self.config != other.config or self.dtype != other.dtype:
+            return False
+        mine = list(self.parameters())
+        theirs = list(other.parameters())
+        return len(mine) == len(theirs) and all(
+            np.array_equal(a.value, b.value) for a, b in zip(mine, theirs)
+        )
+
+    # -- network forward ---------------------------------------------------
+    def forward_features(self, cloud: PointCloud, inference: bool = False):
+        """Preprocess + voxelize + VFE + middle; return tensors up to BEV.
+
+        With ``inference=True`` the BEV densification skips channels the
+        RPN's first convolution provably ignores (zero weights) — exact for
+        the forward pass but useless for training, where those channels
+        still need gradients.
         """
         cfg = self.config
         with PROFILER.stage("spod.preprocess"):
@@ -173,20 +218,37 @@ class SPOD:
                 ),
                 densify=cfg.densify,
             )
-        grid = voxelize(pre.obstacles, cfg.voxel_spec, seed=cfg.seed)
+        with PROFILER.stage("spod.voxelize"):
+            grid = voxelize(
+                pre.obstacles, cfg.voxel_spec, seed=cfg.seed, dtype=self.dtype
+            )
         with PROFILER.stage("spod.vfe"):
             sparse = self.vfe(grid)
+        channel_mask = None
+        if inference:
+            used = self.rpn.used_input_channels()
+            if not used.all():
+                channel_mask = used
         with PROFILER.stage("spod.middle"):
-            bev = self.middle(sparse)
+            bev = self.middle(sparse, channel_mask=channel_mask)
+        return {"pre": pre, "grid": grid, "bev": bev}
+
+    def rpn_apply(self, bev: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The RPN head pass, profiled; ``bev`` may batch several maps."""
         with PROFILER.stage("spod.rpn"):
-            cls_logits, reg = self.rpn(bev)
-        return {
-            "pre": pre,
-            "grid": grid,
-            "bev": bev,
-            "cls_logits": cls_logits,
-            "reg": reg,
-        }
+            return self.rpn(bev)
+
+    def forward(self, cloud: PointCloud, inference: bool = False):
+        """Run preprocessing + the network; return the internal tensors.
+
+        Returns a dict with the preprocess result, voxel grid, BEV feature
+        map and the RPN's (cls_logits, reg) outputs.
+        """
+        tensors = self.forward_features(cloud, inference=inference)
+        cls_logits, reg = self.rpn_apply(tensors["bev"])
+        tensors["cls_logits"] = cls_logits
+        tensors["reg"] = reg
+        return tensors
 
     # -- detection ----------------------------------------------------------
     def detect(self, cloud: PointCloud) -> list[Detection]:
@@ -199,7 +261,53 @@ class SPOD:
 
     def detect_all(self, cloud: PointCloud) -> list[Detection]:
         """Detect cars including sub-threshold candidates (post-NMS)."""
-        tensors = self.forward(cloud)
+        if len(cloud) == 0:
+            # A blackout frame (repro.faults) or out-of-range cloud: no
+            # active voxels means no proposals; skip the network entirely.
+            return []
+        tensors = self.forward_features(cloud, inference=True)
+        if tensors["grid"].num_voxels == 0:
+            return []
+        cls_logits, reg = self.rpn_apply(tensors["bev"])
+        tensors["cls_logits"] = cls_logits
+        tensors["reg"] = reg
+        return self._decode_and_nms(tensors)
+
+    def detect_batch(self, clouds) -> list[list[Detection]]:
+        """Detect over several clouds with one batched RPN pass.
+
+        Each cloud is voxelised and encoded independently (those stages are
+        shape-ragged), the BEV maps are stacked on the batch axis, and the
+        RPN conv2d stack runs once — amortising its padding, allocation and
+        transposition overhead across agents.  Decode/NMS then run per
+        cloud.  Empty or zero-voxel clouds yield ``[]`` without touching
+        the network.
+
+        Results are a deterministic function of the input clouds alone
+        (batch composition is fixed by the caller, not by worker layout),
+        which is what the session's bit-identity contract requires.
+        """
+        feats: list[dict | None] = []
+        for cloud in clouds:
+            if len(cloud) == 0:
+                feats.append(None)
+                continue
+            tensors = self.forward_features(cloud, inference=True)
+            feats.append(tensors if tensors["grid"].num_voxels else None)
+        results: list[list[Detection]] = [[] for _ in feats]
+        live = [i for i, f in enumerate(feats) if f is not None]
+        if not live:
+            return results
+        bev = np.concatenate([feats[i]["bev"] for i in live], axis=0)
+        cls_logits, reg = self.rpn_apply(bev)
+        for j, i in enumerate(live):
+            tensors = feats[i]
+            tensors["cls_logits"] = cls_logits[j : j + 1]
+            tensors["reg"] = reg[j : j + 1]
+            results[i] = self._decode_and_nms(tensors)
+        return results
+
+    def _decode_and_nms(self, tensors) -> list[Detection]:
         with PROFILER.stage("spod.decode"):
             if self.config.use_learned_heads:
                 raw = self._decode_learned(tensors)
@@ -230,8 +338,15 @@ class SPOD:
         labeled, count = ndimage.label(mask)
         if count == 0:
             return np.zeros((0, 2), dtype=int)
-        centroids = ndimage.center_of_mass(mask, labeled, range(1, count + 1))
-        return np.round(np.array(centroids)).astype(int)
+        # Plateau centroids via label-indexed sums — the coordinate sums
+        # are exact integer arithmetic, so this matches what
+        # ndimage.center_of_mass produced at a fraction of the cost.
+        rows, cols = np.nonzero(mask)
+        labels = labeled[rows, cols]
+        sizes = np.bincount(labels, minlength=count + 1)[1:]
+        row_c = np.bincount(labels, weights=rows, minlength=count + 1)[1:] / sizes
+        col_c = np.bincount(labels, weights=cols, minlength=count + 1)[1:] / sizes
+        return np.round(np.column_stack([row_c, col_c])).astype(int)
 
     def _decode_analytic(self, tensors) -> list[Detection]:
         pre = tensors["pre"]
@@ -252,12 +367,27 @@ class SPOD:
             pre.obstacles.xyz, pre.ground_z, self.config.calibrator
         )
         centers = self.anchors.cell_centers()
+        fits = refiner.refine_batch([centers[ix, iy] for ix, iy in cells])
         detections: list[Detection] = []
-        for ix, iy in cells:
-            fit = refiner.refine(centers[ix, iy])
+        # Nearby proposals frequently mean-shift onto the same density mode
+        # and produce bit-identical boxes; the calibrator is a pure
+        # function of the box, so score each distinct box once.
+        scored: dict[tuple, float] = {}
+        for fit in fits:
             if fit is None:
                 continue
-            score = calibrator.score(fit.box, fit.object_class)
+            key = (
+                fit.box.center.tobytes(),
+                fit.box.length,
+                fit.box.width,
+                fit.box.height,
+                fit.box.yaw,
+                fit.object_class.name,
+            )
+            score = scored.get(key)
+            if score is None:
+                score = calibrator.score(fit.box, fit.object_class)
+                scored[key] = score
             if score < 0.05:
                 continue
             detections.append(

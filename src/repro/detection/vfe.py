@@ -44,6 +44,12 @@ class VoxelFeatureEncoder(Module):
         self.z_range = z_range
         self.linear = Linear(AUGMENTED_FEATURES, out_channels, seed=seed)
         self.relu = ReLU()
+        #: Compute dtype for the encoder and everything downstream of it
+        #: (``None`` keeps the legacy float64 promotion).  The augmented
+        #: features are cast once here; every later layer follows its
+        #: input's dtype, so this is the single entry point of the
+        #: detector's float32 kernel path.
+        self.compute_dtype: np.dtype | None = None
         self._cache: tuple | None = None
 
     # -- feature augmentation ---------------------------------------------
@@ -75,7 +81,10 @@ class VoxelFeatureEncoder(Module):
             ],
             axis=-1,
         )
-        return features * mask[:, :, None], mask
+        features = features * mask[:, :, None]
+        if self.compute_dtype is not None and features.dtype != self.compute_dtype:
+            features = features.astype(self.compute_dtype)
+        return features, mask
 
     # -- forward / backward -------------------------------------------------
     def forward(self, grid: VoxelGrid) -> SparseTensor3d:
@@ -85,7 +94,9 @@ class VoxelFeatureEncoder(Module):
             self._cache = (0, t, np.zeros((0, self.out_channels), dtype=int), mask)
             return SparseTensor3d(
                 grid.coords,
-                np.zeros((0, self.out_channels)),
+                np.zeros(
+                    (0, self.out_channels), dtype=self.compute_dtype or np.float64
+                ),
                 grid.spec.grid_shape,
             )
         hidden = self.relu(self.linear(features.reshape(v * t, -1))).reshape(

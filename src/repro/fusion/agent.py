@@ -32,6 +32,7 @@ bit-identical at any worker count.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -267,6 +268,13 @@ class CooperSession:
             and every rig (None — the clean-world behaviour).
         resilience: the graceful-degradation knobs (defaults are inert in
             a fault-free run: nothing is ever stale, insane or dark).
+        batch_detection: when every agent's detector is interchangeable
+            (:meth:`repro.detection.spod.SPOD.equivalent_to`), fuse all
+            agents first and run detection as ONE batched RPN pass per
+            step instead of one per agent.  The batched pass always runs
+            parent-side over the full agent set, so its batch composition
+            — and therefore its results — cannot depend on the worker
+            count.  Set False to force the per-agent path.
         degradation: per-run degradation event counts, populated by
             :meth:`run` (also mirrored into ``PROFILER`` counters under
             ``session.*`` when profiling is enabled).
@@ -278,9 +286,11 @@ class CooperSession:
     framer: MessageFramer = field(default_factory=MessageFramer)
     faults: FaultPlan | None = None
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    batch_detection: bool = True
     degradation: dict[str, int] = field(
         default_factory=dict, init=False, repr=False
     )
+    _shared_detector: SPOD | None = field(default=None, init=False, repr=False)
     _health: dict[str, PeerHealth] = field(
         default_factory=dict, init=False, repr=False
     )
@@ -311,6 +321,7 @@ class CooperSession:
         self._stale_cache = StalePackageCache(
             max_age_steps=self.resilience.max_stale_steps
         )
+        self._shared_detector = self._resolve_shared_detector()
         logs: dict[str, list[AgentStep]] = {a.name: [] for a in self.agents}
         times = np.arange(0.0, duration_seconds, period_seconds)
         workers = resolve_workers(workers)
@@ -332,6 +343,43 @@ class CooperSession:
                 with PROFILER.stage("session.step"):
                     self._step_parallel(pool, logs, float(t), step_index, seed)
         return logs
+
+    # -- batched detection -------------------------------------------------
+    def _resolve_shared_detector(self) -> SPOD | None:
+        """The detector to batch every agent's step through, if any.
+
+        Resolved once per :meth:`run`: all agents' detectors must be
+        interchangeable (equal config, dtype and live weights — identity
+        is not required, since the default agent factory builds
+        separate-but-identical instances).  ``None`` keeps the per-agent
+        path.
+        """
+        if not self.batch_detection or len(self.agents) < 2:
+            return None
+        first = self.agents[0].cooper.detector
+        for agent in self.agents[1:]:
+            if not first.equivalent_to(agent.cooper.detector):
+                return None
+        return first
+
+    def _detect_batched(self, merged_clouds: list) -> list[list[Detection]]:
+        """One batched detector pass over every agent's fused cloud.
+
+        Always runs in the parent over the full agent set (batch
+        composition must not depend on worker layout).  The wall-clock
+        cost is attributed to ``cooper.detect`` in equal per-agent shares
+        so profiler totals keep reconciling with the per-agent path.
+        """
+        detector = self._shared_detector
+        start = time.perf_counter()
+        all_detections = detector.detect_batch(merged_clouds)
+        share = (time.perf_counter() - start) / max(1, len(merged_clouds))
+        threshold = detector.config.detection_threshold
+        kept: list[list[Detection]] = []
+        for detections in all_detections:
+            PROFILER.record("cooper.detect", share)
+            kept.append([d for d in detections if d.score >= threshold])
+        return kept
 
     # -- degradation accounting -------------------------------------------
     def _count(self, name: str, value: int = 1) -> None:
@@ -536,6 +584,7 @@ class CooperSession:
             wire[agent.name] = (payload, len(payload) * 8)
 
         outcomes = self._broadcast_outcomes(wire, step_index, seed)
+        inboxes: dict[str, tuple[list[ExchangePackage], list[bool], int]] = {}
         for agent in self.agents:
             payloads, delivered_flags, stale = self._receiver_inbox(
                 agent.name,
@@ -549,7 +598,25 @@ class CooperSession:
             PROFILER.count(
                 "session.packages_lost", len(delivered_flags) - fresh
             )
-            detections = agent.perceive(observations[agent.name], received)
+            inboxes[agent.name] = (received, delivered_flags, stale)
+
+        if self._shared_detector is not None:
+            merged = [
+                agent.cooper.fuse(
+                    observations[agent.name].scan.cloud,
+                    observations[agent.name].measured_pose,
+                    inboxes[agent.name][0],
+                )[0]
+                for agent in self.agents
+            ]
+            detections_by_agent = self._detect_batched(merged)
+        else:
+            detections_by_agent = [
+                agent.perceive(observations[agent.name], inboxes[agent.name][0])
+                for agent in self.agents
+            ]
+        for agent, detections in zip(self.agents, detections_by_agent):
+            received, delivered_flags, stale = inboxes[agent.name]
             logs[agent.name].append(
                 AgentStep(
                     time=t,
@@ -577,7 +644,12 @@ class CooperSession:
         Phase 2 (parent): the shared DSRC channel, fault plan and
         resilience state decide each receiver's inbox — cheap, and keeps
         the link model and all stateful decisions in one place.
-        Phase 3 (workers): decode + fuse + detect, one task per agent.
+        Phase 3 (workers): decode + fuse (+ detect on the per-agent
+        path), one task per agent.  With batched detection active the
+        workers stop after fusing and the parent runs the single batched
+        detector pass over every agent — the same call, over the same
+        clouds, that the inline path makes, so logs stay bit-identical
+        at any worker count.
         Seeds match :meth:`_step` exactly, so logs are bit-identical.
         """
         built = pool.map(
@@ -609,13 +681,31 @@ class CooperSession:
             for agent in self.agents
         }
 
-        perceived = pool.map(
-            _perceive_task,
-            [
-                (i, observations[agent.name], inboxes[agent.name][0])
-                for i, agent in enumerate(self.agents)
-            ],
-        )
+        if self._shared_detector is not None:
+            fused = pool.map(
+                _fuse_task,
+                [
+                    (i, observations[agent.name], inboxes[agent.name][0])
+                    for i, agent in enumerate(self.agents)
+                ],
+            )
+            detections_by_agent = self._detect_batched(
+                [cloud for _received, cloud in fused]
+            )
+            perceived = [
+                (received, detections)
+                for (received, _cloud), detections in zip(
+                    fused, detections_by_agent
+                )
+            ]
+        else:
+            perceived = pool.map(
+                _perceive_task,
+                [
+                    (i, observations[agent.name], inboxes[agent.name][0])
+                    for i, agent in enumerate(self.agents)
+                ],
+            )
         for agent, (received, detections) in zip(self.agents, perceived):
             _payloads, delivered_flags, stale = inboxes[agent.name]
             fresh = len(received) - stale
@@ -668,3 +758,19 @@ def _perceive_task(
     agent = _WORKER_AGENTS[agent_index]
     received = [ExchangePackage.deserialize(p) for p in package_payloads]
     return received, agent.perceive(observation, received)
+
+
+def _fuse_task(payload: tuple[int, RigObservation, list[bytes]]):
+    """Phase-3 worker task (batched mode): decode + fuse, no detection.
+
+    Fusion is a pure function of the observation and payloads, so doing
+    it in a worker instead of the parent cannot change the merged cloud;
+    the parent then batches detection over every agent's result.
+    """
+    agent_index, observation, package_payloads = payload
+    agent = _WORKER_AGENTS[agent_index]
+    received = [ExchangePackage.deserialize(p) for p in package_payloads]
+    merged, _accepted, _rejected, _seconds = agent.cooper.fuse(
+        observation.scan.cloud, observation.measured_pose, received
+    )
+    return received, merged

@@ -69,18 +69,18 @@ class Cooper:
     reject_misaligned: bool = False
     residual_threshold: float = 0.35
 
-    def perceive(
+    def fuse(
         self,
         native_cloud: PointCloud,
         receiver_pose: Pose,
         packages: Sequence[ExchangePackage] = (),
-    ) -> CooperResult:
-        """Run one perception cycle.
+    ) -> tuple[PointCloud, int, int, float]:
+        """Validate + align + merge without detecting.
 
-        With no packages this degrades gracefully to single-shot detection
-        (the baseline the paper compares against).  With
-        ``reject_misaligned`` set, inconsistent packages are dropped and
-        counted in :attr:`CooperResult.rejected_packages`.
+        Returns ``(merged_cloud, accepted, rejected, fuse_seconds)``.  The
+        session's batched detection path fuses every agent's cloud first
+        and then runs one batched detector pass over all of them;
+        :meth:`perceive` composes this with per-agent detection.
         """
         from repro.fusion.diagnostics import validate_package
 
@@ -102,20 +102,39 @@ class Cooper:
         fuse_start = time.perf_counter()
         merged = merge_packages(native_cloud, accepted, receiver_pose)
         fuse_seconds = time.perf_counter() - fuse_start
+        PROFILER.record("cooper.fuse", fuse_seconds)
+        return merged, len(accepted), rejected, fuse_seconds
+
+    def perceive(
+        self,
+        native_cloud: PointCloud,
+        receiver_pose: Pose,
+        packages: Sequence[ExchangePackage] = (),
+    ) -> CooperResult:
+        """Run one perception cycle.
+
+        With no packages this degrades gracefully to single-shot detection
+        (the baseline the paper compares against).  With
+        ``reject_misaligned`` set, inconsistent packages are dropped and
+        counted in :attr:`CooperResult.rejected_packages`.
+        """
+        merged, num_accepted, rejected, fuse_seconds = self.fuse(
+            native_cloud, receiver_pose, packages
+        )
 
         detect_start = time.perf_counter()
         detections = self.detector.detect(merged)
         detect_seconds = time.perf_counter() - detect_start
         # Mirror the externally observable CooperResult times into the
-        # profiler so its totals reconcile with total_seconds exactly.
-        PROFILER.record("cooper.fuse", fuse_seconds)
+        # profiler so its totals reconcile with total_seconds exactly
+        # (cooper.fuse is recorded inside fuse()).
         PROFILER.record("cooper.detect", detect_seconds)
         return CooperResult(
             detections=detections,
             merged_cloud=merged,
             fuse_seconds=fuse_seconds,
             detect_seconds=detect_seconds,
-            num_cooperators=len(accepted),
+            num_cooperators=num_accepted,
             rejected_packages=rejected,
         )
 

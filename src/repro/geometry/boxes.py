@@ -146,51 +146,72 @@ def points_in_box(points: np.ndarray, box: Box3D, margin: float = 0.0) -> np.nda
 
 
 def _polygon_area(poly: np.ndarray) -> float:
-    """Shoelace area of a simple polygon given as an (N, 2) vertex array."""
-    if len(poly) < 3:
+    """Shoelace area of a simple polygon given as an (N, 2) vertex array.
+
+    Polygons here are box footprints and their clips (4-8 vertices), where
+    a plain accumulation loop beats the array rolls it replaced.
+    """
+    n = len(poly)
+    if n < 3:
         return 0.0
-    x, y = poly[:, 0], poly[:, 1]
-    return 0.5 * abs(float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))))
+    vertices = [(float(p[0]), float(p[1])) for p in poly]
+    x2, y2 = vertices[-1]
+    area = 0.0
+    for x1, y1 in vertices:
+        area += x2 * y1 - y2 * x1
+        x2, y2 = x1, y1
+    return 0.5 * abs(area)
 
 
 def _clip_polygon(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
     """Sutherland-Hodgman clipping of ``subject`` by convex ``clip`` polygon.
 
     Both polygons must be counter-clockwise.  Returns the (possibly empty)
-    intersection polygon.
+    intersection polygon.  The arithmetic runs on plain floats — these are
+    4-8 vertex polygons, where per-element numpy scalar overhead dominated
+    the NMS profile.
     """
-    output = list(subject)
-    n = len(clip)
+    output = [(float(p[0]), float(p[1])) for p in subject]
+    edges = [(float(p[0]), float(p[1])) for p in clip]
+    n = len(edges)
     for i in range(n):
-        a = clip[i]
-        b = clip[(i + 1) % n]
-        edge = b - a
+        ax, ay = edges[i]
+        bx, by = edges[(i + 1) % n]
+        ex, ey = bx - ax, by - ay
         input_list = output
         output = []
         if not input_list:
             break
-        for j, current in enumerate(input_list):
-            previous = input_list[j - 1]
-            current_inside = edge[0] * (current[1] - a[1]) - edge[1] * (current[0] - a[0]) >= 0
-            previous_inside = edge[0] * (previous[1] - a[1]) - edge[1] * (previous[0] - a[0]) >= 0
+        px, py = input_list[-1]
+        previous_inside = ex * (py - ay) - ey * (px - ax) >= 0
+        for cx, cy in input_list:
+            current_inside = ex * (cy - ay) - ey * (cx - ax) >= 0
             if current_inside:
                 if not previous_inside:
-                    output.append(_line_intersection(previous, current, a, b))
-                output.append(current)
+                    output.append(
+                        _line_intersection(px, py, cx, cy, ax, ay, bx, by)
+                    )
+                output.append((cx, cy))
             elif previous_inside:
-                output.append(_line_intersection(previous, current, a, b))
+                output.append(
+                    _line_intersection(px, py, cx, cy, ax, ay, bx, by)
+                )
+            px, py, previous_inside = cx, cy, current_inside
     return np.array(output) if output else np.zeros((0, 2))
 
 
-def _line_intersection(p1: np.ndarray, p2: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Intersection point of segment p1-p2 with the infinite line a-b."""
-    d1 = p2 - p1
-    d2 = b - a
-    denom = d1[0] * d2[1] - d1[1] * d2[0]
+def _line_intersection(
+    px: float, py: float, cx: float, cy: float,
+    ax: float, ay: float, bx: float, by: float,
+) -> tuple[float, float]:
+    """Intersection point of segment p-c with the infinite line a-b."""
+    d1x, d1y = cx - px, cy - py
+    d2x, d2y = bx - ax, by - ay
+    denom = d1x * d2y - d1y * d2x
     if abs(denom) < 1e-12:
-        return p2
-    t = ((a[0] - p1[0]) * d2[1] - (a[1] - p1[1]) * d2[0]) / denom
-    return p1 + t * d1
+        return (cx, cy)
+    t = ((ax - px) * d2y - (ay - py) * d2x) / denom
+    return (px + t * d1x, py + t * d1y)
 
 
 def _bev_intersection_area(box_a: Box3D, box_b: Box3D) -> float:

@@ -113,7 +113,12 @@ class VoxelGrid:
         return image
 
 
-def voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int = 0) -> VoxelGrid:
+def voxelize(
+    cloud: PointCloud,
+    spec: VoxelGridSpec,
+    seed: int = 0,
+    dtype: np.dtype | None = None,
+) -> VoxelGrid:
     """Group a cloud into the sparse voxel grid described by ``spec``.
 
     Points outside ``spec.point_range`` are dropped.  When a voxel receives
@@ -121,12 +126,20 @@ def voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int = 0) -> VoxelGrid
     subset keyed by ``seed`` is kept (the paper lineage randomly samples;
     we seed for repeatability).  Voxels at or under the cap keep their
     points in stable scan order.
+
+    ``dtype`` sets the storage dtype of the padded voxel tensor handed to
+    the downstream kernels (default float32, the sensor dtype).  Grouping
+    itself always runs on the raw float32 sensor data, so the choice
+    cannot move a point between voxels.
     """
     with PROFILER.stage("voxel.voxelize"):
-        return _voxelize(cloud, spec, seed)
+        return _voxelize(cloud, spec, seed, dtype)
 
 
-def _voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int) -> VoxelGrid:
+def _voxelize(
+    cloud: PointCloud, spec: VoxelGridSpec, seed: int, dtype: np.dtype | None = None
+) -> VoxelGrid:
+    out_dtype = np.dtype(dtype) if dtype is not None else np.float32
     data = cloud.data
     origin = np.array(spec.point_range[:3], dtype=np.float32)
     size = np.array(spec.voxel_size, dtype=np.float32)
@@ -138,7 +151,7 @@ def _voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int) -> VoxelGrid:
         return VoxelGrid(
             spec,
             np.zeros((0, 3), dtype=np.int32),
-            np.zeros((0, spec.max_points_per_voxel, 4), dtype=np.float32),
+            np.zeros((0, spec.max_points_per_voxel, 4), dtype=out_dtype),
             np.zeros(0, dtype=np.int32),
         )
 
@@ -161,7 +174,7 @@ def _voxelize(cloud: PointCloud, spec: VoxelGridSpec, seed: int) -> VoxelGrid:
     )
     num_voxels = len(unique_linear)
     t_max = spec.max_points_per_voxel
-    points = np.zeros((num_voxels, t_max, 4), dtype=np.float32)
+    points = np.zeros((num_voxels, t_max, 4), dtype=out_dtype)
     counts = np.minimum(group_counts, t_max).astype(np.int32)
     # Decode voxel coordinates from the unique linear indices directly —
     # cheaper than gathering a per-point coordinate table.

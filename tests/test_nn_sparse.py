@@ -4,10 +4,23 @@ import numpy as np
 import pytest
 
 from repro.detection.nn.sparse import (
+    RULEBOOK_CACHE,
+    RulebookCache,
     SparseTensor3d,
     SparseToDense,
     SubmanifoldConv3d,
+    _build_pairs,
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_rulebook_cache():
+    """Every test starts and ends with an empty, enabled shared cache."""
+    RULEBOOK_CACHE.clear()
+    RULEBOOK_CACHE.enabled = True
+    yield
+    RULEBOOK_CACHE.clear()
+    RULEBOOK_CACHE.enabled = True
 
 
 def dense_conv3d(dense, weight, bias, stride=1):
@@ -26,6 +39,30 @@ def dense_conv3d(dense, weight, bias, stride=1):
         region = padded[:, i : i + nx, j : j + ny, l : l + nz]
         out += np.einsum("oi,ixyz->oxyz", w.T, region)
     return out + bias[:, None, None, None]
+
+
+def dense_strided_conv3d(dense, weight, bias, stride):
+    """Reference strided dense conv: out[o] = sum_k W[k] x[o*stride+k-pad]."""
+    k = round(weight.shape[0] ** (1 / 3))
+    pad = (k - 1) // 2
+    c_in, nx, ny, nz = dense.shape[0], *dense.shape[1:]
+    out_grid = tuple(int(np.ceil(g / stride)) for g in (nx, ny, nz))
+    out = np.zeros((weight.shape[2],) + out_grid)
+    offsets = [
+        (i, j, l) for i in range(k) for j in range(k) for l in range(k)
+    ]
+    for ox in range(out_grid[0]):
+        for oy in range(out_grid[1]):
+            for oz in range(out_grid[2]):
+                acc = bias.copy()
+                for idx, (i, j, l) in enumerate(offsets):
+                    cx = ox * stride + i - pad
+                    cy = oy * stride + j - pad
+                    cz = oz * stride + l - pad
+                    if 0 <= cx < nx and 0 <= cy < ny and 0 <= cz < nz:
+                        acc = acc + dense[:, cx, cy, cz] @ weight[idx]
+                out[:, ox, oy, oz] = acc
+    return out
 
 
 def make_tensor(seed=0, active=10, grid=(6, 6, 4), channels=3) -> SparseTensor3d:
@@ -143,6 +180,126 @@ class TestSubmanifoldConv:
             flat[i] += eps
             nflat[i] = (up - down) / (2 * eps)
         np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestStridedDenseEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("stride", [2, 3])
+    def test_matches_dense_at_output_sites(self, seed, stride):
+        # Grid dims deliberately not divisible by the stride: the last
+        # output site's receptive field hangs over the padded boundary.
+        grid = (7, 5, 3)
+        rng = np.random.default_rng(seed)
+        active = int(rng.integers(4, 20))
+        t = make_tensor(seed=seed + 100, active=active, grid=grid, channels=2)
+        conv = SubmanifoldConv3d(2, 3, stride=stride, seed=seed + 200)
+        out = conv(t)
+        dense_out = dense_strided_conv3d(
+            t.densify(), conv.weight.value, conv.bias.value, stride
+        )
+        assert out.grid_shape == dense_out.shape[1:]
+        for row, c in enumerate(out.coords):
+            np.testing.assert_allclose(
+                out.features[row], dense_out[:, c[0], c[1], c[2]], atol=1e-9
+            )
+
+    def test_output_sites_are_deduped_downsampled_inputs(self):
+        t = SparseTensor3d(
+            np.array([[0, 0, 0], [1, 1, 1], [1, 0, 1], [6, 4, 2], [5, 4, 2]]),
+            np.ones((5, 1)),
+            (7, 5, 3),
+        )
+        conv = SubmanifoldConv3d(1, 1, stride=2, seed=0)
+        out = conv(t)
+        expected = np.unique(t.coords // 2, axis=0)
+        np.testing.assert_array_equal(out.coords, expected)
+        # Dedup is exact: no output site appears twice.
+        lin = (
+            out.coords[:, 0] * 100 + out.coords[:, 1] * 10 + out.coords[:, 2]
+        )
+        assert len(np.unique(lin)) == out.num_active
+
+
+class TestRulebookCache:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hit_equals_miss(self, seed):
+        """A cache hit reproduces the miss path bit for bit."""
+        rng = np.random.default_rng(seed)
+        active = int(rng.integers(1, 25))
+        conv = SubmanifoldConv3d(3, 4, seed=seed)
+        t = make_tensor(seed=seed, active=active)
+        out_miss = conv(t)
+        assert RULEBOOK_CACHE.misses == 1 and RULEBOOK_CACHE.hits == 0
+        # A fresh tensor with the same active set hits and must agree.
+        t2 = SparseTensor3d(
+            t.coords.copy(), t.features.copy(), t.grid_shape
+        )
+        out_hit = conv(t2)
+        assert RULEBOOK_CACHE.hits == 1
+        np.testing.assert_array_equal(out_hit.coords, out_miss.coords)
+        np.testing.assert_array_equal(out_hit.features, out_miss.features)
+
+    def test_disabled_cache_equals_enabled(self):
+        conv = SubmanifoldConv3d(2, 3, seed=9)
+        t = make_tensor(seed=9, active=12, channels=2)
+        enabled_out = conv(t)
+        RULEBOOK_CACHE.enabled = False
+        disabled_out = conv(
+            SparseTensor3d(t.coords.copy(), t.features.copy(), t.grid_shape)
+        )
+        np.testing.assert_array_equal(
+            disabled_out.features, enabled_out.features
+        )
+        # Disabled lookups never touch the counters or the entries.
+        assert RULEBOOK_CACHE.hits == 1 or RULEBOOK_CACHE.hits == 0
+        assert len(RULEBOOK_CACHE) <= 1
+
+    def test_distinct_active_sets_miss(self):
+        conv = SubmanifoldConv3d(3, 3, seed=1)
+        conv(make_tensor(seed=1, active=10))
+        conv(make_tensor(seed=2, active=10))
+        assert RULEBOOK_CACHE.misses == 2
+        assert RULEBOOK_CACHE.hits == 0
+        assert RULEBOOK_CACHE.hit_rate == 0.0
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = RulebookCache(maxsize=2)
+        conv = SubmanifoldConv3d(1, 1, seed=3)
+        RULEBOOK_CACHE.enabled = False  # build_rulebook builds fresh below
+        for seed in range(5):
+            t = make_tensor(seed=seed, active=6, channels=1)
+            cache.lookup(
+                t, conv.kernel_size, conv.stride,
+                lambda t=t: conv.build_rulebook(t),
+            )
+        assert len(cache) <= 2
+        assert cache.misses == 5
+
+    def test_clear_resets_counters(self):
+        conv = SubmanifoldConv3d(1, 1, seed=4)
+        t = make_tensor(seed=4, active=5, channels=1)
+        conv(t)
+        conv(SparseTensor3d(t.coords.copy(), t.features.copy(), t.grid_shape))
+        assert RULEBOOK_CACHE.hits + RULEBOOK_CACHE.misses == 2
+        RULEBOOK_CACHE.clear()
+        assert RULEBOOK_CACHE.hits == 0
+        assert RULEBOOK_CACHE.misses == 0
+        assert len(RULEBOOK_CACHE) == 0
+
+
+class TestEmptyGuards:
+    def test_empty_tensor_through_conv(self):
+        t = SparseTensor3d(np.zeros((0, 3), dtype=int), np.zeros((0, 2)), (4, 4, 4))
+        for stride in (1, 2):
+            out = SubmanifoldConv3d(2, 3, stride=stride, seed=0)(t)
+            assert out.num_active == 0
+            assert out.features.shape == (0, 3)
+
+    def test_build_pairs_empty_inputs(self):
+        t = SparseTensor3d(np.zeros((0, 3), dtype=int), np.zeros((0, 1)), (4, 4, 4))
+        assert _build_pairs(t, np.zeros((0, 3), dtype=int), 3, 1) == []
+        full = make_tensor(seed=0, active=4, channels=1)
+        assert _build_pairs(full, np.zeros((0, 3), dtype=int), 3, 1) == []
 
 
 class TestSparseToDense:
