@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel bench-detect chaos figures examples clean
+.PHONY: install test bench bench-parallel bench-detect chaos serve-bench figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,9 @@ bench-detect:
 
 chaos:
 	python benchmarks/bench_robustness_chaos.py
+
+serve-bench:
+	python benchmarks/bench_serving.py
 
 figures: bench
 	@ls -1 results/

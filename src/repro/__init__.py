@@ -16,6 +16,9 @@ ICDCS 2019), built on pure numpy/scipy substrates:
 * :mod:`repro.datasets` — synthetic KITTI-like and T&J-like cases.
 * :mod:`repro.runtime` — deterministic parallel execution (process pools,
   stable seeding, mergeable profiler snapshots) behind ``--workers``.
+* :mod:`repro.serve` — the virtual-clock perception serving engine
+  (bounded admission queues, dynamic batching, SLO-aware shedding,
+  seeded open-loop workloads).
 * :mod:`repro.profiling` — the zero-overhead-when-off stage profiler.
 
 Quickstart::

@@ -10,6 +10,8 @@ regenerates the paper's experiments from a terminal:
 * ``drift``    — Fig. 10: GPS skew robustness.
 * ``network``  — Figs. 11-12: ROI volumes vs DSRC capacity.
 * ``chaos``    — beyond-paper: recall under injected channel/sensor faults.
+* ``serve``    — beyond-paper: the deterministic perception serving engine
+  under a seeded open-loop workload.
 """
 
 from __future__ import annotations
@@ -210,6 +212,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ScenarioPool,
+        ServeConfig,
+        ServingEngine,
+        WorkloadSpec,
+        apply_ingress_loss,
+        build_report,
+        generate_workload,
+        render_report,
+    )
+
+    seconds = min(args.seconds, 1.5) if args.smoke else args.seconds
+    rate = min(args.rate, 30.0) if args.smoke else args.rate
+    pool = ScenarioPool.build(
+        seed=args.seed, variants=1 if args.smoke else args.variants
+    )
+    spec = WorkloadSpec(
+        duration_ms=seconds * 1000.0,
+        rate_rps=rate,
+        num_clients=args.clients,
+        burst_factor=args.burst,
+        seed=args.seed,
+    )
+    requests = generate_workload(spec, pool)
+    delivered, lost = apply_ingress_loss(
+        requests, loss_rate=args.ingress_loss, seed=args.seed
+    )
+    config = ServeConfig(
+        max_batch_size=1 if args.per_request else args.batch_size,
+        max_wait_ms=0.0 if args.per_request else args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        lanes=args.lanes,
+    )
+    engine = ServingEngine(
+        detector=_detector(args), config=config, workers=args.workers
+    )
+    result = engine.serve(delivered, lost=lost)
+    mode = "per-request" if args.per_request else f"batch<= {config.max_batch_size}"
+    print(
+        f"workload   : {rate:.0f} req/s x {seconds:.1f}s over "
+        f"{args.clients} clients (seed {args.seed}, {mode})"
+    )
+    print(render_report(build_report(result, spec.duration_ms)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -276,6 +325,63 @@ def build_parser() -> argparse.ArgumentParser:
         default=6.0,
         help="session length for --faults runs (default 6.0)",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the deterministic perception serving engine under a "
+        "seeded open-loop workload",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=40.0, help="offered load, requests/s"
+    )
+    serve.add_argument(
+        "--seconds", type=float, default=4.0, help="arrival window length"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="independent client vehicles"
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=8, help="dynamic batch cap"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=25.0,
+        help="longest wait for co-batchers before a partial dispatch",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, help="bounded queue depth"
+    )
+    serve.add_argument(
+        "--lanes", type=int, default=1, help="parallel virtual service lanes"
+    )
+    serve.add_argument(
+        "--per-request",
+        action="store_true",
+        help="disable batching (batch size 1, zero wait) — the baseline",
+    )
+    serve.add_argument(
+        "--ingress-loss",
+        type=float,
+        default=0.0,
+        help="flat request-loss probability on the ingress channel",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=1.0,
+        help="arrival-rate multiplier inside burst windows (1 = smooth)",
+    )
+    serve.add_argument(
+        "--variants",
+        type=int,
+        default=2,
+        help="scenario-pool re-scans per layout",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the workload and pool (CI smoke run)",
+    )
     return parser
 
 
@@ -287,6 +393,7 @@ _HANDLERS = {
     "drift": _cmd_drift,
     "network": _cmd_network,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
 }
 
 

@@ -63,9 +63,13 @@ class ScheduleReport:
 class SharedChannelScheduler:
     """Admits transmission demands against one DSRC channel per second.
 
-    Demands are served in (priority desc, bits asc) order — small
-    high-priority messages first, mirroring EDCA-style access classes.
-    Unserved demands carry over to the next second via :attr:`backlog`.
+    Demands are served in ``(-priority, bits, sender)`` order — small
+    high-priority messages first, mirroring EDCA-style access classes,
+    with the sender name as the final tie-break so equal (priority, bits)
+    demands are ordered identically in every run regardless of arrival
+    order.  Unserved demands carry over to the next second via
+    :attr:`backlog`; a starved low-priority demand is re-sorted into
+    every subsequent second until capacity reaches it.
     """
 
     def __init__(self, channel: DsrcChannel | None = None) -> None:
@@ -78,10 +82,18 @@ class SharedChannelScheduler:
         return self.channel.bandwidth_mbps * 1e6
 
     def schedule_second(self, demands: list[Demand]) -> ScheduleReport:
-        """Serve this second's demands (plus backlog) within capacity."""
+        """Serve this second's demands (plus backlog) within capacity.
+
+        The service order is the documented stable key
+        ``(-priority, bits, sender)``.
+        """
         queue = sorted(
-            self.backlog + list(demands), key=lambda d: (-d.priority, d.bits)
+            self.backlog + list(demands),
+            key=lambda d: (-d.priority, d.bits, d.sender),
         )
+        if not queue:
+            # Idle second: nothing queued, nothing carried over.
+            return ScheduleReport()
         report = ScheduleReport()
         budget = self.capacity_bits_per_second
         used = 0.0

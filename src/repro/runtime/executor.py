@@ -50,19 +50,27 @@ def resolve_workers(workers: int | None = None) -> int:
     """Resolve an effective worker count (always >= 1).
 
     Precedence: explicit ``workers`` argument, then the ``REPRO_WORKERS``
-    environment variable, then 1.  A malformed environment value raises
-    ``ValueError`` rather than silently serialising.
+    environment variable, then 1.  An explicit argument is clamped to at
+    least 1 (callers pass computed counts), but a malformed environment
+    value — non-integer, zero, or negative — raises ``ValueError``: a
+    garbage deployment setting should fail loudly, not silently
+    serialise.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
         if not raw:
             return 1
         try:
-            workers = int(raw)
+            parsed = int(raw)
         except ValueError as exc:
             raise ValueError(
                 f"{WORKERS_ENV} must be an integer, got {raw!r}"
             ) from exc
+        if parsed < 1:
+            raise ValueError(
+                f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+            )
+        return parsed
     return max(1, int(workers))
 
 

@@ -1,0 +1,75 @@
+"""Deterministic perception serving for the Cooper reproduction.
+
+The ROADMAP's end-game is many connected vehicles continuously asking a
+shared edge service for fused detections — a *serving* problem.  This
+package is that layer: an event-driven, virtual-clock engine that takes
+concurrent perception requests from simulated client vehicles and turns
+them into scheduled, batched, SLO-tracked work on the SPOD pipeline.
+
+* :class:`~repro.serve.requests.PerceptionRequest` /
+  :class:`~repro.serve.requests.RequestRecord` — the three request kinds
+  (detect, fuse+detect, ROI answer) and their audited lifecycle.
+* :class:`~repro.serve.queues.BoundedPriorityQueue` — admission control:
+  bounded depth, documented total order, displace-or-refuse backpressure.
+* :class:`~repro.serve.engine.ServingEngine` — dynamic batching into
+  :meth:`~repro.detection.spod.SPOD.detect_batch`, deadline-based load
+  shedding, optional fusion fan-out over :mod:`repro.runtime` workers.
+* :mod:`~repro.serve.workload` — seeded open-loop load generation
+  (Poisson-like arrivals, bursts, priority mixes, ingress channel
+  faults).
+* :mod:`~repro.serve.metrics` — p50/p95/p99 latency, throughput, shed
+  rates, batch occupancy.
+
+Determinism contract: the request log of
+:meth:`~repro.serve.engine.ServingEngine.serve` is a pure function of
+``(seed, workload spec, engine config)`` — bit-identical at any worker
+count — because every scheduling decision runs on the virtual clock in
+the parent process, and the work fanned out to workers is pure.
+"""
+
+from __future__ import annotations
+
+from repro.serve.engine import (
+    BatchRecord,
+    ServeConfig,
+    ServeResult,
+    ServiceModel,
+    ServingEngine,
+)
+from repro.serve.metrics import build_report, percentile, render_report
+from repro.serve.queues import BoundedPriorityQueue, request_sort_key
+from repro.serve.requests import (
+    PerceptionRequest,
+    RequestKind,
+    RequestRecord,
+    RequestStatus,
+)
+from repro.serve.workload import (
+    PoolEntry,
+    ScenarioPool,
+    WorkloadSpec,
+    apply_ingress_loss,
+    generate_workload,
+)
+
+__all__ = [
+    "BatchRecord",
+    "BoundedPriorityQueue",
+    "PerceptionRequest",
+    "PoolEntry",
+    "RequestKind",
+    "RequestRecord",
+    "RequestStatus",
+    "ScenarioPool",
+    "ServeConfig",
+    "ServeResult",
+    "ServiceModel",
+    "ServingEngine",
+    "WorkloadSpec",
+    "apply_ingress_loss",
+    "build_report",
+    "generate_workload",
+    "percentile",
+    "render_report",
+    "request_sort_key",
+]

@@ -1,0 +1,129 @@
+"""Aggregation of serve runs into SLO-grade metrics.
+
+Turns a :class:`~repro.serve.engine.ServeResult` into the numbers a
+serving system is judged by — sustained throughput, p50/p95/p99 latency,
+shed and rejection rates, batch occupancy — plus the wall-clock-derived
+sustained service rate the benchmark uses to compare dynamic batching
+against per-request dispatch.  Percentiles use the nearest-rank method
+(a sorted-list index, no interpolation), so they are exact functions of
+the latency multiset and stay bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from repro.serve.engine import ServeResult
+from repro.serve.requests import RequestStatus
+
+__all__ = ["percentile", "build_report", "render_report"]
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 when empty).
+
+    ``fraction`` is in [0, 1]; the nearest-rank definition returns the
+    smallest value with at least ``fraction`` of the mass at or below it.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * fraction // 1))  # ceil without math
+    return float(ordered[int(rank) - 1])
+
+
+def build_report(result: ServeResult, duration_ms: float) -> dict:
+    """JSON-ready metrics of one serve run.
+
+    ``duration_ms`` is the workload's offered window, used for the
+    offered-rate and virtual-throughput denominators.  Completed-request
+    latencies are virtual-clock; ``sustained_rps_wall`` divides completed
+    requests by the *measured* service wall-clock — the hardware-honest
+    throughput number (single-lane equivalent).
+    """
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    counts = result.counts()
+    latencies = [
+        record.latency_ms
+        for record in result.records
+        if record.status is RequestStatus.COMPLETED
+    ]
+    queue_waits = [
+        record.queue_ms for record in result.records if record.queue_ms >= 0
+    ]
+    met = sum(
+        1
+        for record in result.records
+        if record.status is RequestStatus.COMPLETED and record.deadline_met
+    )
+    occupancies = [batch.size for batch in result.batches]
+    duration_s = duration_ms / 1000.0
+    completed = counts["completed"]
+    return {
+        "offered": counts["offered"],
+        "completed": completed,
+        "shed_deadline": counts["shed_deadline"],
+        "rejected_queue_full": counts["rejected_queue_full"],
+        "lost_ingress": counts["lost_ingress"],
+        "offered_rps": counts["offered"] / duration_s,
+        "throughput_rps": completed / duration_s,
+        "shed_rate": (
+            (counts["shed_deadline"] + counts["rejected_queue_full"])
+            / counts["offered"]
+            if counts["offered"]
+            else 0.0
+        ),
+        "deadline_hit_rate": met / completed if completed else 0.0,
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max": max(latencies) if latencies else 0.0,
+        },
+        "queue_wait_ms": {
+            "p50": percentile(queue_waits, 0.50),
+            "p99": percentile(queue_waits, 0.99),
+            "max": max(queue_waits) if queue_waits else 0.0,
+        },
+        "batches": len(result.batches),
+        "batch_occupancy": {
+            "mean": (
+                sum(occupancies) / len(occupancies) if occupancies else 0.0
+            ),
+            "max": max(occupancies) if occupancies else 0,
+        },
+        "max_queue_depth": result.max_queue_depth,
+        "service_wall_seconds": result.service_wall_seconds,
+        "sustained_rps_wall": (
+            completed / result.service_wall_seconds
+            if result.service_wall_seconds > 0
+            else 0.0
+        ),
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a :func:`build_report` dict."""
+    latency = report["latency_ms"]
+    occupancy = report["batch_occupancy"]
+    lines = [
+        f"offered    : {report['offered']:5d}  "
+        f"({report['offered_rps']:.1f} req/s)",
+        f"completed  : {report['completed']:5d}  "
+        f"({report['throughput_rps']:.1f} req/s, "
+        f"SLO hit {report['deadline_hit_rate'] * 100.0:.1f}%)",
+        f"shed       : {report['shed_deadline']:5d} deadline, "
+        f"{report['rejected_queue_full']} queue-full, "
+        f"{report['lost_ingress']} ingress-lost "
+        f"(shed rate {report['shed_rate'] * 100.0:.1f}%)",
+        f"latency ms : p50 {latency['p50']:7.1f}  p95 {latency['p95']:7.1f}  "
+        f"p99 {latency['p99']:7.1f}  max {latency['max']:7.1f}",
+        f"batching   : {report['batches']} dispatches, occupancy "
+        f"mean {occupancy['mean']:.2f} / max {occupancy['max']}, "
+        f"queue depth max {report['max_queue_depth']}",
+        f"wall       : {report['service_wall_seconds']:.2f}s service compute "
+        f"-> {report['sustained_rps_wall']:.1f} req/s sustained",
+    ]
+    return "\n".join(lines)

@@ -73,6 +73,28 @@ class TestAnswerRequest:
         )
         assert reply.is_empty()
 
+    def test_zero_weak_regions_round_trip(self):
+        """A confident vehicle asks for nothing and gets nothing back."""
+        pose = Pose(np.array([0.0, 0.0, 1.7]))
+        regions = weak_regions([det(10, 0, 0.9), det(20, 0, 0.95)])
+        assert regions == []
+        reply = answer_request(
+            RoiRequest(tuple(regions), pose),
+            PointCloud.from_xyz(np.ones((5, 3))),
+            pose,
+        )
+        assert reply.is_empty()
+        assert reply.frame_id == "roi-reply"
+
+    def test_empty_cooperator_cloud(self):
+        pose = Pose(np.array([0.0, 0.0, 1.7]))
+        request = RoiRequest(
+            regions=(Box3D(np.array([20.0, 0.0, 0.0]), 6.0, 6.0, 4.0),),
+            requester_pose=pose,
+        )
+        reply = answer_request(request, PointCloud.empty(), pose)
+        assert reply.is_empty()
+
     def test_reply_much_smaller_than_frame(self):
         pose = Pose(np.array([0.0, 0.0, 1.7]))
         rng = np.random.default_rng(0)
@@ -95,6 +117,18 @@ class TestFuseReply:
         assert len(fused) == 2
         # The reply point sits 2 m ahead of the cooperator => 12 m ahead.
         assert sorted(np.round(fused.xyz[:, 0], 3)) == [5.0, 12.0]
+
+    def test_empty_reply_leaves_native_unchanged(self):
+        """No cooperator points in the ROI: fusion is a no-op merge."""
+        receiver = Pose(np.array([0.0, 0.0, 1.7]))
+        cooperator = Pose(np.array([10.0, 0.0, 1.7]))
+        native = PointCloud.from_xyz(np.array([[5.0, 0.0, 0.0]]))
+        fused = fuse_reply(
+            native, PointCloud.empty(frame_id="roi-reply"), cooperator, receiver
+        )
+        assert len(fused) == len(native)
+        np.testing.assert_allclose(fused.xyz, native.xyz)
+        assert fused.frame_id == "demand-cooperative"
 
     def test_demand_driven_end_to_end(self, detector):
         """Weak single-shot candidate -> request -> reply -> confirmed."""

@@ -90,6 +90,19 @@ class TestResolveWorkers:
         with pytest.raises(ValueError):
             resolve_workers(None)
 
+    @pytest.mark.parametrize("raw", ["0", "-4", "2.5", " nope "])
+    def test_garbage_env_raises(self, raw, monkeypatch):
+        # A bad deployment setting must fail loudly, never silently
+        # clamp to serial execution.
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers(None)
+
+    def test_explicit_argument_still_clamped(self, monkeypatch):
+        # Only the environment is strict; computed arguments clamp.
+        monkeypatch.setenv(WORKERS_ENV, "-4")
+        assert resolve_workers(0) == 1
+
 
 class TestSeeding:
     def test_stable_hash_is_crc32(self):

@@ -76,3 +76,48 @@ class TestScheduler:
     def test_saturation_point_invalid(self):
         with pytest.raises(ValueError):
             SharedChannelScheduler.saturation_point(channel(), 0.0)
+
+    def test_empty_second_is_noop(self):
+        scheduler = SharedChannelScheduler(channel())
+        report = scheduler.schedule_second([])
+        assert not report.delivered
+        assert not report.deferred
+        assert report.utilization == 0.0
+        assert not scheduler.backlog
+
+    def test_tie_break_is_sender_order(self):
+        # Equal (priority, bits) demands are served in sender order, so
+        # the delivered/deferred split never depends on arrival order.
+        scheduler = SharedChannelScheduler(channel())
+        demands = [Demand(s, 2_500_000) for s in ("d", "b", "c", "a")]
+        report = scheduler.schedule_second(demands)
+        assert [d.sender for d in report.delivered] == ["a", "b"]
+        assert [d.sender for d in report.deferred] == ["c", "d"]
+        rerun = SharedChannelScheduler(channel())
+        assert (
+            rerun.schedule_second(list(reversed(demands))).delivered
+            == report.delivered
+        )
+
+    def test_low_priority_not_starved_forever(self):
+        # A backlogged low-priority demand must be served as soon as a
+        # later run() second has headroom for it — deferral is delay,
+        # not permanent starvation.
+        scheduler = SharedChannelScheduler(channel(6.0))
+        bulk = Demand("bulk", 2_500_000, priority=0)
+        per_second = [
+            [  # second 0: safety traffic fills the channel exactly
+                Demand("safetyA", 3_000_000, priority=5),
+                Demand("safetyB", 3_000_000, priority=5),
+                bulk,
+            ],
+            [Demand("safetyC", 3_000_000, priority=5)],
+            [Demand("safetyD", 3_000_000, priority=5)],
+        ]
+        trace = scheduler.run(per_second)
+        assert bulk in trace[0].deferred  # loses its first second
+        delivered_bulk = [
+            s for s, report in enumerate(trace) if bulk in report.delivered
+        ]
+        assert delivered_bulk == [1]  # served in the first second with room
+        assert not scheduler.backlog
