@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel bench-detect chaos serve-bench figures examples clean
+.PHONY: install test bench bench-parallel bench-detect chaos serve-bench fleet-bench figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,6 +20,9 @@ chaos:
 
 serve-bench:
 	python benchmarks/bench_serving.py
+
+fleet-bench:
+	python benchmarks/bench_serving.py --fleet-only
 
 figures: bench
 	@ls -1 results/

@@ -20,12 +20,22 @@ workloads over the default scenario pool and writes the report to
   the calibrated virtual model rather than host timings.
 * ``determinism`` — one sweep point re-served; the canonical request
   logs must hash identically.
+* ``fleet`` — the sharded-serving headline: the same deep-overload
+  workload served by 1, 2 and 4 :class:`~repro.serve.FleetEngine`
+  shards behind the deterministic client router.  One engine saturates
+  at its ~70-80 req/s knee regardless of offered load; shards multiply
+  the ceiling (the contract asserts >= 3.5x at 4 shards).  Closed-loop
+  and lane-autoscaling points ride along, plus fleet determinism
+  digests: the shard-tagged request log must hash identically across
+  worker counts and across runs at fixed (seed, shards).
 
-Runs two ways:
+Runs three ways:
 
 * ``pytest benchmarks/bench_serving.py`` — smoke-sized sweep.
 * ``python benchmarks/bench_serving.py [--smoke] [--seed N]
   [--workers N]`` — standalone; ``--smoke`` shrinks the grid for CI.
+* ``python benchmarks/bench_serving.py --fleet-only`` — regenerate just
+  the ``fleet`` section and merge it into the existing report file.
 """
 
 from __future__ import annotations
@@ -37,13 +47,18 @@ import pathlib
 
 from repro.detection.spod import SPOD
 from repro.serve import (
+    ClosedLoopSpec,
+    FleetConfig,
+    FleetEngine,
     ScenarioPool,
     ServeConfig,
     ServingEngine,
     WorkloadSpec,
     apply_ingress_loss,
+    build_fleet_report,
     build_report,
     generate_workload,
+    make_closed_loop_clients,
 )
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
@@ -52,6 +67,14 @@ REPORT_NAME = "BENCH_serve.json"
 INGRESS_LOSS = 0.05
 BURST_FACTOR = 2.0
 QUEUE_CAPACITY = 32
+
+# Deep-overload point for the fleet sweep: offered load far past a
+# single engine's ~75-80 req/s knee so every shard count saturates and
+# completed throughput measures the ceiling, not the offered rate.
+FLEET_RATE_RPS = 480.0
+FLEET_NUM_CLIENTS = 48
+FLEET_SCALING_FLOOR_X4 = 3.5
+FLEET_SCALING_FLOOR_X2_SMOKE = 1.3
 
 
 def _spec(rate_rps: float, duration_ms: float, seed: int) -> WorkloadSpec:
@@ -149,6 +172,160 @@ def serving_sweep(
             "replay_sha256": replay_digest,
             "identical": digest == replay_digest,
         },
+        "fleet": fleet_sweep(
+            smoke=smoke, seed=seed, detector=detector, workers=workers
+        ),
+    }
+
+
+def fleet_sweep(
+    smoke: bool = False,
+    seed: int = 0,
+    detector: SPOD | None = None,
+    workers: int | None = None,
+) -> dict:
+    """Shard-scaling sweep: one deep-overload workload, 1..N shards.
+
+    The workload offers far more than a single engine's knee, so each
+    point's completed throughput is that shard count's ceiling.  Also
+    runs the closed-loop and lane-autoscaling ride-alongs and the fleet
+    determinism digests (same log across runs and across worker counts
+    at fixed (seed, shards)).
+    """
+    detector = detector or SPOD.pretrained()
+    pool = ScenarioPool.build(seed=seed, variants=1 if smoke else 2)
+    duration_ms = 1000.0 if smoke else 4000.0
+    rate_rps = FLEET_RATE_RPS / 2.0 if smoke else FLEET_RATE_RPS
+    num_clients = FLEET_NUM_CLIENTS // 3 if smoke else FLEET_NUM_CLIENTS
+    shard_counts = [1, 2] if smoke else [1, 2, 4]
+
+    shard_config = ServeConfig(
+        max_batch_size=8, max_wait_ms=25.0, queue_capacity=QUEUE_CAPACITY
+    )
+    spec = WorkloadSpec(
+        duration_ms=duration_ms,
+        rate_rps=rate_rps,
+        num_clients=num_clients,
+        burst_factor=BURST_FACTOR,
+        seed=seed,
+    )
+    requests = generate_workload(spec, pool)
+    delivered, lost = apply_ingress_loss(
+        requests, loss_rate=INGRESS_LOSS, seed=seed
+    )
+
+    sweep = []
+    digests: dict[int, str] = {}
+    for shards in shard_counts:
+        config = FleetConfig(
+            num_shards=shards, routing_seed=seed, shard_config=shard_config
+        )
+        result = FleetEngine(detector, config, workers=workers).serve(
+            delivered, lost=lost
+        )
+        point = build_fleet_report(result, duration_ms)
+        sweep.append(point)
+        digests[shards] = result.digest()
+
+    base_tput = sweep[0]["throughput_rps"]
+    scaling = {
+        str(point["num_shards"]): (
+            point["throughput_rps"] / base_tput if base_tput > 0 else 0.0
+        )
+        for point in sweep
+    }
+
+    # Determinism: the shard-tagged fleet log must be bit-identical when
+    # the top point is re-run, and when served with a single worker.
+    top = shard_counts[-1]
+    top_config = FleetConfig(
+        num_shards=top, routing_seed=seed, shard_config=shard_config
+    )
+    rerun = FleetEngine(detector, top_config, workers=workers).serve(
+        delivered, lost=lost
+    )
+    serial = FleetEngine(detector, top_config, workers=1).serve(
+        delivered, lost=lost
+    )
+    determinism = {
+        "num_shards": top,
+        "log_sha256": digests[top],
+        "replay_sha256": rerun.digest(),
+        "serial_sha256": serial.digest(),
+        "identical_across_runs": digests[top] == rerun.digest(),
+        "identical_across_workers": digests[top] == serial.digest(),
+    }
+
+    # Ride-along: the same overload served with per-shard lane
+    # autoscaling enabled — the queue-depth controller must engage.
+    autoscaled_config = FleetConfig(
+        num_shards=2,
+        routing_seed=seed,
+        shard_config=ServeConfig(
+            max_batch_size=8,
+            max_wait_ms=25.0,
+            queue_capacity=QUEUE_CAPACITY,
+            max_lanes=4,
+        ),
+    )
+    autoscaled = FleetEngine(detector, autoscaled_config, workers=workers).serve(
+        delivered, lost=lost
+    )
+    autoscaled_report = build_fleet_report(autoscaled, duration_ms)
+    fixed_2shard = next(p for p in sweep if p["num_shards"] == 2)
+    autoscale = {
+        "num_shards": 2,
+        "max_lanes": autoscaled_config.shard_config.max_lanes,
+        "max_lanes_used": autoscaled_report["max_lanes_used"],
+        "lane_scale_events": autoscaled_report["lane_scale_events"],
+        "completed": autoscaled_report["completed"],
+        "completed_fixed_lane": fixed_2shard["completed"],
+        "throughput_rps": autoscaled_report["throughput_rps"],
+    }
+
+    # Ride-along: closed-loop platooning clients against a 2-shard fleet
+    # (each client waits for its reply, so offered load self-regulates).
+    loop_spec = ClosedLoopSpec(
+        duration_ms=duration_ms,
+        num_clients=4 if smoke else 8,
+        seed=seed,
+    )
+    loops = make_closed_loop_clients(loop_spec, pool)
+    loop_result = FleetEngine(
+        detector,
+        FleetConfig(
+            num_shards=2, routing_seed=seed, shard_config=shard_config
+        ),
+        workers=workers,
+    ).serve([], closed_loop=loops)
+    loop_counts = loop_result.counts()
+    closed_loop = {
+        "num_shards": 2,
+        "num_clients": loop_spec.num_clients,
+        "issued": sum(client.issued for client in loops),
+        "completed": loop_counts["completed"],
+        "retried": sum(client.retried for client in loops),
+        "offered": loop_counts["offered"],
+    }
+
+    return {
+        "mode": "smoke" if smoke else "full",
+        "seed": seed,
+        "duration_ms": duration_ms,
+        "rate_rps": rate_rps,
+        "num_clients": num_clients,
+        "ingress_loss": INGRESS_LOSS,
+        "burst_factor": BURST_FACTOR,
+        "shard_config": {
+            "max_batch_size": shard_config.max_batch_size,
+            "max_wait_ms": shard_config.max_wait_ms,
+            "queue_capacity": shard_config.queue_capacity,
+        },
+        "shard_sweep": sweep,
+        "scaling": scaling,
+        "determinism": determinism,
+        "autoscale": autoscale,
+        "closed_loop": closed_loop,
     }
 
 
@@ -204,6 +381,71 @@ def check_serving_contract(report: dict) -> None:
         "re-served workload produced a different request log"
     )
 
+    check_fleet_contract(report["fleet"])
+
+
+def check_fleet_contract(fleet: dict) -> None:
+    """Raise when a fleet sweep violates the sharded-serving claims."""
+    full = fleet["mode"] == "full"
+    for point in fleet["shard_sweep"]:
+        accounted = (
+            point["completed"]
+            + point["shed_deadline"]
+            + point["rejected_queue_full"]
+            + point["lost_ingress"]
+        )
+        assert accounted == point["offered"], (
+            f"{point['num_shards']} shards: {accounted} accounted "
+            f"!= {point['offered']} offered"
+        )
+        for shard in point["shards"]:
+            assert shard["max_queue_depth"] <= QUEUE_CAPACITY, (
+                f"{point['num_shards']} shards: a shard queue exceeded capacity"
+            )
+
+    # The headline: shards multiply the offered-load ceiling.  Every
+    # point is deeply overloaded, so completed throughput == ceiling.
+    scaling = fleet["scaling"]
+    if full:
+        assert scaling["4"] >= FLEET_SCALING_FLOOR_X4, (
+            f"4-shard ceiling only {scaling['4']:.2f}x the single-shard "
+            f"knee (need >= {FLEET_SCALING_FLOOR_X4}x)"
+        )
+        assert scaling["2"] >= 1.6, (
+            f"2-shard ceiling only {scaling['2']:.2f}x"
+        )
+    else:
+        assert scaling["2"] >= FLEET_SCALING_FLOOR_X2_SMOKE, (
+            f"2-shard ceiling only {scaling['2']:.2f}x the single-shard "
+            f"knee (need >= {FLEET_SCALING_FLOOR_X2_SMOKE}x in smoke)"
+        )
+
+    determinism = fleet["determinism"]
+    assert determinism["identical_across_runs"], (
+        "fleet log diverged between runs at fixed (seed, shards)"
+    )
+    assert determinism["identical_across_workers"], (
+        "fleet log depends on the worker count"
+    )
+
+    autoscale = fleet["autoscale"]
+    assert autoscale["max_lanes_used"] >= 2, (
+        "lane autoscaling never engaged under deep overload"
+    )
+    assert autoscale["max_lanes_used"] <= autoscale["max_lanes"], (
+        "autoscaler exceeded max_lanes"
+    )
+    assert autoscale["completed"] >= autoscale["completed_fixed_lane"], (
+        "autoscaled fleet completed less than the fixed-lane fleet"
+    )
+
+    closed_loop = fleet["closed_loop"]
+    assert closed_loop["issued"] > 0, "closed-loop clients issued nothing"
+    assert closed_loop["completed"] > 0, "closed-loop clients got no replies"
+    assert closed_loop["offered"] == closed_loop["issued"], (
+        "closed-loop issue counters disagree with the fleet's offered count"
+    )
+
 
 def render_report(report: dict) -> str:
     """Human-readable tables of a :func:`serving_sweep` report."""
@@ -243,6 +485,52 @@ def render_report(report: dict) -> str:
         f"{'identical' if determinism['identical'] else 'DIVERGED'} "
         f"({determinism['log_sha256'][:12]})"
     )
+    lines.append("")
+    lines.append(render_fleet_section(report["fleet"]))
+    return "\n".join(lines)
+
+
+def render_fleet_section(fleet: dict) -> str:
+    """Human-readable shard-scaling table of a :func:`fleet_sweep` report."""
+    lines = [
+        f"fleet @ {fleet['rate_rps']:.0f} rps x {fleet['num_clients']} "
+        f"clients ({fleet['duration_ms']:.0f} ms window):",
+        f"{'shards':>6s} {'offered':>8s} {'done':>6s} {'tput':>7s} "
+        f"{'p50':>7s} {'shed%':>6s} {'scale':>6s}",
+    ]
+    for point in fleet["shard_sweep"]:
+        scale = fleet["scaling"][str(point["num_shards"])]
+        lines.append(
+            f"{point['num_shards']:6d} {point['offered']:8d} "
+            f"{point['completed']:6d} {point['throughput_rps']:7.1f} "
+            f"{point['latency_ms']['p50']:7.1f} "
+            f"{point['shed_rate'] * 100.0:6.1f} "
+            f"{scale:5.2f}x"
+        )
+    determinism = fleet["determinism"]
+    both = (
+        determinism["identical_across_runs"]
+        and determinism["identical_across_workers"]
+    )
+    lines.append(
+        f"fleet determinism @ {determinism['num_shards']} shards: "
+        f"{'identical' if both else 'DIVERGED'} across runs and worker "
+        f"counts ({determinism['log_sha256'][:12]})"
+    )
+    autoscale = fleet["autoscale"]
+    lines.append(
+        f"autoscale @ 2 shards: {autoscale['max_lanes_used']} lanes peak "
+        f"(cap {autoscale['max_lanes']}), "
+        f"{autoscale['lane_scale_events']} scale events, "
+        f"{autoscale['completed']} done vs "
+        f"{autoscale['completed_fixed_lane']} fixed-lane"
+    )
+    closed_loop = fleet["closed_loop"]
+    lines.append(
+        f"closed-loop @ 2 shards: {closed_loop['num_clients']} clients "
+        f"issued {closed_loop['issued']}, completed "
+        f"{closed_loop['completed']}, retried {closed_loop['retried']}"
+    )
     return "\n".join(lines)
 
 
@@ -279,7 +567,32 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for fusion/ROI fan-out (request logs "
         "identical at any count)",
     )
+    parser.add_argument(
+        "--fleet-only",
+        action="store_true",
+        help="run only the fleet shard-scaling sweep and merge it into "
+        "the existing report file",
+    )
     args = parser.parse_args(argv)
+    if args.fleet_only:
+        fleet = fleet_sweep(
+            smoke=args.smoke,
+            seed=args.seed,
+            detector=SPOD.pretrained(),
+            workers=args.workers,
+        )
+        check_fleet_contract(fleet)
+        report_path = RESULTS_DIR / REPORT_NAME
+        report = (
+            json.loads(report_path.read_text())
+            if report_path.exists()
+            else {"mode": fleet["mode"], "seed": fleet["seed"]}
+        )
+        report["fleet"] = fleet
+        path = write_report(report)
+        print(render_fleet_section(fleet))
+        print(f"\nwrote {path}")
+        return 0
     report = serving_sweep(
         smoke=args.smoke,
         seed=args.seed,

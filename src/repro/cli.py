@@ -214,13 +214,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
+        ClosedLoopSpec,
+        FleetConfig,
+        FleetEngine,
         ScenarioPool,
         ServeConfig,
         ServingEngine,
         WorkloadSpec,
         apply_ingress_loss,
+        build_fleet_report,
         build_report,
         generate_workload,
+        make_closed_loop_clients,
+        render_fleet_report,
         render_report,
     )
 
@@ -240,21 +246,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     delivered, lost = apply_ingress_loss(
         requests, loss_rate=args.ingress_loss, seed=args.seed
     )
+    closed_loop = []
+    if args.closed_loop > 0:
+        closed_loop = make_closed_loop_clients(
+            ClosedLoopSpec(
+                duration_ms=spec.duration_ms,
+                num_clients=args.closed_loop,
+                seed=args.seed,
+            ),
+            pool,
+        )
     config = ServeConfig(
         max_batch_size=1 if args.per_request else args.batch_size,
         max_wait_ms=0.0 if args.per_request else args.max_wait_ms,
         queue_capacity=args.queue_capacity,
         lanes=args.lanes,
+        max_lanes=args.autoscale_max_lanes,
     )
-    engine = ServingEngine(
-        detector=_detector(args), config=config, workers=args.workers
-    )
-    result = engine.serve(delivered, lost=lost)
     mode = "per-request" if args.per_request else f"batch<= {config.max_batch_size}"
     print(
         f"workload   : {rate:.0f} req/s x {seconds:.1f}s over "
-        f"{args.clients} clients (seed {args.seed}, {mode})"
+        f"{args.clients} open + {args.closed_loop} closed-loop clients "
+        f"(seed {args.seed}, {mode})"
     )
+    if args.shards > 1:
+        fleet = FleetEngine(
+            detector=_detector(args),
+            config=FleetConfig(
+                num_shards=args.shards,
+                routing_seed=args.routing_seed,
+                shard_config=config,
+            ),
+            workers=args.workers,
+        )
+        fleet_result = fleet.serve(delivered, lost=lost, closed_loop=closed_loop)
+        print(render_fleet_report(build_fleet_report(fleet_result, spec.duration_ms)))
+        print(f"digest     : {fleet_result.digest()[:16]}")
+        return 0
+    engine = ServingEngine(
+        detector=_detector(args), config=config, workers=args.workers
+    )
+    result = engine.serve(delivered, lost=lost, closed_loop=closed_loop)
     print(render_report(build_report(result, spec.duration_ms)))
     return 0
 
@@ -376,6 +408,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="scenario-pool re-scans per layout",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fleet shards behind the deterministic client router "
+        "(1 = single engine)",
+    )
+    serve.add_argument(
+        "--routing-seed",
+        type=int,
+        default=0,
+        help="salt of the client->shard routing hash",
+    )
+    serve.add_argument(
+        "--closed-loop",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add N closed-loop (platooning) clients that wait for a "
+        "reply before re-issuing",
+    )
+    serve.add_argument(
+        "--autoscale-max-lanes",
+        type=int,
+        default=0,
+        metavar="L",
+        help="enable per-shard lane autoscaling up to L lanes (0 = off)",
     )
     serve.add_argument(
         "--smoke",

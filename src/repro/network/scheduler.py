@@ -63,18 +63,40 @@ class ScheduleReport:
 class SharedChannelScheduler:
     """Admits transmission demands against one DSRC channel per second.
 
-    Demands are served in ``(-priority, bits, sender)`` order — small
-    high-priority messages first, mirroring EDCA-style access classes,
-    with the sender name as the final tie-break so equal (priority, bits)
-    demands are ordered identically in every run regardless of arrival
-    order.  Unserved demands carry over to the next second via
-    :attr:`backlog`; a starved low-priority demand is re-sorted into
-    every subsequent second until capacity reaches it.
+    Fresh demands are served in the documented ``(-priority, bits,
+    sender)`` order — small high-priority messages first, mirroring
+    EDCA-style access classes, with the sender name as the final
+    tie-break so equal (priority, bits) demands are ordered identically
+    in every run regardless of arrival order.
+
+    Unserved demands carry over to the next second via :attr:`backlog`
+    **with aging**: a demand deferred for ``aging_boost_seconds`` seconds
+    gains one effective priority level (and older demands outrank younger
+    ones at equal effective priority).  Without aging, a large
+    low-priority demand is leapfrogged forever by a steady trickle of
+    small same-priority demands — the ``bits`` tiebreak always sorts the
+    newcomers first and greedy fill takes them.  With aging, any demand
+    that fits the channel at all is delivered in bounded time: its
+    effective priority eventually exceeds every fresh competitor's.
+    Demands arriving in the same second (age 0) still follow the
+    documented key exactly.
     """
 
-    def __init__(self, channel: DsrcChannel | None = None) -> None:
+    def __init__(
+        self,
+        channel: DsrcChannel | None = None,
+        aging_boost_seconds: int = 4,
+    ) -> None:
+        if aging_boost_seconds < 1:
+            raise ValueError("aging_boost_seconds must be at least 1")
         self.channel = channel or DsrcChannel()
-        self.backlog: list[Demand] = []
+        self.aging_boost_seconds = aging_boost_seconds
+        self._backlog: list[tuple[int, Demand]] = []
+
+    @property
+    def backlog(self) -> list[Demand]:
+        """Currently deferred demands, oldest first (read-only view)."""
+        return [demand for _, demand in self._backlog]
 
     @property
     def capacity_bits_per_second(self) -> float:
@@ -82,29 +104,40 @@ class SharedChannelScheduler:
         return self.channel.bandwidth_mbps * 1e6
 
     def schedule_second(self, demands: list[Demand]) -> ScheduleReport:
-        """Serve this second's demands (plus backlog) within capacity.
+        """Serve this second's demands (plus aged backlog) within capacity.
 
-        The service order is the documented stable key
-        ``(-priority, bits, sender)``.
+        The service order is ``(-(priority + age // aging_boost_seconds),
+        -age, bits, sender)`` where ``age`` counts deferred seconds —
+        for same-second demands (age 0) this reduces to the documented
+        stable key ``(-priority, bits, sender)``.
         """
+        aged = self._backlog + [(0, demand) for demand in demands]
         queue = sorted(
-            self.backlog + list(demands),
-            key=lambda d: (-d.priority, d.bits, d.sender),
+            aged,
+            key=lambda item: (
+                -(item[1].priority + item[0] // self.aging_boost_seconds),
+                -item[0],
+                item[1].bits,
+                item[1].sender,
+            ),
         )
         if not queue:
             # Idle second: nothing queued, nothing carried over.
             return ScheduleReport()
         report = ScheduleReport()
+        deferred_aged: list[tuple[int, Demand]] = []
         budget = self.capacity_bits_per_second
         used = 0.0
-        for demand in queue:
+        for age, demand in queue:
             if used + demand.bits <= budget:
                 used += demand.bits
                 report.delivered.append(demand)
             else:
                 report.deferred.append(demand)
+                deferred_aged.append((age + 1, demand))
         report.utilization = used / budget if budget else 0.0
-        self.backlog = report.deferred
+        deferred_aged.sort(key=lambda item: -item[0])
+        self._backlog = deferred_aged
         return report
 
     def run(self, per_second_demands: list[list[Demand]]) -> list[ScheduleReport]:

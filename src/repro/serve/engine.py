@@ -19,11 +19,29 @@ PerceptionRequest`\\ s into scheduled, batched, SLO-tracked work:
 * **Dynamic batching** — a free lane dispatches immediately when
   ``max_batch_size`` compatible requests are queued, else waits at most
   ``max_wait_ms`` past the oldest queued arrival before dispatching a
-  partial batch.  Detect-class batches run through one
-  :meth:`~repro.detection.spod.SPOD.detect_batch` call (the PR-4 batched
-  RPN pass); FUSE_DETECT requests are fused first — fanned out across a
-  :class:`~repro.runtime.WorkerPool` when ``workers > 1`` — and ROI
-  answers batch separately as pure geometry.
+  partial batch.  The batching window re-anchors whenever admission
+  displaces the oldest queued request, so a displaced head-of-queue
+  request can never leave a stale timer behind.  Detect-class batches run
+  through one :meth:`~repro.detection.spod.SPOD.detect_batch` call (the
+  PR-4 batched RPN pass); FUSE_DETECT requests are fused first — fanned
+  out across a :class:`~repro.runtime.WorkerPool` when ``workers > 1`` —
+  and ROI answers batch separately as pure geometry.
+* **Heterogeneous detectors** — an engine may own several named detector
+  models (a mixed fleet).  Models whose detectors are interchangeable
+  (:meth:`~repro.detection.spod.SPOD.equivalent_to`) share one batch
+  group; requests co-batch only within their group, so a batched pass is
+  always numerically sound.
+* **Closed-loop clients** — alongside the open-loop trace, the engine
+  accepts :class:`~repro.serve.workload.ClosedLoopClient` control loops
+  that issue their next request only after the previous one reached a
+  terminal state (completion, shed or rejection).  Their arrivals are
+  injected into the event loop on the virtual clock, so closed-loop
+  scheduling stays a pure function of the seed.
+* **Lane autoscaling** — with ``max_lanes > lanes`` the engine adds a
+  virtual service lane when queue depth crosses ``scale_up_depth`` and
+  retires idle extra lanes when depth falls to ``scale_down_depth``;
+  every decision reads only virtual-clock state, and the lane events are
+  part of the determinism log.
 * **SLO-aware shedding** — at dispatch, any request that provably cannot
   meet its deadline (even served alone, immediately) is shed instead of
   burning service capacity; its record says so.
@@ -36,6 +54,7 @@ surface the tests compare across worker counts.
 
 from __future__ import annotations
 
+import heapq
 import json
 import time
 from dataclasses import dataclass, field
@@ -117,8 +136,16 @@ class ServeConfig:
         max_wait_ms: longest a queued request may wait for co-batchers
             past its arrival before a partial batch dispatches.
         queue_capacity: bounded queue depth (admission control).
-        lanes: parallel virtual service lanes (a multi-accelerator
-            server; each lane serves one batch at a time).
+        lanes: baseline parallel virtual service lanes (a
+            multi-accelerator server; each lane serves one batch at a
+            time).
+        max_lanes: autoscaling ceiling; 0 disables autoscaling, otherwise
+            must be >= ``lanes`` and the engine may grow up to this many
+            lanes under queue pressure.
+        scale_up_depth: queue depth at or above which an extra lane is
+            added (when autoscaling).
+        scale_down_depth: queue depth at or below which an idle extra
+            lane is retired (when autoscaling).
         shed_deadlines: shed requests that provably cannot meet their
             deadline instead of serving them late.
         service_model: the virtual cost model.
@@ -128,6 +155,9 @@ class ServeConfig:
     max_wait_ms: float = 25.0
     queue_capacity: int = 64
     lanes: int = 1
+    max_lanes: int = 0
+    scale_up_depth: int = 12
+    scale_down_depth: int = 2
     shed_deadlines: bool = True
     service_model: ServiceModel = field(default_factory=ServiceModel)
 
@@ -140,6 +170,10 @@ class ServeConfig:
             raise ValueError("queue_capacity must be at least 1")
         if self.lanes < 1:
             raise ValueError("lanes must be at least 1")
+        if self.max_lanes and self.max_lanes < self.lanes:
+            raise ValueError("max_lanes must be 0 (off) or >= lanes")
+        if self.max_lanes and self.scale_up_depth <= self.scale_down_depth:
+            raise ValueError("scale_up_depth must exceed scale_down_depth")
 
 
 @dataclass(frozen=True)
@@ -148,6 +182,7 @@ class BatchRecord:
 
     batch_id: int
     service_class: str
+    group: str
     lane: int
     dispatch_ms: float
     service_ms: float
@@ -160,6 +195,7 @@ class BatchRecord:
         return {
             "batch_id": self.batch_id,
             "class": self.service_class,
+            "group": self.group,
             "lane": self.lane,
             "dispatch_ms": round(self.dispatch_ms, 6),
             "service_ms": round(self.service_ms, 6),
@@ -182,6 +218,9 @@ class ServeResult:
         service_wall_seconds: real time spent executing dispatches only —
             the honest measure of server compute, used by the bench to
             compare batched vs per-request sustained throughput.
+        lane_events: autoscaling decisions (virtual-clock, deterministic;
+            part of the log).
+        max_lanes_used: high-water mark of concurrently active lanes.
     """
 
     records: list[RequestRecord]
@@ -190,12 +229,16 @@ class ServeResult:
     max_queue_depth: int
     wall_seconds: float
     service_wall_seconds: float
+    lane_events: list[dict] = field(default_factory=list)
+    max_lanes_used: int = 1
 
     def log(self) -> list[dict]:
-        """Per-request + per-batch determinism log."""
-        return [record.log_entry() for record in self.records] + [
-            batch.log_entry() for batch in self.batches
-        ]
+        """Per-request + per-batch + lane-event determinism log."""
+        return (
+            [record.log_entry() for record in self.records]
+            + [batch.log_entry() for batch in self.batches]
+            + [dict(event, entry="lane") for event in self.lane_events]
+        )
 
     def log_json(self) -> str:
         """Canonical JSON of :meth:`log` — the bit-identity surface."""
@@ -211,16 +254,17 @@ class ServeResult:
 
 
 class ServingEngine:
-    """Event-driven serving of perception requests over one detector.
+    """Event-driven serving of perception requests over named detectors.
 
-    One engine owns one detector (every detect-class batch is sound by
-    construction — the multi-detector generalisation would reuse
-    :meth:`SPOD.equivalent_to` as its compatibility key, exactly like the
-    session's batched path) plus a bounded queue and ``lanes`` virtual
-    service lanes.  ``workers`` fans the *fusion and ROI geometry* work
-    of each dispatch across a :class:`~repro.runtime.WorkerPool`; the
-    batched detector pass always runs in the parent so batch composition
-    and numerics cannot depend on worker layout.
+    One engine owns one or more named detectors plus a bounded queue and
+    ``lanes`` virtual service lanes.  Detector models are grouped by
+    :meth:`SPOD.equivalent_to` — exactly the session's batched-path
+    compatibility key — and detect-class requests batch only within their
+    model's group, so every batched pass is sound by construction.
+    ``workers`` fans the *fusion and ROI geometry* work of each dispatch
+    across a :class:`~repro.runtime.WorkerPool`; the batched detector
+    pass always runs in the parent so batch composition and numerics
+    cannot depend on worker layout.
     """
 
     def __init__(
@@ -228,23 +272,68 @@ class ServingEngine:
         detector: SPOD | None = None,
         config: ServeConfig | None = None,
         workers: int | None = None,
+        detectors: dict[str, SPOD] | None = None,
     ) -> None:
-        self.detector = detector or SPOD.pretrained()
+        if detectors is not None and detector is not None:
+            raise ValueError("pass either detector or detectors, not both")
+        if detectors is not None:
+            if not detectors:
+                raise ValueError("detectors must not be empty")
+            self.detectors = dict(detectors)
+        else:
+            self.detectors = {"default": detector or SPOD.pretrained()}
+        self.detector = next(iter(self.detectors.values()))
         self.config = config or ServeConfig()
         self.workers = resolve_workers(workers)
+        # Group models whose detectors are interchangeable: the group
+        # label is the lexically-first equivalent model name, so the
+        # grouping is deterministic regardless of dict order.
+        self._group_of: dict[str, str] = {}
+        self._group_detector: dict[str, SPOD] = {}
+        for name in sorted(self.detectors):
+            for label, rep in self._group_detector.items():
+                if self.detectors[name].equivalent_to(rep):
+                    self._group_of[name] = label
+                    break
+            else:
+                self._group_of[name] = name
+                self._group_detector[name] = self.detectors[name]
+
+    def batch_group(self, model: str) -> str:
+        """The batch-compatibility group label of one model name."""
+        try:
+            return self._group_of[model]
+        except KeyError:
+            raise ValueError(
+                f"unknown detector model {model!r}; engine serves "
+                f"{sorted(self.detectors)}"
+            ) from None
+
+    def _batch_key(self, request: PerceptionRequest) -> tuple[str, str]:
+        """(service_class, group) — the batching compatibility key.
+
+        ROI answers are pure geometry (no detector), so every model maps
+        to one shared ROI group.
+        """
+        if request.kind.service_class == "roi":
+            return ("roi", "roi")
+        return ("detect", self.batch_group(request.model))
 
     def serve(
         self,
         requests: list[PerceptionRequest],
         lost: list[PerceptionRequest] = (),
+        closed_loop: list = (),
     ) -> ServeResult:
-        """Serve one workload trace to completion.
+        """Serve one workload trace (plus closed-loop clients) to completion.
 
-        ``requests`` are the arrivals that reach the ingress; ``lost``
-        are requests dropped by ingress channel faults
+        ``requests`` are the open-loop arrivals that reach the ingress;
+        ``lost`` are requests dropped by ingress channel faults
         (:func:`~repro.serve.workload.apply_ingress_loss`) — they never
         enter the queue but are recorded (``LOST_INGRESS``) so the log
-        accounts for every offered request.
+        accounts for every offered request.  ``closed_loop`` clients
+        issue their first request themselves and re-issue only after the
+        previous one reached a terminal state.
         """
         wall_start = time.perf_counter()
         arrivals = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
@@ -252,7 +341,10 @@ class ServingEngine:
         for request in list(arrivals) + list(lost):
             if request.request_id in records:
                 raise ValueError(f"duplicate request_id {request.request_id}")
+            self.batch_key_check(request)
             records[request.request_id] = RequestRecord.for_request(request)
+        for client in closed_loop:
+            self.batch_group(client.model)
         for request in lost:
             record = records[request.request_id]
             record.status = RequestStatus.LOST_INGRESS
@@ -260,14 +352,19 @@ class ServingEngine:
             PROFILER.count("serve.lost_ingress")
 
         state = _LoopState(
-            arrivals=arrivals,
+            source=_ArrivalSource(arrivals, closed_loop),
             records=records,
             queue=BoundedPriorityQueue(self.config.queue_capacity),
             lanes=[0.0] * self.config.lanes,
+            max_lanes_used=self.config.lanes,
         )
         pool: WorkerPool | None = None
         try:
-            if self.workers > 1 and fork_available() and arrivals:
+            if (
+                self.workers > 1
+                and fork_available()
+                and (arrivals or closed_loop)
+            ):
                 pool = WorkerPool(self.workers, chunk_size=1)
             batches, service_wall = self._run_loop(state, pool)
         finally:
@@ -275,12 +372,14 @@ class ServingEngine:
                 pool.close()
 
         result = ServeResult(
-            records=[records[rid] for rid in sorted(records)],
+            records=[state.records[rid] for rid in sorted(state.records)],
             batches=batches,
             config=self.config,
             max_queue_depth=state.queue.max_depth,
             wall_seconds=time.perf_counter() - wall_start,
             service_wall_seconds=service_wall,
+            lane_events=state.lane_events,
+            max_lanes_used=state.max_lanes_used,
         )
         counts = result.counts()
         PROFILER.count("serve.offered", counts["offered"])
@@ -290,6 +389,10 @@ class ServingEngine:
         PROFILER.count("serve.batches", len(batches))
         return result
 
+    def batch_key_check(self, request: PerceptionRequest) -> None:
+        """Validate that the request's model maps to a known detector."""
+        self._batch_key(request)
+
     # -- the event loop ----------------------------------------------------
     def _run_loop(
         self, state: "_LoopState", pool: WorkerPool | None
@@ -297,48 +400,99 @@ class ServingEngine:
         batches: list[BatchRecord] = []
         service_wall = 0.0
         while True:
+            t_now = min(state.lanes)
+            self._admit_until(state, t_now)
+            self._autoscale(state, t_now)
             lane = min(range(len(state.lanes)), key=lambda i: (state.lanes[i], i))
             t_free = state.lanes[lane]
-            self._admit_until(state, t_free)
             if len(state.queue) == 0:
-                if state.next_arrival >= len(state.arrivals):
+                next_ms = state.source.peek_ms()
+                if next_ms is None:
                     break
                 # Idle server: jump the clock to the next arrival.
-                self._admit_until(
-                    state, state.arrivals[state.next_arrival].arrival_ms
-                )
+                self._admit_until(state, next_ms)
                 continue
             dispatch_ms = self._dispatch_time(state, t_free)
-            batch, shed = self._drain_batch(state, dispatch_ms)
+            batch, shed, service_class, group = self._drain_batch(
+                state, dispatch_ms
+            )
             for request in shed:
                 record = state.records[request.request_id]
                 record.status = RequestStatus.SHED_DEADLINE
                 record.decided_ms = dispatch_ms
                 record.queue_ms = dispatch_ms - request.arrival_ms
+                state.source.notify(request, dispatch_ms, completed=False)
             if not batch:
                 continue  # the whole candidate set was shed; lane still free
             batch_record = self._execute_batch(
-                state, batch, len(batches), lane, dispatch_ms, pool
+                state, batch, len(batches), lane, dispatch_ms,
+                service_class, group, pool,
             )
             batches.append(batch_record)
             service_wall += batch_record.wall_seconds
             state.lanes[lane] = batch_record.dispatch_ms + batch_record.service_ms
+            complete_ms = state.lanes[lane]
+            for request in batch:
+                state.source.notify(request, complete_ms, completed=True)
         return batches, service_wall
 
     def _admit_until(self, state: "_LoopState", t_ms: float) -> None:
-        """Admit (or refuse) every arrival up to virtual time ``t_ms``."""
-        while (
-            state.next_arrival < len(state.arrivals)
-            and state.arrivals[state.next_arrival].arrival_ms <= t_ms + 1e-9
-        ):
-            request = state.arrivals[state.next_arrival]
-            state.next_arrival += 1
+        """Admit (or refuse) every arrival up to virtual time ``t_ms``.
+
+        Closed-loop reissues spawned by a rejection land back in the
+        arrival source; when they fall inside this scan's horizon they
+        are admitted in the same pass, in arrival order.
+        """
+        while True:
+            next_ms = state.source.peek_ms()
+            if next_ms is None or next_ms > t_ms + 1e-9:
+                return
+            request = state.source.pop()
+            if request.request_id not in state.records:
+                state.records[request.request_id] = RequestRecord.for_request(
+                    request
+                )
             admitted, displaced = state.queue.offer(request)
             loser = displaced if admitted else request
             if loser is not None:
                 record = state.records[loser.request_id]
                 record.status = RequestStatus.REJECTED_QUEUE_FULL
                 record.decided_ms = request.arrival_ms
+                state.source.notify(loser, request.arrival_ms, completed=False)
+
+    def _autoscale(self, state: "_LoopState", t_now: float) -> None:
+        """Grow or shrink the lane set from queue depth (virtual clock)."""
+        cfg = self.config
+        if cfg.max_lanes <= 0:
+            return
+        depth = len(state.queue)
+        if depth >= cfg.scale_up_depth and len(state.lanes) < cfg.max_lanes:
+            state.lanes.append(t_now)
+            state.max_lanes_used = max(state.max_lanes_used, len(state.lanes))
+            state.lane_events.append(
+                {
+                    "t_ms": round(t_now, 6),
+                    "action": "scale_up",
+                    "lanes": len(state.lanes),
+                    "depth": depth,
+                }
+            )
+            PROFILER.count("serve.lane_scale_up")
+        elif depth <= cfg.scale_down_depth and len(state.lanes) > cfg.lanes:
+            # Retire the highest-index idle extra lane, if any is idle.
+            for index in range(len(state.lanes) - 1, cfg.lanes - 1, -1):
+                if state.lanes[index] <= t_now + 1e-9:
+                    state.lanes.pop(index)
+                    state.lane_events.append(
+                        {
+                            "t_ms": round(t_now, 6),
+                            "action": "scale_down",
+                            "lanes": len(state.lanes),
+                            "depth": depth,
+                        }
+                    )
+                    PROFILER.count("serve.lane_scale_down")
+                    break
 
     def _dispatch_time(self, state: "_LoopState", t_free: float) -> float:
         """When the free lane should dispatch its next batch.
@@ -346,39 +500,44 @@ class ServingEngine:
         Immediately when a full batch is already queued or the batching
         window (``oldest queued arrival + max_wait_ms``) has expired;
         otherwise at whichever comes first of the window closing or the
-        arrival that fills the batch.
+        arrival that fills the batch.  The window is re-computed after
+        every admission inside the scan: an arrival can displace the
+        oldest queued request, and the stale window would otherwise fire
+        a premature partial batch anchored to a request that is no longer
+        queued.
         """
         cfg = self.config
-        if len(state.queue) >= cfg.max_batch_size:
-            return t_free
-        window_close = state.queue.oldest_arrival_ms() + cfg.max_wait_ms
-        if window_close <= t_free:
-            return t_free
-        while (
-            state.next_arrival < len(state.arrivals)
-            and state.arrivals[state.next_arrival].arrival_ms <= window_close
-        ):
-            arrival_ms = state.arrivals[state.next_arrival].arrival_ms
-            self._admit_until(state, arrival_ms)
+        while True:
             if len(state.queue) >= cfg.max_batch_size:
-                return max(t_free, arrival_ms)
-        return window_close
+                return t_free
+            window_close = state.queue.oldest_arrival_ms() + cfg.max_wait_ms
+            if window_close <= t_free:
+                return t_free
+            next_ms = state.source.peek_ms()
+            if next_ms is None or next_ms > window_close:
+                return window_close
+            self._admit_until(state, next_ms)
+            if len(state.queue) >= cfg.max_batch_size:
+                return max(t_free, next_ms)
 
     def _drain_batch(
         self, state: "_LoopState", dispatch_ms: float
-    ) -> tuple[list[PerceptionRequest], list[PerceptionRequest]]:
-        """Pop the next batch (head's service class), shedding dead SLOs.
+    ) -> tuple[list[PerceptionRequest], list[PerceptionRequest], str, str]:
+        """Pop the next batch (head's batch key), shedding dead SLOs.
 
         A request is shed when even the fastest conceivable service —
         alone, starting now — would finish past its deadline; shed
         requests do not consume batch slots.
         """
         model = self.config.service_model
-        service_class = state.queue.head().kind.service_class
+        service_class, group = self._batch_key(state.queue.head())
+        key = (service_class, group)
         batch: list[PerceptionRequest] = []
         shed: list[PerceptionRequest] = []
         while len(batch) < self.config.max_batch_size:
-            popped = state.queue.pop_class(service_class, 1)
+            popped = state.queue.pop_matching(
+                lambda request: self._batch_key(request) == key, 1
+            )
             if not popped:
                 break
             request = popped[0]
@@ -389,7 +548,7 @@ class ServingEngine:
                 shed.append(request)
             else:
                 batch.append(request)
-        return batch, shed
+        return batch, shed, service_class, group
 
     # -- dispatch execution ------------------------------------------------
     def _execute_batch(
@@ -399,11 +558,12 @@ class ServingEngine:
         batch_id: int,
         lane: int,
         dispatch_ms: float,
+        service_class: str,
+        group: str,
         pool: WorkerPool | None,
     ) -> BatchRecord:
         """Run one dispatch's real compute and fill its records."""
         model = self.config.service_model
-        service_class = batch[0].kind.service_class
         total_points = sum(request.num_points for request in batch)
         service_ms = model.batch_ms(service_class, len(batch), total_points)
         complete_ms = dispatch_ms + service_ms
@@ -412,7 +572,7 @@ class ServingEngine:
         if service_class == "roi":
             result_counts = self._execute_roi(batch, pool)
         else:
-            result_counts = self._execute_detect(batch, pool)
+            result_counts = self._execute_detect(batch, group, pool)
         wall_seconds = time.perf_counter() - wall_start
         PROFILER.record("serve.service", wall_seconds)
         PROFILER.count("serve.batched_requests", len(batch))
@@ -436,6 +596,7 @@ class ServingEngine:
         return BatchRecord(
             batch_id=batch_id,
             service_class=service_class,
+            group=group,
             lane=lane,
             dispatch_ms=dispatch_ms,
             service_ms=service_ms,
@@ -445,7 +606,10 @@ class ServingEngine:
         )
 
     def _execute_detect(
-        self, batch: list[PerceptionRequest], pool: WorkerPool | None
+        self,
+        batch: list[PerceptionRequest],
+        group: str,
+        pool: WorkerPool | None,
     ) -> list[int]:
         """Fuse where needed, then one batched detector pass; returns
         per-request detection counts.
@@ -453,8 +617,11 @@ class ServingEngine:
         Fusion is a pure function of (cloud, pose, packages), so fanning
         it to workers cannot change the merged clouds; the detector pass
         itself always runs here in the parent over the batch in queue
-        order, keeping numerics independent of the worker count.
+        order, keeping numerics independent of the worker count.  The
+        detector is the batch group's representative — sound because
+        every model in the group is :meth:`SPOD.equivalent_to` it.
         """
+        detector = self._group_detector[group]
         fuse_payloads = [
             (request.cloud, request.pose, request.packages)
             for request in batch
@@ -472,8 +639,8 @@ class ServingEngine:
             for request in batch
         ]
         with PROFILER.stage("serve.detect"):
-            all_detections = self.detector.detect_batch(clouds)
-        threshold = self.detector.config.detection_threshold
+            all_detections = detector.detect_batch(clouds)
+        threshold = detector.config.detection_threshold
         return [
             sum(1 for d in detections if d.score >= threshold)
             for detections in all_detections
@@ -494,15 +661,86 @@ class ServingEngine:
         return replies
 
 
+class _ArrivalSource:
+    """Merged arrival stream: static open-loop trace + closed-loop clients.
+
+    The trace is consumed in (arrival, id) order; closed-loop arrivals
+    live in a heap because a client's next arrival only exists once its
+    previous request reached a terminal state.  Ties between the two
+    streams break on the lower request id, so the pop order is a total
+    deterministic function of the inputs.
+    """
+
+    def __init__(self, trace: list[PerceptionRequest], closed_loop) -> None:
+        self._trace = trace
+        self._index = 0
+        self._heap: list[tuple[float, int, PerceptionRequest]] = []
+        self._owners: dict[int, object] = {}
+        for client in closed_loop:
+            first = client.start()
+            if first is not None:
+                self._push(first, client)
+
+    def _push(self, request: PerceptionRequest, owner) -> None:
+        self._owners[request.request_id] = owner
+        heapq.heappush(
+            self._heap, (request.arrival_ms, request.request_id, request)
+        )
+
+    def peek_ms(self) -> float | None:
+        """Earliest pending arrival time, or None when drained."""
+        trace_ms = (
+            self._trace[self._index].arrival_ms
+            if self._index < len(self._trace)
+            else None
+        )
+        loop_ms = self._heap[0][0] if self._heap else None
+        if trace_ms is None:
+            return loop_ms
+        if loop_ms is None:
+            return trace_ms
+        return min(trace_ms, loop_ms)
+
+    def pop(self) -> PerceptionRequest:
+        """Pop the earliest pending arrival (lower id breaks exact ties)."""
+        trace_next = (
+            self._trace[self._index] if self._index < len(self._trace) else None
+        )
+        loop_next = self._heap[0] if self._heap else None
+        take_trace = loop_next is None or (
+            trace_next is not None
+            and (trace_next.arrival_ms, trace_next.request_id)
+            <= (loop_next[0], loop_next[1])
+        )
+        if take_trace:
+            if trace_next is None:
+                raise IndexError("pop from drained arrival source")
+            self._index += 1
+            return trace_next
+        return heapq.heappop(self._heap)[2]
+
+    def notify(
+        self, request: PerceptionRequest, decided_ms: float, completed: bool
+    ) -> None:
+        """Tell a closed-loop owner its request reached a terminal state."""
+        owner = self._owners.pop(request.request_id, None)
+        if owner is None:
+            return
+        follow_up = owner.reissue(decided_ms, completed)
+        if follow_up is not None:
+            self._push(follow_up, owner)
+
+
 @dataclass
 class _LoopState:
     """Mutable event-loop state of one :meth:`ServingEngine.serve` run."""
 
-    arrivals: list[PerceptionRequest]
+    source: _ArrivalSource
     records: dict[int, RequestRecord]
     queue: BoundedPriorityQueue
     lanes: list[float]
-    next_arrival: int = 0
+    lane_events: list[dict] = field(default_factory=list)
+    max_lanes_used: int = 1
 
 
 def _fuse_payload_task(

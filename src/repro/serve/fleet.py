@@ -1,0 +1,369 @@
+"""Fleet-scale serving: sharded engines behind a deterministic router.
+
+One :class:`~repro.serve.engine.ServingEngine` saturates at a fixed
+offered-load knee; a city-scale fleet needs many.  A :class:`FleetEngine`
+runs ``num_shards`` fully independent engine shards behind a router that
+assigns every client to exactly one shard by hashing the client name
+through :func:`repro.runtime.stable_hash`:
+
+* **Deterministic** — the hash is CRC-32 of ``"fleet-route:{seed}:
+  {client}"``, so the client→shard map is a pure function of
+  ``(routing_seed, client, num_shards)``: identical in every process
+  (no ``PYTHONHASHSEED`` dependence — the same bug class the DSRC
+  channel fix removed) and across runs.
+* **Sticky** — all of a client's requests land on the same shard, so a
+  shard sees a coherent per-client stream (closed-loop control loops
+  stay on one queue; per-client ordering is preserved).
+* **Reshard-stable** — the 32-bit hash bucket is mapped to a shard by a
+  jump consistent hash (:func:`route_bucket`) rather than modulo or
+  range partition, so growing the fleet from N to M shards moves only
+  the expected minimal ``1 - N/M`` fraction of clients, every moved
+  client lands on one of the *new* shards, and the assignment
+  factorizes through the bucket.
+
+Shards share nothing at serve time — no queue, no lanes, no clock — so
+the fleet result is exactly the per-shard results stitched together, and
+shards can execute in parallel worker processes without any effect on
+the request log.  Per-shard profiler snapshots are captured with the
+same reset/merge dance the :class:`~repro.runtime.WorkerPool` uses for
+chunks, so fleet profiles aggregate exactly (no double counting) while
+still exposing per-shard breakdowns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.detection.spod import SPOD
+from repro.profiling import PROFILER
+from repro.runtime import (
+    WorkerPool,
+    fork_available,
+    resolve_workers,
+    stable_hash,
+)
+from repro.serve.engine import ServeConfig, ServeResult, ServingEngine
+from repro.serve.requests import PerceptionRequest
+
+__all__ = [
+    "hash_bucket",
+    "route_bucket",
+    "route_client",
+    "FleetConfig",
+    "FleetResult",
+    "FleetEngine",
+]
+
+_BUCKETS = 2**32
+
+
+def hash_bucket(routing_seed: int, client: str) -> int:
+    """The client's 32-bit routing bucket (shard-count independent).
+
+    This is the quantity that must be process-stable: CRC-32 of a
+    seed-salted string, never Python's randomized ``hash()``.  CRC-32 is
+    linear — flipping one input byte XORs the output by a constant, so a
+    seed change would barely move the *top* bits the range partition
+    keys on — hence the murmur3-style avalanche finalizer on top, which
+    spreads every input bit across the whole word while staying a pure
+    integer function.
+    """
+    h = stable_hash(f"fleet-route:{routing_seed}:{client}") % _BUCKETS
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) % _BUCKETS
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) % _BUCKETS
+    h ^= h >> 16
+    return h
+
+
+def route_bucket(bucket: int, num_shards: int) -> int:
+    """Jump consistent hash: bucket -> shard, reshard-minimal.
+
+    Lamping & Veach's jump hash walks the bucket's deterministic jump
+    sequence; a key's shard changes between N and M shards only when the
+    sequence jumps into the newly added range, so growing the fleet
+    moves the minimal expected ``1 - N/M`` of clients and every moved
+    client lands on a *new* shard.  Pure integer arithmetic — stable in
+    every process.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    state = bucket
+    shard, candidate = 0, 0
+    while candidate < num_shards:
+        shard = candidate
+        state = (state * 2862933555777941757 + 1) % 2**64
+        candidate = int((shard + 1) * float(2**31) / float((state >> 33) + 1))
+    return shard
+
+
+def route_client(routing_seed: int, client: str, num_shards: int) -> int:
+    """Which shard serves ``client``.
+
+    Factorizes exactly as ``route_bucket(hash_bucket(seed, client),
+    num_shards)`` — the bucket is shard-count independent, so resharding
+    decisions depend on the client only through its bucket.
+    """
+    return route_bucket(hash_bucket(routing_seed, client), num_shards)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet topology and routing knobs.
+
+    Attributes:
+        num_shards: independent engine shards.
+        routing_seed: salts the routing hash; changing it reshuffles the
+            client→shard map without touching workload seeds.
+        shard_config: the :class:`ServeConfig` every shard runs (shards
+            are homogeneous by design — capacity scales by count, the
+            per-shard knobs stay comparable across fleet sizes).
+    """
+
+    num_shards: int = 2
+    routing_seed: int = 0
+    shard_config: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+
+
+@dataclass
+class FleetResult:
+    """Everything one :meth:`FleetEngine.serve` run produced.
+
+    Attributes:
+        shard_results: per-shard :class:`ServeResult`, shard order.
+        assignments: client → shard index for every client seen.
+        config: the fleet config that produced this.
+        wall_seconds: real time of the whole fleet serve call.
+        shard_profiles: per-shard profiler snapshots (empty dicts when
+            profiling is disabled).
+    """
+
+    shard_results: list[ServeResult]
+    assignments: dict[str, int]
+    config: FleetConfig
+    wall_seconds: float
+    shard_profiles: list[dict] = field(default_factory=list)
+
+    def shard_clients(self) -> list[list[str]]:
+        """Clients per shard (sorted), shard order."""
+        clients: list[list[str]] = [[] for _ in self.shard_results]
+        for client, shard in sorted(self.assignments.items()):
+            clients[shard].append(client)
+        return clients
+
+    def merged(self) -> ServeResult:
+        """One synthetic :class:`ServeResult` over the whole fleet.
+
+        Records merge in request-id order (ids are globally unique across
+        shards because routing partitions clients); batches keep shard
+        order.  Scalar fields aggregate the only honest way: queue depth
+        and lane high-water marks take the max (they are per-shard
+        resources, not fleet-wide ones), wall clocks sum.
+        """
+        records = sorted(
+            (r for result in self.shard_results for r in result.records),
+            key=lambda record: record.request_id,
+        )
+        batches = [b for result in self.shard_results for b in result.batches]
+        return ServeResult(
+            records=records,
+            batches=batches,
+            config=self.config.shard_config,
+            max_queue_depth=max(
+                (r.max_queue_depth for r in self.shard_results), default=0
+            ),
+            wall_seconds=sum(r.wall_seconds for r in self.shard_results),
+            service_wall_seconds=sum(
+                r.service_wall_seconds for r in self.shard_results
+            ),
+            lane_events=[
+                event
+                for result in self.shard_results
+                for event in result.lane_events
+            ],
+            max_lanes_used=max(
+                (r.max_lanes_used for r in self.shard_results), default=1
+            ),
+        )
+
+    def log(self) -> list[dict]:
+        """Shard-tagged determinism log of the whole fleet.
+
+        Every shard's log entries are tagged with their shard index, so
+        the fleet log pins not only each request's outcome but *where*
+        it was served — a routing regression cannot hide behind
+        otherwise-identical per-request outcomes.
+        """
+        entries: list[dict] = []
+        for shard, result in enumerate(self.shard_results):
+            for entry in result.log():
+                entries.append(dict(entry, shard=shard))
+        return entries
+
+    def log_json(self) -> str:
+        """Canonical JSON of :meth:`log` — the fleet bit-identity surface."""
+        return json.dumps(self.log(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`log_json` (the determinism fingerprint)."""
+        return hashlib.sha256(self.log_json().encode()).hexdigest()
+
+    def counts(self) -> dict[str, int]:
+        """Fleet-wide requests per terminal status (plus total offered)."""
+        return self.merged().counts()
+
+
+class FleetEngine:
+    """N independent serving shards behind the deterministic router.
+
+    Every shard gets its own :class:`ServingEngine` over the *same*
+    detector objects (read-only at serve time, so sharing is safe) and
+    the same :class:`ServeConfig`.  ``workers`` parallelizes across
+    shards — each shard engine runs single-worker inside its process, so
+    the process tree stays flat and the per-shard logs are what a lone
+    engine would have produced for that shard's clients.
+    """
+
+    def __init__(
+        self,
+        detector: SPOD | None = None,
+        config: FleetConfig | None = None,
+        workers: int | None = None,
+        detectors: dict[str, SPOD] | None = None,
+    ) -> None:
+        self.config = config or FleetConfig()
+        self.workers = resolve_workers(workers)
+        self.shards = [
+            ServingEngine(
+                detector=detector,
+                config=self.config.shard_config,
+                workers=1,
+                detectors=detectors,
+            )
+            for _ in range(self.config.num_shards)
+        ]
+
+    def route(self, client: str) -> int:
+        """Shard index serving ``client``."""
+        return route_client(
+            self.config.routing_seed, client, self.config.num_shards
+        )
+
+    def serve(
+        self,
+        requests: list[PerceptionRequest],
+        lost: list[PerceptionRequest] = (),
+        closed_loop: list = (),
+    ) -> FleetResult:
+        """Serve one workload across the fleet.
+
+        Open-loop requests, ingress-lost requests and closed-loop clients
+        are all partitioned by the router; each shard then serves its
+        slice exactly as a standalone engine would.  With ``workers > 1``
+        shards run in parallel processes — the request log is unaffected
+        because shards share no scheduling state.
+        """
+        wall_start = time.perf_counter()
+        seed = self.config.routing_seed
+        num_shards = self.config.num_shards
+        assignments: dict[str, int] = {}
+
+        def shard_of(client: str) -> int:
+            shard = assignments.get(client)
+            if shard is None:
+                shard = route_client(seed, client, num_shards)
+                assignments[client] = shard
+            return shard
+
+        shard_requests: list[list[PerceptionRequest]] = [
+            [] for _ in range(num_shards)
+        ]
+        shard_lost: list[list[PerceptionRequest]] = [
+            [] for _ in range(num_shards)
+        ]
+        shard_loops: list[list] = [[] for _ in range(num_shards)]
+        for request in requests:
+            shard_requests[shard_of(request.client)].append(request)
+        for request in lost:
+            shard_lost[shard_of(request.client)].append(request)
+        for client in closed_loop:
+            shard_loops[shard_of(client.client)].append(client)
+
+        payloads = [
+            (
+                self.shards[shard],
+                shard_requests[shard],
+                shard_lost[shard],
+                shard_loops[shard],
+            )
+            for shard in range(num_shards)
+        ]
+        use_pool = num_shards > 1 and self.workers > 1 and fork_available()
+        if use_pool:
+            pool = WorkerPool(
+                min(self.workers, num_shards), chunk_size=1
+            )
+            try:
+                outcomes = pool.map(_serve_shard_task, payloads)
+            finally:
+                pool.close()
+            # The pool already merged each shard's profile into the
+            # parent via its chunk snapshots; keep the per-shard copies
+            # for the breakdown.
+            shard_results = [result for result, _ in outcomes]
+            shard_profiles = [profile for _, profile in outcomes]
+        else:
+            shard_results = []
+            shard_profiles = []
+            for payload in payloads:
+                result, profile = _serve_shard_task(payload)
+                shard_results.append(result)
+                shard_profiles.append(profile)
+
+        return FleetResult(
+            shard_results=shard_results,
+            assignments=assignments,
+            config=self.config,
+            wall_seconds=time.perf_counter() - wall_start,
+            shard_profiles=shard_profiles,
+        )
+
+
+def _serve_shard_task(payload) -> tuple[ServeResult, dict]:
+    """Serve one shard's slice and capture its exact profiler delta.
+
+    Runs in a worker process (or inline).  The dance mirrors the worker
+    pool's chunk accounting: save whatever the ambient registry already
+    holds, record the shard against a clean registry, then restore
+    ambient + shard so the process-local registry is exactly what it
+    would have been without the detour.  Inline, the parent registry ends
+    up with the shard merged once; under the pool, the worker's chunk
+    snapshot (which the pool merges into the parent) equals ambient +
+    shard, again exactly once.
+    """
+    engine, shard_requests, shard_lost, shard_loops = payload
+    if not PROFILER.enabled:
+        result = engine.serve(
+            shard_requests, lost=shard_lost, closed_loop=shard_loops
+        )
+        return result, {}
+    ambient = PROFILER.snapshot()
+    PROFILER.reset()
+    try:
+        result = engine.serve(
+            shard_requests, lost=shard_lost, closed_loop=shard_loops
+        )
+        shard_profile = PROFILER.snapshot()
+    finally:
+        PROFILER.reset()
+        PROFILER.merge_snapshot(ambient)
+    PROFILER.merge_snapshot(shard_profile)
+    return result, shard_profile

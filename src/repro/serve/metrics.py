@@ -7,29 +7,55 @@ sustained service rate the benchmark uses to compare dynamic batching
 against per-request dispatch.  Percentiles use the nearest-rank method
 (a sorted-list index, no interpolation), so they are exact functions of
 the latency multiset and stay bit-identical across worker counts.
+
+:func:`build_fleet_report` aggregates a sharded
+:class:`~repro.serve.fleet.FleetResult` the same way: fleet-wide metrics
+come from the merged record stream (latency percentiles over the whole
+fleet, not an average of per-shard percentiles — percentiles do not
+average), with a per-shard breakdown alongside.
 """
 
 from __future__ import annotations
 
+import math
+from fractions import Fraction
+
 from repro.serve.engine import ServeResult
 from repro.serve.requests import RequestStatus
 
-__all__ = ["percentile", "build_report", "render_report"]
+__all__ = [
+    "percentile",
+    "build_report",
+    "build_fleet_report",
+    "render_report",
+    "render_fleet_report",
+]
 
 
 def percentile(values: list[float], fraction: float) -> float:
     """Nearest-rank percentile of ``values`` (0 when empty).
 
     ``fraction`` is in [0, 1]; the nearest-rank definition returns the
-    smallest value with at least ``fraction`` of the mass at or below it.
+    smallest value with at least ``fraction`` of the mass at or below it:
+    rank ``ceil(n * fraction)`` (1-based), clamped to at least 1 so
+    ``fraction=0`` means the minimum.
+
+    The rank is computed in exact arithmetic — ``fraction`` is taken at
+    its decimal face value (``Fraction(str(fraction))``) rather than its
+    binary float expansion, and the product ``n * fraction`` never goes
+    through floating point.  The float version (``ceil(n * fraction)``
+    via ``-(-n * f // 1)``) lands one rank high whenever the product
+    picks up an upward representation error: ``25 * 0.28`` is
+    ``7.000000000000001`` in binary, so the float ceil says rank 8 where
+    the nearest-rank definition says 7.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be in [0, 1]")
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(1, -(-len(ordered) * fraction // 1))  # ceil without math
-    return float(ordered[int(rank) - 1])
+    rank = max(1, math.ceil(len(ordered) * Fraction(str(fraction))))
+    return float(ordered[rank - 1])
 
 
 def build_report(result: ServeResult, duration_ms: float) -> dict:
@@ -40,6 +66,13 @@ def build_report(result: ServeResult, duration_ms: float) -> dict:
     latencies are virtual-clock; ``sustained_rps_wall`` divides completed
     requests by the *measured* service wall-clock — the hardware-honest
     throughput number (single-lane equivalent).
+
+    ``queue_wait_ms`` covers **completed** requests only: shed requests
+    also carry a ``queue_ms`` (how long they sat before the engine gave
+    up on them), but mixing the two regimes would let shed waits inflate
+    the served-path queue percentiles exactly when the system is under
+    the overload the report is meant to diagnose.  Shed waits are
+    reported separately as ``shed_wait_ms``.
     """
     if duration_ms <= 0:
         raise ValueError("duration_ms must be positive")
@@ -50,7 +83,14 @@ def build_report(result: ServeResult, duration_ms: float) -> dict:
         if record.status is RequestStatus.COMPLETED
     ]
     queue_waits = [
-        record.queue_ms for record in result.records if record.queue_ms >= 0
+        record.queue_ms
+        for record in result.records
+        if record.status is RequestStatus.COMPLETED and record.queue_ms >= 0
+    ]
+    shed_waits = [
+        record.queue_ms
+        for record in result.records
+        if record.status is RequestStatus.SHED_DEADLINE and record.queue_ms >= 0
     ]
     met = sum(
         1
@@ -87,6 +127,10 @@ def build_report(result: ServeResult, duration_ms: float) -> dict:
             "p99": percentile(queue_waits, 0.99),
             "max": max(queue_waits) if queue_waits else 0.0,
         },
+        "shed_wait_ms": {
+            "p50": percentile(shed_waits, 0.50),
+            "max": max(shed_waits) if shed_waits else 0.0,
+        },
         "batches": len(result.batches),
         "batch_occupancy": {
             "mean": (
@@ -95,6 +139,8 @@ def build_report(result: ServeResult, duration_ms: float) -> dict:
             "max": max(occupancies) if occupancies else 0,
         },
         "max_queue_depth": result.max_queue_depth,
+        "max_lanes_used": result.max_lanes_used,
+        "lane_scale_events": len(result.lane_events),
         "service_wall_seconds": result.service_wall_seconds,
         "sustained_rps_wall": (
             completed / result.service_wall_seconds
@@ -102,6 +148,27 @@ def build_report(result: ServeResult, duration_ms: float) -> dict:
             else 0.0
         ),
     }
+
+
+def build_fleet_report(fleet_result, duration_ms: float) -> dict:
+    """JSON-ready metrics of one fleet run (fleet-wide + per shard).
+
+    Fleet-wide numbers are computed over the merged record stream —
+    building them from per-shard reports would average percentiles,
+    which is statistically meaningless.  The per-shard list preserves
+    shard order (shard index = list index).
+    """
+    merged = build_report(fleet_result.merged(), duration_ms)
+    shards = [
+        build_report(result, duration_ms)
+        for result in fleet_result.shard_results
+    ]
+    merged["num_shards"] = len(shards)
+    merged["shards"] = shards
+    merged["clients_per_shard"] = [
+        len(clients) for clients in fleet_result.shard_clients()
+    ]
+    return merged
 
 
 def render_report(report: dict) -> str:
@@ -126,4 +193,26 @@ def render_report(report: dict) -> str:
         f"wall       : {report['service_wall_seconds']:.2f}s service compute "
         f"-> {report['sustained_rps_wall']:.1f} req/s sustained",
     ]
+    if report.get("max_lanes_used", 1) > 1 or report.get("lane_scale_events"):
+        lines.append(
+            f"lanes      : peak {report['max_lanes_used']} "
+            f"({report['lane_scale_events']} scale events)"
+        )
+    return "\n".join(lines)
+
+
+def render_fleet_report(report: dict) -> str:
+    """Human-readable summary of a :func:`build_fleet_report` dict."""
+    lines = [
+        f"fleet      : {report['num_shards']} shards, clients/shard "
+        f"{report['clients_per_shard']}",
+        render_report(report),
+    ]
+    for index, shard in enumerate(report["shards"]):
+        lines.append(
+            f"  shard {index}: offered {shard['offered']:5d}  "
+            f"completed {shard['completed']:5d}  "
+            f"p95 {shard['latency_ms']['p95']:7.1f} ms  "
+            f"shed {shard['shed_rate'] * 100.0:.1f}%"
+        )
     return "\n".join(lines)

@@ -84,23 +84,40 @@ class BoundedPriorityQueue:
         return self._entries[0][1]
 
     def oldest_arrival_ms(self) -> float:
-        """Earliest arrival among queued requests (batch-window anchor)."""
+        """Earliest arrival among queued requests (batch-window anchor).
+
+        An empty queue has no oldest arrival; asking for one is a caller
+        bug (the engine checks depth first), so fail loudly instead of
+        letting ``min()`` raise an opaque error.
+        """
+        if not self._entries:
+            raise ValueError("empty queue has no oldest arrival")
         return min(entry[1].arrival_ms for entry in self._entries)
 
-    def pop_class(
-        self, service_class: str, limit: int
+    def pop_matching(
+        self, predicate, limit: int
     ) -> list[PerceptionRequest]:
-        """Pop up to ``limit`` requests of one service class, in order.
+        """Pop up to ``limit`` requests satisfying ``predicate``, in order.
 
-        Requests of other classes keep their queue positions — a burst of
-        ROI crops cannot be silently consumed by a detector batch.
+        Requests that do not match keep their queue positions — a burst of
+        ROI crops cannot be silently consumed by a detector batch, and a
+        mixed-fleet detect batch cannot swallow requests bound for an
+        incompatible detector.
         """
         taken: list[PerceptionRequest] = []
         kept: list[tuple[tuple, PerceptionRequest]] = []
         for entry in self._entries:
-            if len(taken) < limit and entry[1].kind.service_class == service_class:
+            if len(taken) < limit and predicate(entry[1]):
                 taken.append(entry[1])
             else:
                 kept.append(entry)
         self._entries = kept
         return taken
+
+    def pop_class(
+        self, service_class: str, limit: int
+    ) -> list[PerceptionRequest]:
+        """Pop up to ``limit`` requests of one service class, in order."""
+        return self.pop_matching(
+            lambda request: request.kind.service_class == service_class, limit
+        )

@@ -6,12 +6,23 @@ streams derived via :func:`repro.runtime.derive_seed`, so the same spec
 produces the same request sequence in every process — the first half of
 the engine's end-to-end determinism contract.
 
-Arrivals are open-loop (clients do not wait for responses — the honest
-model for overload studies: offered load is what the fleet generates,
-not what the server admits) and Poisson-like per client: exponential
-inter-arrival gaps, optionally compressed by a deterministic square-wave
-burst pattern so the engine sees realistic platoon-crossing spikes, not
-just a smooth mean rate.
+Two load models coexist:
+
+* **Open-loop** (:class:`WorkloadSpec` / :func:`generate_workload`) —
+  clients do not wait for responses (the honest model for overload
+  studies: offered load is what the fleet generates, not what the server
+  admits), Poisson-like per client: exponential inter-arrival gaps,
+  optionally compressed by a deterministic square-wave burst pattern so
+  the engine sees realistic platoon-crossing spikes, not just a smooth
+  mean rate.
+* **Closed-loop** (:class:`ClosedLoopSpec` / :class:`ClosedLoopClient`)
+  — platooning control loops that issue one request, wait for its
+  terminal outcome, think for a seeded gap, and re-issue.  Their request
+  ids come from a reserved high range (:data:`CLOSED_LOOP_ID_BASE`), so
+  open-loop trace ids (dense from 0) and closed-loop ids never collide;
+  each client's entire decision stream is a pure function of its derived
+  seed and the engine-reported outcome times, which keeps mixed
+  open+closed workloads inside the determinism contract.
 
 Payloads come from a :class:`ScenarioPool` — a small set of pre-scanned
 cooperative scenes the requests reference (many vehicles asking about a
@@ -42,9 +53,22 @@ __all__ = [
     "PoolEntry",
     "ScenarioPool",
     "WorkloadSpec",
+    "ClosedLoopSpec",
+    "ClosedLoopClient",
+    "make_closed_loop_clients",
     "generate_workload",
     "apply_ingress_loss",
+    "CLOSED_LOOP_ID_BASE",
+    "CLOSED_LOOP_ID_STRIDE",
 ]
+
+CLOSED_LOOP_ID_BASE = 1_000_000_000
+"""First request id of the closed-loop range (open-loop ids are dense
+from 0, so the two streams can never collide)."""
+
+CLOSED_LOOP_ID_STRIDE = 1_000_000
+"""Id stride per closed-loop client: client ``i`` owns ids
+``BASE + i*STRIDE .. BASE + (i+1)*STRIDE - 1``."""
 
 
 @dataclass(frozen=True)
@@ -185,6 +209,9 @@ class WorkloadSpec:
             disables bursting).
         burst_period_ms / burst_duty: square-wave burst pattern — the
             first ``burst_duty`` fraction of every period is a burst.
+        models: detector model names cycled across clients (client ``i``
+            runs ``models[i % len(models)]`` — a mixed fleet when more
+            than one name is given).
         seed: base seed every RNG stream is derived from.
     """
 
@@ -197,6 +224,7 @@ class WorkloadSpec:
     burst_factor: float = 1.0
     burst_period_ms: float = 1000.0
     burst_duty: float = 0.25
+    models: tuple[str, ...] = ("default",)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -221,6 +249,8 @@ class WorkloadSpec:
             raise ValueError("burst_duty must be in [0, 1)")
         if self.burst_period_ms <= 0:
             raise ValueError("burst_period_ms must be positive")
+        if not self.models:
+            raise ValueError("models must name at least one detector")
 
     def in_burst(self, t_ms: float) -> bool:
         """Is virtual time ``t_ms`` inside a burst window?"""
@@ -247,12 +277,14 @@ def _build_request(
     deadline_ms: float,
     priority: int,
     entry: PoolEntry,
+    model: str = "default",
 ) -> PerceptionRequest:
     """Assemble one request's payload from a pool entry."""
     if kind is RequestKind.DETECT:
         return PerceptionRequest(
             request_id, client, kind, arrival_ms, deadline_ms, priority,
             cloud=entry.native_cloud,
+            model=model,
         )
     if kind is RequestKind.FUSE_DETECT:
         return PerceptionRequest(
@@ -260,12 +292,14 @@ def _build_request(
             cloud=entry.native_cloud,
             pose=entry.native_pose,
             packages=entry.packages,
+            model=model,
         )
     return PerceptionRequest(
         request_id, client, kind, arrival_ms, deadline_ms, priority,
         cloud=entry.coop_cloud,
         pose=entry.coop_pose,
         roi=entry.roi,
+        model=model,
     )
 
 
@@ -279,10 +313,11 @@ def generate_workload(
     is sorted by ``(arrival_ms, client)`` and request ids are assigned
     densely in that order, making the id itself deterministic.
     """
-    staged: list[tuple[float, str, RequestKind, float, int, PoolEntry]] = []
+    staged: list[tuple[float, str, RequestKind, float, int, PoolEntry, str]] = []
     per_client_rate = spec.rate_rps / spec.num_clients
     for client_index in range(spec.num_clients):
         client = f"veh{client_index:02d}"
+        model = spec.models[client_index % len(spec.models)]
         rng = np.random.default_rng(derive_seed(spec.seed, "arrivals", client))
         t = 0.0
         while True:
@@ -297,13 +332,153 @@ def generate_workload(
             lo, hi = spec.deadline_range_ms
             deadline = t + lo + (hi - lo) * rng.random()
             entry = pool.entries[int(rng.integers(len(pool.entries)))]
-            staged.append((t, client, kind, deadline, priority, entry))
+            staged.append((t, client, kind, deadline, priority, entry, model))
     staged.sort(key=lambda item: (item[0], item[1]))
     return [
-        _build_request(request_id, client, kind, arrival, deadline, priority, entry)
-        for request_id, (arrival, client, kind, deadline, priority, entry) in enumerate(
-            staged
+        _build_request(
+            request_id, client, kind, arrival, deadline, priority, entry, model
         )
+        for request_id, (
+            arrival, client, kind, deadline, priority, entry, model,
+        ) in enumerate(staged)
+    ]
+
+
+@dataclass(frozen=True)
+class ClosedLoopSpec:
+    """Declarative description of a closed-loop (platooning) client set.
+
+    Attributes:
+        duration_ms: clients stop re-issuing once the virtual clock
+            passes this horizon.
+        num_clients: independent control loops.
+        think_ms_range: seeded uniform think-time gap between receiving a
+            reply and issuing the next request.
+        retry_backoff_ms: fixed back-off after a shed/rejected request (a
+            control loop retries faster than it would think, but never
+            instantly — hammering a saturated queue helps nobody).
+        start_spread_ms: first issues are spread uniformly over this
+            window so a fleet of loops does not arrive as one spike.
+        kind_weights / priority_weights / deadline_range_ms: as in
+            :class:`WorkloadSpec`.
+        models: detector model names cycled across clients.
+        seed: base seed every client stream derives from.
+    """
+
+    duration_ms: float = 4000.0
+    num_clients: int = 4
+    think_ms_range: tuple[float, float] = (20.0, 80.0)
+    retry_backoff_ms: float = 40.0
+    start_spread_ms: float = 50.0
+    kind_weights: tuple[float, float, float] = (0.6, 0.3, 0.1)
+    priority_weights: tuple[float, ...] = (0.7, 0.2, 0.1)
+    deadline_range_ms: tuple[float, float] = (150.0, 400.0)
+    models: tuple[str, ...] = ("default",)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be at least 1")
+        lo, hi = self.think_ms_range
+        if not 0 <= lo <= hi:
+            raise ValueError("think_ms_range must satisfy 0 <= min <= max")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be non-negative")
+        if self.start_spread_ms < 0:
+            raise ValueError("start_spread_ms must be non-negative")
+        if len(self.kind_weights) != 3 or min(self.kind_weights) < 0:
+            raise ValueError("kind_weights must be 3 non-negative weights")
+        if sum(self.kind_weights) <= 0 or sum(self.priority_weights) <= 0:
+            raise ValueError("weight mixes must have positive mass")
+        lo, hi = self.deadline_range_ms
+        if not 0 < lo <= hi:
+            raise ValueError("deadline_range_ms must satisfy 0 < min <= max")
+        if not self.models:
+            raise ValueError("models must name at least one detector")
+
+
+class ClosedLoopClient:
+    """One platooning control loop: request → outcome → think → request.
+
+    The engine drives the protocol: :meth:`start` yields the first
+    request, and every time a request reaches a terminal state the engine
+    calls :meth:`reissue` with the virtual decision time; the client
+    answers with the follow-up request (or ``None`` past the horizon).
+    All draws come from the client's derived RNG, so the stream of issued
+    requests is a pure function of ``(spec, client index, outcome
+    times)`` — and outcome times are themselves deterministic, closing
+    the loop inside the determinism contract.
+
+    A client instance is single-use: serving mutates its RNG and
+    sequence counter.  Build a fresh set per :meth:`~repro.serve.engine.
+    ServingEngine.serve` call via :func:`make_closed_loop_clients`.
+    """
+
+    def __init__(
+        self, spec: ClosedLoopSpec, index: int, pool: ScenarioPool
+    ) -> None:
+        self.spec = spec
+        self.index = index
+        self.client = f"loop{index:02d}"
+        self.model = spec.models[index % len(spec.models)]
+        self.pool = pool
+        self.rng = np.random.default_rng(
+            derive_seed(spec.seed, "closed-loop", self.client)
+        )
+        self._next_id = CLOSED_LOOP_ID_BASE + index * CLOSED_LOOP_ID_STRIDE
+        self.issued = 0
+        self.completed = 0
+        self.retried = 0
+
+    def start(self) -> PerceptionRequest | None:
+        """The client's first request (spread over ``start_spread_ms``)."""
+        first_ms = self.spec.start_spread_ms * float(self.rng.random())
+        return self._issue(first_ms)
+
+    def reissue(
+        self, decided_ms: float, completed: bool
+    ) -> PerceptionRequest | None:
+        """The follow-up after a terminal outcome at ``decided_ms``.
+
+        A completed reply triggers a think-time gap; a shed/rejected
+        request triggers the fixed retry back-off.  Returns ``None`` once
+        the next issue would fall past the horizon.
+        """
+        if completed:
+            self.completed += 1
+            lo, hi = self.spec.think_ms_range
+            gap = lo + (hi - lo) * float(self.rng.random())
+        else:
+            self.retried += 1
+            gap = self.spec.retry_backoff_ms
+        return self._issue(decided_ms + gap)
+
+    def _issue(self, arrival_ms: float) -> PerceptionRequest | None:
+        if arrival_ms >= self.spec.duration_ms:
+            return None
+        spec = self.spec
+        kind = _KINDS[_pick(self.rng, spec.kind_weights)]
+        priority = _pick(self.rng, spec.priority_weights)
+        lo, hi = spec.deadline_range_ms
+        deadline = arrival_ms + lo + (hi - lo) * float(self.rng.random())
+        entry = self.pool.entries[int(self.rng.integers(len(self.pool.entries)))]
+        request_id = self._next_id
+        self._next_id += 1
+        self.issued += 1
+        return _build_request(
+            request_id, self.client, kind, arrival_ms, deadline, priority,
+            entry, self.model,
+        )
+
+
+def make_closed_loop_clients(
+    spec: ClosedLoopSpec, pool: ScenarioPool
+) -> list[ClosedLoopClient]:
+    """A fresh single-use client set for one serve call."""
+    return [
+        ClosedLoopClient(spec, index, pool) for index in range(spec.num_clients)
     ]
 
 

@@ -121,3 +121,62 @@ class TestScheduler:
         ]
         assert delivered_bulk == [1]  # served in the first second with room
         assert not scheduler.backlog
+
+    def test_large_demand_not_leapfrogged_forever(self):
+        # Regression: a large low-priority demand used to re-enter every
+        # second with its original (priority, bits, sender) key, so a
+        # steady trickle of small same-priority demands sorted ahead of
+        # it and consumed just enough capacity that it never fit — a
+        # permanent starvation, not a delay.  Backlog aging must get it
+        # onto the air in bounded time.
+        scheduler = SharedChannelScheduler(channel(6.0))
+        big = Demand("big", 5_000_000, priority=0)
+        smalls = lambda t: [  # noqa: E731
+            Demand(f"s{t}a", 2_000_000, priority=0),
+            Demand(f"s{t}b", 2_000_000, priority=0),
+        ]
+        per_second = [[big] + smalls(0)] + [smalls(t) for t in range(1, 6)]
+        trace = scheduler.run(per_second)
+        assert big in trace[0].deferred  # smalls rightly go first when fresh
+        delivered_big = [
+            s for s, report in enumerate(trace) if big in report.delivered
+        ]
+        # One deferred second is enough: the aged demand outranks fresh
+        # equal-priority arrivals and gets the budget first.
+        assert delivered_big == [1]
+
+    def test_aging_escalates_past_higher_priority(self):
+        # A demand starved behind persistent higher-priority traffic gains
+        # one effective priority level per aging_boost_seconds deferred
+        # seconds, bounding its starvation even across priority classes.
+        scheduler = SharedChannelScheduler(channel(6.0), aging_boost_seconds=4)
+        low = Demand("low", 1_000_000, priority=0)
+        safety = lambda t: [  # noqa: E731
+            Demand(f"p{t}a", 3_000_000, priority=1),
+            Demand(f"p{t}b", 3_000_000, priority=1),
+        ]
+        per_second = [[low] + safety(0)] + [safety(t) for t in range(1, 8)]
+        trace = scheduler.run(per_second)
+        delivered_low = [
+            s for s, report in enumerate(trace) if low in report.delivered
+        ]
+        # Deferred at ages 0-3 (priority 1 fills the channel exactly);
+        # at age 4 its effective priority reaches 1 and age breaks the tie.
+        assert delivered_low == [4]
+
+    def test_aging_boost_seconds_validated(self):
+        with pytest.raises(ValueError):
+            SharedChannelScheduler(channel(), aging_boost_seconds=0)
+
+    def test_fresh_demands_keep_documented_order(self):
+        # Same-second (age 0) demands must still follow the documented
+        # (-priority, bits, sender) stable key exactly.
+        scheduler = SharedChannelScheduler(channel(6.0))
+        demands = [
+            Demand("z", 1_000_000, priority=0),
+            Demand("a", 1_000_000, priority=0),
+            Demand("big", 2_000_000, priority=0),
+            Demand("vip", 2_000_000, priority=3),
+        ]
+        report = scheduler.schedule_second(demands)
+        assert [d.sender for d in report.delivered] == ["vip", "a", "z", "big"]

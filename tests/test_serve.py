@@ -3,10 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.detection.spod import SPOD, SPODConfig
 from repro.pointcloud.cloud import PointCloud
 from repro.sensors.lidar import BeamPattern
 from repro.serve import (
+    CLOSED_LOOP_ID_BASE,
     BoundedPriorityQueue,
+    ClosedLoopSpec,
     PerceptionRequest,
     RequestKind,
     RequestStatus,
@@ -18,6 +21,7 @@ from repro.serve import (
     apply_ingress_loss,
     build_report,
     generate_workload,
+    make_closed_loop_clients,
     percentile,
     request_sort_key,
 )
@@ -170,6 +174,21 @@ class TestQueue:
         queue.offer(req(0, arrival=9.0, deadline=20.0))
         queue.offer(req(1, arrival=3.0, deadline=900.0))
         assert queue.oldest_arrival_ms() == 3.0
+
+    def test_oldest_arrival_empty_queue_raises(self):
+        # Regression: an empty queue must fail loudly, not feed a stale
+        # or garbage anchor into the batching-window computation.
+        queue = BoundedPriorityQueue(4)
+        with pytest.raises(ValueError, match="empty"):
+            queue.oldest_arrival_ms()
+
+    def test_pop_matching_preserves_positions(self):
+        queue = BoundedPriorityQueue(8)
+        for i in range(5):
+            queue.offer(req(i))
+        taken = queue.pop_matching(lambda r: r.request_id % 2 == 0, 2)
+        assert [r.request_id for r in taken] == [0, 2]
+        assert queue.head().request_id == 1
 
 
 class TestWorkload:
@@ -399,6 +418,40 @@ class TestMetrics:
         with pytest.raises(ValueError):
             percentile(values, 1.5)
 
+    def test_percentile_rank_is_decimal_exact(self):
+        # Regression for the float-ceil rank: 25 * 0.28 is
+        # 7.000000000000001 in binary, so ceil(n*f) computed in floats
+        # lands on rank 8 where the nearest-rank definition says 7.
+        values = [float(v) for v in range(1, 26)]
+        assert percentile(values, 0.28) == 7.0
+
+    def test_percentile_boundaries(self):
+        values = [float(v) for v in range(1, 21)]  # n=20
+        # n*f exactly integral: rank = n*f.
+        assert percentile(values, 0.05) == 1.0
+        assert percentile(values, 0.50) == 10.0
+        # Just above an integral product: next rank up.
+        assert percentile(values, 0.501) == 11.0
+        # Just below: stays on the lower rank's ceiling.
+        assert percentile(values, 0.499) == 10.0
+        # Extremes: f=0 is the minimum, f=1 the maximum.
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 20.0
+        assert percentile([42.0], 0.0) == 42.0
+        assert percentile([42.0], 1.0) == 42.0
+
+    def test_percentile_matches_exact_ceil_everywhere(self):
+        # Sweep every (n, f) in a dense grid against exact arithmetic.
+        from fractions import Fraction
+        from math import ceil
+
+        for n in range(1, 120):
+            values = [float(v) for v in range(1, n + 1)]
+            for k in range(0, 101, 7):
+                f = k / 100.0
+                rank = max(1, ceil(n * Fraction(str(f))))
+                assert percentile(values, f) == float(rank), (n, f)
+
     def test_build_report_accounts_everything(self, detector, pool):
         spec = WorkloadSpec(duration_ms=600.0, rate_rps=40.0, seed=7)
         requests = generate_workload(spec, pool)
@@ -415,3 +468,263 @@ class TestMetrics:
         assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
         with pytest.raises(ValueError):
             build_report(result, 0.0)
+
+    def test_queue_wait_excludes_shed_requests(self, detector, pool):
+        # Regression: under overload, shed requests sit in the queue
+        # until the engine gives up on them; their waits must land in
+        # shed_wait_ms, not inflate the served-path queue_wait_ms.
+        spec = WorkloadSpec(
+            duration_ms=800.0, rate_rps=250.0, seed=2,
+            deadline_range_ms=(60.0, 150.0),
+        )
+        requests = generate_workload(spec, pool)
+        result = ServingEngine(
+            detector, ServeConfig(queue_capacity=8)
+        ).serve(requests)
+        shed = [
+            r for r in result.records
+            if r.status is RequestStatus.SHED_DEADLINE and r.queue_ms >= 0
+        ]
+        completed = [
+            r for r in result.records
+            if r.status is RequestStatus.COMPLETED and r.queue_ms >= 0
+        ]
+        assert shed and completed  # the workload genuinely overloads
+        report = build_report(result, spec.duration_ms)
+        completed_max = max(r.queue_ms for r in completed)
+        assert report["queue_wait_ms"]["max"] == completed_max
+        assert report["shed_wait_ms"]["max"] == max(r.queue_ms for r in shed)
+        # The pre-fix report mixed both populations; prove the shed
+        # waits would actually have moved the number.
+        mixed_max = max(r.queue_ms for r in shed + completed)
+        assert mixed_max > completed_max
+
+
+class TestBatchingWindow:
+    """Regression tests for the stale-dispatch-timer bug: the batching
+    window must re-anchor when admission displaces the oldest queued
+    request."""
+
+    def entry_req(self, pool, request_id, client, arrival, deadline,
+                  priority=0):
+        entry = pool.entries[0]
+        return PerceptionRequest(
+            request_id, client, RequestKind.DETECT, arrival, deadline,
+            priority, cloud=entry.native_cloud,
+        )
+
+    def test_window_reanchors_after_displacement(self, detector, pool):
+        # Capacity-1 queue: A arrives at t=0 (low priority), B at t=10
+        # (high priority) displaces A.  The batching window must re-anchor
+        # to B's arrival (10 + 25 = 35); the pre-fix code kept the stale
+        # anchor from A (0 + 25 = 25) and dispatched B 10 ms early.
+        a = self.entry_req(pool, 0, "a", 0.0, 5000.0, priority=0)
+        b = self.entry_req(pool, 1, "b", 10.0, 5000.0, priority=5)
+        config = ServeConfig(
+            max_batch_size=8, max_wait_ms=25.0, queue_capacity=1
+        )
+        result = ServingEngine(detector, config).serve([a, b])
+        by_id = {r.request_id: r for r in result.records}
+        assert by_id[0].status is RequestStatus.REJECTED_QUEUE_FULL
+        assert by_id[1].status is RequestStatus.COMPLETED
+        assert by_id[1].dispatch_ms == 35.0
+
+    def test_no_empty_batches_under_displacement_churn(self, detector, pool):
+        # A hostile trace: tight queue, tight deadlines, displacement on
+        # nearly every arrival.  Every dispatched batch must be non-empty
+        # and every batch's dispatch honours the true (post-displacement)
+        # window.
+        spec = WorkloadSpec(
+            duration_ms=600.0, rate_rps=300.0, seed=11,
+            deadline_range_ms=(40.0, 120.0),
+            priority_weights=(0.4, 0.3, 0.3),
+        )
+        requests = generate_workload(spec, pool)
+        config = ServeConfig(queue_capacity=4, max_wait_ms=20.0)
+        result = ServingEngine(detector, config).serve(requests)
+        assert result.batches
+        assert all(batch.size >= 1 for batch in result.batches)
+        # Dispatches never predate the requests they serve.
+        by_id = {r.request_id: r for r in result.records}
+        for record in by_id.values():
+            if record.status is RequestStatus.COMPLETED:
+                assert record.dispatch_ms >= record.arrival_ms
+
+
+class TestAutoscaling:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_lanes"):
+            ServeConfig(lanes=4, max_lanes=2)
+        with pytest.raises(ValueError, match="scale_up_depth"):
+            ServeConfig(max_lanes=4, scale_up_depth=2, scale_down_depth=2)
+
+    def test_scales_up_under_pressure_and_back_down(self, detector, pool):
+        spec = WorkloadSpec(
+            duration_ms=1200.0, rate_rps=220.0, seed=12,
+            deadline_range_ms=(300.0, 900.0),
+        )
+        requests = generate_workload(spec, pool)
+        config = ServeConfig(
+            lanes=1, max_lanes=4, scale_up_depth=10, scale_down_depth=2,
+            queue_capacity=64,
+        )
+        result = ServingEngine(detector, config).serve(requests)
+        assert result.max_lanes_used > 1
+        actions = [event["action"] for event in result.lane_events]
+        assert "scale_up" in actions and "scale_down" in actions
+        # Lane events are part of the determinism log.
+        assert any(
+            entry.get("entry") == "lane" for entry in result.log()
+        )
+
+    def test_autoscaling_improves_on_fixed_single_lane(self, detector, pool):
+        spec = WorkloadSpec(
+            duration_ms=1200.0, rate_rps=220.0, seed=12,
+            deadline_range_ms=(300.0, 900.0),
+        )
+        requests = generate_workload(spec, pool)
+        fixed = ServingEngine(
+            detector, ServeConfig(lanes=1)
+        ).serve(requests)
+        scaled = ServingEngine(
+            detector, ServeConfig(lanes=1, max_lanes=4)
+        ).serve(requests)
+        assert (
+            scaled.counts()["completed"] >= fixed.counts()["completed"]
+        )
+        met = lambda res: sum(  # noqa: E731
+            1 for r in res.records if r.deadline_met
+        )
+        assert met(scaled) > met(fixed)
+
+
+class TestHeterogeneousBatching:
+    @pytest.fixture(scope="class")
+    def f64_detector(self) -> SPOD:
+        return SPOD.pretrained(SPODConfig(dtype="float64"))
+
+    def entry_req(self, pool, request_id, model, arrival=0.0):
+        entry = pool.entries[0]
+        return PerceptionRequest(
+            request_id, f"v{request_id}", RequestKind.DETECT, arrival,
+            50_000.0, cloud=entry.native_cloud, model=model,
+        )
+
+    def test_unknown_model_rejected_upfront(self, detector, pool):
+        engine = ServingEngine(detector)
+        with pytest.raises(ValueError, match="unknown detector model"):
+            engine.serve([self.entry_req(pool, 0, "absent")])
+
+    def test_detector_and_detectors_mutually_exclusive(self, detector):
+        with pytest.raises(ValueError, match="not both"):
+            ServingEngine(detector, detectors={"a": detector})
+
+    def test_incompatible_models_never_co_batch(
+        self, detector, f64_detector, pool
+    ):
+        # float32 vs float64 pretrained weights are NOT equivalent, so
+        # their requests must land in separate dispatches even when they
+        # arrive together.
+        assert not detector.equivalent_to(f64_detector)
+        engine = ServingEngine(
+            detectors={"edge32": detector, "edge64": f64_detector},
+            config=ServeConfig(max_batch_size=8),
+        )
+        requests = [
+            self.entry_req(pool, i, "edge32" if i % 2 == 0 else "edge64")
+            for i in range(6)
+        ]
+        result = engine.serve(requests)
+        assert all(
+            r.status is RequestStatus.COMPLETED for r in result.records
+        )
+        groups = {b.group for b in result.batches}
+        assert groups == {"edge32", "edge64"}
+        by_batch = {}
+        for record in result.records:
+            by_batch.setdefault(record.batch_id, set()).add(record.model)
+        assert all(len(models) == 1 for models in by_batch.values())
+
+    def test_equivalent_models_share_one_group(self, pool):
+        # Two separately-built pretrained detectors with the same config
+        # compute the same thing -> one batch group, full co-batching.
+        a, b = SPOD.pretrained(), SPOD.pretrained()
+        assert a.equivalent_to(b)
+        engine = ServingEngine(
+            detectors={"east": a, "west": b},
+            config=ServeConfig(max_batch_size=8),
+        )
+        assert engine.batch_group("east") == engine.batch_group("west")
+        requests = [
+            self.entry_req(pool, i, "east" if i % 2 == 0 else "west")
+            for i in range(6)
+        ]
+        result = engine.serve(requests)
+        assert all(
+            r.status is RequestStatus.COMPLETED for r in result.records
+        )
+        assert max(b.size for b in result.batches) > 1
+        mixed = {
+            frozenset(
+                r.model for r in result.records if r.batch_id == batch.batch_id
+            )
+            for batch in result.batches
+        }
+        assert frozenset(("east", "west")) in mixed
+
+
+class TestClosedLoop:
+    def loops(self, pool, n=3, seed=9, duration=900.0):
+        return make_closed_loop_clients(
+            ClosedLoopSpec(
+                duration_ms=duration, num_clients=n, seed=seed,
+                think_ms_range=(20.0, 60.0),
+            ),
+            pool,
+        )
+
+    def test_ids_live_in_reserved_range(self, detector, pool):
+        result = ServingEngine(detector).serve(
+            [], closed_loop=self.loops(pool)
+        )
+        assert result.records
+        assert all(
+            r.request_id >= CLOSED_LOOP_ID_BASE for r in result.records
+        )
+
+    def test_one_in_flight_per_client(self, detector, pool):
+        result = ServingEngine(detector).serve(
+            [], closed_loop=self.loops(pool)
+        )
+        per_client = {}
+        for record in result.records:
+            per_client.setdefault(record.client, []).append(record)
+        for records in per_client.values():
+            records.sort(key=lambda r: r.arrival_ms)
+            assert len(records) > 1  # the loop actually looped
+            for prev, nxt in zip(records, records[1:]):
+                # The next request is issued only after the previous
+                # one's terminal decision.
+                assert nxt.arrival_ms >= prev.decided_ms
+
+    def test_closed_loop_log_deterministic(self, detector, pool):
+        spec = WorkloadSpec(duration_ms=700.0, rate_rps=40.0, seed=9)
+        open_trace = generate_workload(spec, pool)
+        first = ServingEngine(detector, workers=1).serve(
+            list(open_trace), closed_loop=self.loops(pool)
+        )
+        second = ServingEngine(detector, workers=2).serve(
+            list(open_trace), closed_loop=self.loops(pool)
+        )
+        assert first.log_json() == second.log_json()
+
+    def test_models_cycle_across_workload_clients(self, pool):
+        spec = WorkloadSpec(
+            duration_ms=400.0, rate_rps=40.0, num_clients=4, seed=3,
+            models=("alpha", "beta"),
+        )
+        trace = generate_workload(spec, pool)
+        models = {r.client: r.model for r in trace}
+        assert models["veh00"] == "alpha"
+        assert models["veh01"] == "beta"
+        assert models["veh02"] == "alpha"
