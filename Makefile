@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel bench-detect chaos serve-bench fleet-bench figures examples clean
+.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos serve-bench fleet-bench figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,9 @@ bench-parallel:
 
 bench-detect:
 	python benchmarks/bench_pipeline_hotpath.py --detect-only
+
+bench-incremental:
+	python benchmarks/bench_pipeline_hotpath.py --incremental-only
 
 chaos:
 	python benchmarks/bench_robustness_chaos.py

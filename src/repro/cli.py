@@ -170,6 +170,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         # One session under an explicit fault spec; print what happened.
         plan = FaultPlan.from_spec(args.faults, seed=args.seed)
         session = build_chaos_session(detector=detector, faults=plan)
+        session.temporal = args.temporal
         logs = session.run(
             duration_seconds=args.seconds, seed=args.seed, workers=args.workers
         )
@@ -350,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="shrink the sweep grids and session length (CI smoke run)",
+    )
+    chaos.add_argument(
+        "--temporal",
+        action="store_true",
+        help="carry frame-delta temporal state across steps (repro.temporal); "
+        "results are bit-identical, steady-state frames run faster",
     )
     chaos.add_argument(
         "--seconds",

@@ -61,12 +61,16 @@ class SparseMiddleExtractor(Module):
         self.out_channels = out_channels
 
     def forward(
-        self, tensor: SparseTensor3d, channel_mask: np.ndarray | None = None
+        self,
+        tensor: SparseTensor3d,
+        channel_mask: np.ndarray | None = None,
+        temporal=None,
     ) -> np.ndarray:
         # Both convolutions are stride-1 submanifold: the active set is
         # invariant through the block, so one rulebook (memoised across
-        # frames by RULEBOOK_CACHE) serves them both.
-        rulebook = self.conv1.build_rulebook(tensor)
+        # frames by RULEBOOK_CACHE, and patched from the previous frame's
+        # when temporal state is supplied) serves them both.
+        rulebook = self.conv1.build_rulebook(tensor, temporal=temporal)
         x = self.relu1(self.conv1(tensor, rulebook=rulebook))
         x = self.relu2(self.conv2(x, rulebook=rulebook))
         return self.to_dense(x, channel_mask=channel_mask)

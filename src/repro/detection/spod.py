@@ -201,13 +201,18 @@ class SPOD:
         )
 
     # -- network forward ---------------------------------------------------
-    def forward_features(self, cloud: PointCloud, inference: bool = False):
+    def forward_features(
+        self, cloud: PointCloud, inference: bool = False, temporal=None
+    ):
         """Preprocess + voxelize + VFE + middle; return tensors up to BEV.
 
         With ``inference=True`` the BEV densification skips channels the
         RPN's first convolution provably ignores (zero weights) — exact for
         the forward pass but useless for training, where those channels
-        still need gradients.
+        still need gradients.  ``temporal`` (a
+        :class:`repro.temporal.TemporalState`) enables the frame-delta fast
+        paths through voxelisation and rulebook construction; outputs are
+        bit-identical with or without it.
         """
         cfg = self.config
         with PROFILER.stage("spod.preprocess"):
@@ -218,9 +223,16 @@ class SPOD:
                 ),
                 densify=cfg.densify,
             )
+        voxel_cache = None
+        if temporal is not None and temporal.config.voxel_delta:
+            voxel_cache = temporal.voxel
         with PROFILER.stage("spod.voxelize"):
             grid = voxelize(
-                pre.obstacles, cfg.voxel_spec, seed=cfg.seed, dtype=self.dtype
+                pre.obstacles,
+                cfg.voxel_spec,
+                seed=cfg.seed,
+                dtype=self.dtype,
+                cache=voxel_cache,
             )
         with PROFILER.stage("spod.vfe"):
             sparse = self.vfe(grid)
@@ -230,7 +242,9 @@ class SPOD:
             if not used.all():
                 channel_mask = used
         with PROFILER.stage("spod.middle"):
-            bev = self.middle(sparse, channel_mask=channel_mask)
+            bev = self.middle(
+                sparse, channel_mask=channel_mask, temporal=temporal
+            )
         return {"pre": pre, "grid": grid, "bev": bev}
 
     def rpn_apply(self, bev: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -251,29 +265,43 @@ class SPOD:
         return tensors
 
     # -- detection ----------------------------------------------------------
-    def detect(self, cloud: PointCloud) -> list[Detection]:
+    def detect(self, cloud: PointCloud, temporal=None) -> list[Detection]:
         """Detect cars, reporting only scores >= ``detection_threshold``."""
         return [
             d
-            for d in self.detect_all(cloud)
+            for d in self.detect_all(cloud, temporal=temporal)
             if d.score >= self.config.detection_threshold
         ]
 
-    def detect_all(self, cloud: PointCloud) -> list[Detection]:
-        """Detect cars including sub-threshold candidates (post-NMS)."""
+    def detect_all(self, cloud: PointCloud, temporal=None) -> list[Detection]:
+        """Detect cars including sub-threshold candidates (post-NMS).
+
+        ``temporal`` threads per-agent frame-delta state through the
+        pipeline; when the exact cloud recurs, the previous frame's
+        post-NMS detections are returned outright (the memo verifies the
+        cloud bit-for-bit, so results never differ from a cold run).
+        """
         if len(cloud) == 0:
             # A blackout frame (repro.faults) or out-of-range cloud: no
             # active voxels means no proposals; skip the network entirely.
             return []
-        tensors = self.forward_features(cloud, inference=True)
+        if temporal is not None:
+            cached = temporal.detect_recall(cloud)
+            if cached is not None:
+                return list(cached)
+        tensors = self.forward_features(cloud, inference=True, temporal=temporal)
         if tensors["grid"].num_voxels == 0:
-            return []
-        cls_logits, reg = self.rpn_apply(tensors["bev"])
-        tensors["cls_logits"] = cls_logits
-        tensors["reg"] = reg
-        return self._decode_and_nms(tensors)
+            result: list[Detection] = []
+        else:
+            cls_logits, reg = self.rpn_apply(tensors["bev"])
+            tensors["cls_logits"] = cls_logits
+            tensors["reg"] = reg
+            result = self._decode_and_nms(tensors)
+        if temporal is not None:
+            temporal.detect_store(cloud, result)
+        return result
 
-    def detect_batch(self, clouds) -> list[list[Detection]]:
+    def detect_batch(self, clouds, temporals=None) -> list[list[Detection]]:
         """Detect over several clouds with one batched RPN pass.
 
         Each cloud is voxelised and encoded independently (those stages are
@@ -286,25 +314,48 @@ class SPOD:
         Results are a deterministic function of the input clouds alone
         (batch composition is fixed by the caller, not by worker layout),
         which is what the session's bit-identity contract requires.
+
+        ``temporals``, when given, is a parallel list of per-cloud
+        :class:`repro.temporal.TemporalState` (or ``None``) objects; memo
+        hits skip the network for their cloud, and the remaining live
+        clouds still batch through one RPN pass.  The per-sample RPN is
+        independent of batch composition, so memo hits cannot perturb the
+        other clouds' results.
         """
+        if temporals is None:
+            temporals = [None] * len(clouds)
         feats: list[dict | None] = []
-        for cloud in clouds:
+        results: list[list[Detection]] = [[] for _ in clouds]
+        memoised: set[int] = set()
+        for i, cloud in enumerate(clouds):
             if len(cloud) == 0:
                 feats.append(None)
                 continue
-            tensors = self.forward_features(cloud, inference=True)
+            temporal = temporals[i]
+            if temporal is not None:
+                cached = temporal.detect_recall(cloud)
+                if cached is not None:
+                    results[i] = list(cached)
+                    memoised.add(i)
+                    feats.append(None)
+                    continue
+            tensors = self.forward_features(
+                cloud, inference=True, temporal=temporal
+            )
             feats.append(tensors if tensors["grid"].num_voxels else None)
-        results: list[list[Detection]] = [[] for _ in feats]
         live = [i for i, f in enumerate(feats) if f is not None]
-        if not live:
-            return results
-        bev = np.concatenate([feats[i]["bev"] for i in live], axis=0)
-        cls_logits, reg = self.rpn_apply(bev)
-        for j, i in enumerate(live):
-            tensors = feats[i]
-            tensors["cls_logits"] = cls_logits[j : j + 1]
-            tensors["reg"] = reg[j : j + 1]
-            results[i] = self._decode_and_nms(tensors)
+        if live:
+            bev = np.concatenate([feats[i]["bev"] for i in live], axis=0)
+            cls_logits, reg = self.rpn_apply(bev)
+            for j, i in enumerate(live):
+                tensors = feats[i]
+                tensors["cls_logits"] = cls_logits[j : j + 1]
+                tensors["reg"] = reg[j : j + 1]
+                results[i] = self._decode_and_nms(tensors)
+        for i, cloud in enumerate(clouds):
+            temporal = temporals[i]
+            if temporal is not None and len(cloud) > 0 and i not in memoised:
+                temporal.detect_store(cloud, results[i])
         return results
 
     def _decode_and_nms(self, tensors) -> list[Detection]:

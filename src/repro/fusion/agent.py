@@ -52,6 +52,7 @@ from repro.runtime import WorkerPool, fork_available, resolve_workers, stable_ha
 from repro.scene.trajectories import Trajectory
 from repro.scene.world import World
 from repro.sensors.rig import RigObservation, SensorRig
+from repro.temporal import TemporalConfig, TemporalState
 
 __all__ = [
     "AgentStep",
@@ -186,12 +187,16 @@ class _Broadcast:
         payload: reassembled wire bytes (None unless delivered).
         package: decoded package for gating (None unless delivered).
         intrinsically_sane: receiver-independent sanity verdict.
+        breaker_skipped: the circuit breaker skipped this sender (a
+            distinct degradation from channel loss — receivers invalidate
+            fusion-side temporal state on it).
     """
 
     delivered: bool
     payload: bytes | None = None
     package: ExchangePackage | None = None
     intrinsically_sane: bool = True
+    breaker_skipped: bool = False
 
 
 @dataclass
@@ -219,10 +224,19 @@ class CooperAgent:
         t: float,
         seed: int,
         faults: SensorFaults | None = None,
+        scan_cache=None,
     ) -> RigObservation:
-        """Sense the world at time ``t`` (optionally under sensor faults)."""
+        """Sense the world at time ``t`` (optionally under sensor faults).
+
+        ``scan_cache`` threads the temporal layer's per-agent raycast
+        cache into the rig; scans are bit-identical with or without it.
+        """
         return self.rig.observe(
-            world, self.trajectory.pose_at(t), seed=seed, faults=faults
+            world,
+            self.trajectory.pose_at(t),
+            seed=seed,
+            faults=faults,
+            scan_cache=scan_cache,
         )
 
     def build_package(
@@ -247,10 +261,14 @@ class CooperAgent:
         self,
         observation: RigObservation,
         packages: list[ExchangePackage],
+        temporal: TemporalState | None = None,
     ) -> list[Detection]:
         """Fuse received packages with the native scan and detect."""
         result = self.cooper.perceive(
-            observation.scan.cloud, observation.measured_pose, packages
+            observation.scan.cloud,
+            observation.measured_pose,
+            packages,
+            temporal=temporal,
         )
         return result.detections
 
@@ -275,6 +293,14 @@ class CooperSession:
             parent-side over the full agent set, so its batch composition
             — and therefore its results — cannot depend on the worker
             count.  Set False to force the per-agent path.
+        temporal: carry per-agent frame-delta state (``repro.temporal``)
+            across steps — scan geometry cache, incremental voxelisation,
+            rulebook patching and the detect memo.  Warm-path logs are
+            bit-identical to a cold run at any worker count; the state is
+            invalidated on LiDAR blackout frames, measured-pose jumps and
+            circuit-breaker/stale-fallback events, with every
+            invalidation decision made parent-side.
+        temporal_config: knobs for the temporal layer (None — defaults).
         degradation: per-run degradation event counts, populated by
             :meth:`run` (also mirrored into ``PROFILER`` counters under
             ``session.*`` when profiling is enabled).
@@ -287,6 +313,8 @@ class CooperSession:
     faults: FaultPlan | None = None
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     batch_detection: bool = True
+    temporal: bool = False
+    temporal_config: TemporalConfig | None = None
     degradation: dict[str, int] = field(
         default_factory=dict, init=False, repr=False
     )
@@ -296,6 +324,15 @@ class CooperSession:
     )
     _stale_cache: StalePackageCache = field(
         default_factory=StalePackageCache, init=False, repr=False
+    )
+    _temporal: dict[str, TemporalState] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _last_measured: dict[str, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _pending_invalidations: dict[str, list[str]] = field(
+        default_factory=dict, init=False, repr=False
     )
 
     def run(
@@ -322,6 +359,17 @@ class CooperSession:
             max_age_steps=self.resilience.max_stale_steps
         )
         self._shared_detector = self._resolve_shared_detector()
+        worker_temporal_config = None
+        if self.temporal:
+            worker_temporal_config = self.temporal_config or TemporalConfig()
+            self._temporal = {
+                agent.name: TemporalState(worker_temporal_config)
+                for agent in self.agents
+            }
+        else:
+            self._temporal = {}
+        self._last_measured = {}
+        self._pending_invalidations = {}
         logs: dict[str, list[AgentStep]] = {a.name: [] for a in self.agents}
         times = np.arange(0.0, duration_seconds, period_seconds)
         workers = resolve_workers(workers)
@@ -336,7 +384,7 @@ class CooperSession:
         with WorkerPool(
             workers,
             initializer=_session_worker_init,
-            initargs=(self.world, self.agents),
+            initargs=(self.world, self.agents, worker_temporal_config),
             chunk_size=1,
         ) as pool:
             for step_index, t in enumerate(times):
@@ -362,7 +410,9 @@ class CooperSession:
                 return None
         return first
 
-    def _detect_batched(self, merged_clouds: list) -> list[list[Detection]]:
+    def _detect_batched(
+        self, merged_clouds: list, temporals: list | None = None
+    ) -> list[list[Detection]]:
         """One batched detector pass over every agent's fused cloud.
 
         Always runs in the parent over the full agent set (batch
@@ -372,7 +422,7 @@ class CooperSession:
         """
         detector = self._shared_detector
         start = time.perf_counter()
-        all_detections = detector.detect_batch(merged_clouds)
+        all_detections = detector.detect_batch(merged_clouds, temporals=temporals)
         share = (time.perf_counter() - start) / max(1, len(merged_clouds))
         threshold = detector.config.detection_threshold
         kept: list[list[Detection]] = []
@@ -404,6 +454,108 @@ class CooperSession:
             self._count("gps_bias_steps")
         return faults if faults.any else None
 
+    # -- temporal state management (parent-side decisions) -----------------
+    def temporal_states(self) -> dict[str, TemporalState]:
+        """The parent-side per-agent temporal states of the last run."""
+        return dict(self._temporal)
+
+    def _invalidate_temporal(self, name: str, reason: str, scope: str) -> None:
+        """Apply + count one parent-side invalidation decision."""
+        state = self._temporal.get(name)
+        if state is not None:
+            state.invalidate(reason, scope=scope)
+        self._count("temporal_invalidations")
+
+    def _pre_observe_invalidations(
+        self, faults_by_agent: dict[str, SensorFaults | None]
+    ) -> dict[str, tuple[str, ...]]:
+        """All-scope invalidation reasons decided before this step's sensing.
+
+        A LiDAR blackout frame invalidates the agent's whole temporal
+        state (counted here); pose jumps detected *last* step drain from
+        the pending queue (already counted at detection) so worker-side
+        scan caches drop them too.  The returned reasons ship in the
+        phase-1 task payloads; parent-side states are updated in place.
+        """
+        reasons: dict[str, tuple[str, ...]] = {}
+        if not self._temporal:
+            return {agent.name: () for agent in self.agents}
+        for agent in self.agents:
+            name = agent.name
+            agent_reasons = list(self._pending_invalidations.pop(name, ()))
+            for reason in agent_reasons:
+                # Counted when the jump was detected; re-apply is hygiene.
+                state = self._temporal.get(name)
+                if state is not None:
+                    state.invalidate(reason, scope="all")
+            faults = faults_by_agent.get(name)
+            if faults is not None and faults.lidar_blackout:
+                agent_reasons.append("lidar_blackout")
+                self._invalidate_temporal(name, "lidar_blackout", "all")
+            reasons[name] = tuple(agent_reasons)
+        return reasons
+
+    def _detect_pose_jumps(
+        self, observations: dict[str, RigObservation]
+    ) -> None:
+        """Invalidate on physically implausible measured-pose motion.
+
+        A GPS dropout/teleport makes the merged geometry jump wholesale;
+        the temporal caches would all miss anyway (they verify content),
+        so this is hygiene plus an observability signal.  Decided in the
+        parent in agent order — identical at any worker count.  The
+        reason is queued for the next step's phase-1 payloads so
+        worker-side scan caches are dropped too.
+        """
+        if not self._temporal:
+            return
+        limit = (self.temporal_config or TemporalConfig()).pose_jump_m
+        for agent in self.agents:
+            name = agent.name
+            position = observations[name].measured_pose.position
+            prev = self._last_measured.get(name)
+            self._last_measured[name] = position
+            if prev is None:
+                continue
+            if float(np.hypot(*(position[:2] - prev[:2]))) > limit:
+                self._invalidate_temporal(name, "pose_jump", "all")
+                self._pending_invalidations.setdefault(name, []).append(
+                    "pose_jump"
+                )
+
+    def _fuse_invalidations(
+        self,
+        outcomes: dict[str, _Broadcast],
+        inboxes: dict[str, tuple],
+    ) -> dict[str, tuple[str, ...]]:
+        """Fuse-scope invalidation reasons for each receiver this step.
+
+        A circuit-breaker skip among the receiver's peers or a
+        stale-cache fallback in its inbox changes the merged cloud's
+        provenance discontinuously; the fusion-side caches (voxel,
+        rulebook, detect memo) are dropped, the scan cache — pure ego
+        geometry — survives.  Parent-side states are updated in place;
+        the reasons ship in phase-3 payloads for worker-side states.
+        """
+        reasons: dict[str, tuple[str, ...]] = {}
+        if not self._temporal:
+            return {agent.name: () for agent in self.agents}
+        for agent in self.agents:
+            name = agent.name
+            agent_reasons = []
+            if any(
+                outcomes[peer.name].breaker_skipped
+                for peer in self.agents
+                if peer.name != name
+            ):
+                agent_reasons.append("breaker_skip")
+            if inboxes[name][2] > 0:
+                agent_reasons.append("stale_fallback")
+            for reason in agent_reasons:
+                self._invalidate_temporal(name, reason, "fuse")
+            reasons[name] = tuple(agent_reasons)
+        return reasons
+
     # -- exchange (parent-side in both execution paths) -------------------
     def _broadcast_outcomes(
         self,
@@ -433,7 +585,9 @@ class CooperSession:
             )
             if resilience.breaker_threshold > 0 and health.is_open(step_index):
                 self._count("breaker_skips")
-                outcomes[sender] = _Broadcast(delivered=False)
+                outcomes[sender] = _Broadcast(
+                    delivered=False, breaker_skipped=True
+                )
                 continue
             if conditions is not None and conditions.blackout:
                 self._count("channel_blackouts")
@@ -567,15 +721,26 @@ class CooperSession:
         seed: int,
     ) -> None:
         """Run one exchange period for every agent (inline path)."""
+        faults_by_agent = {
+            agent.name: self._resolve_sensor_faults(step_index, agent.name)
+            for agent in self.agents
+        }
+        self._pre_observe_invalidations(faults_by_agent)
         observations = {
             agent.name: agent.observe(
                 self.world,
                 t,
                 seed=_observe_seed(seed, step_index, i),
-                faults=self._resolve_sensor_faults(step_index, agent.name),
+                faults=faults_by_agent[agent.name],
+                scan_cache=(
+                    self._temporal[agent.name].scan
+                    if agent.name in self._temporal
+                    else None
+                ),
             )
             for i, agent in enumerate(self.agents)
         }
+        self._detect_pose_jumps(observations)
         # Every agent broadcasts one package per period.
         wire: dict[str, tuple[bytes, int]] = {}
         for agent in self.agents:
@@ -600,6 +765,7 @@ class CooperSession:
             )
             inboxes[agent.name] = (received, delivered_flags, stale)
 
+        self._fuse_invalidations(outcomes, inboxes)
         if self._shared_detector is not None:
             merged = [
                 agent.cooper.fuse(
@@ -609,10 +775,17 @@ class CooperSession:
                 )[0]
                 for agent in self.agents
             ]
-            detections_by_agent = self._detect_batched(merged)
+            detections_by_agent = self._detect_batched(
+                merged,
+                temporals=[self._temporal.get(a.name) for a in self.agents],
+            )
         else:
             detections_by_agent = [
-                agent.perceive(observations[agent.name], inboxes[agent.name][0])
+                agent.perceive(
+                    observations[agent.name],
+                    inboxes[agent.name][0],
+                    temporal=self._temporal.get(agent.name),
+                )
                 for agent in self.agents
             ]
         for agent, detections in zip(self.agents, detections_by_agent):
@@ -651,7 +824,16 @@ class CooperSession:
         clouds, that the inline path makes, so logs stay bit-identical
         at any worker count.
         Seeds match :meth:`_step` exactly, so logs are bit-identical.
+        Temporal-state decisions (which caches to invalidate, and when)
+        are made here in the parent and shipped inside the task payloads;
+        worker-side states only ever change *how fast* a task runs, never
+        its result, so scheduling nondeterminism cannot leak into logs.
         """
+        faults_by_agent = {
+            agent.name: self._resolve_sensor_faults(step_index, agent.name)
+            for agent in self.agents
+        }
+        scan_invalidations = self._pre_observe_invalidations(faults_by_agent)
         built = pool.map(
             _observe_build_task,
             [
@@ -659,7 +841,8 @@ class CooperSession:
                     i,
                     t,
                     _observe_seed(seed, step_index, i),
-                    self._resolve_sensor_faults(step_index, agent.name),
+                    faults_by_agent[agent.name],
+                    scan_invalidations[agent.name],
                 )
                 for i, agent in enumerate(self.agents)
             ],
@@ -669,6 +852,7 @@ class CooperSession:
         for agent, (observation, payload) in zip(self.agents, built):
             observations[agent.name] = observation
             wire[agent.name] = (payload, len(payload) * 8)
+        self._detect_pose_jumps(observations)
 
         outcomes = self._broadcast_outcomes(wire, step_index, seed)
         inboxes: dict[str, tuple[list[bytes], list[bool], int]] = {
@@ -680,6 +864,7 @@ class CooperSession:
             )
             for agent in self.agents
         }
+        fuse_invalidations = self._fuse_invalidations(outcomes, inboxes)
 
         if self._shared_detector is not None:
             fused = pool.map(
@@ -689,8 +874,12 @@ class CooperSession:
                     for i, agent in enumerate(self.agents)
                 ],
             )
+            # Batched detection runs parent-side, so it uses the
+            # parent's temporal states — deterministic at any worker
+            # count, and the detect memo works even with workers > 1.
             detections_by_agent = self._detect_batched(
-                [cloud for _received, cloud in fused]
+                [cloud for _received, cloud in fused],
+                temporals=[self._temporal.get(a.name) for a in self.agents],
             )
             perceived = [
                 (received, detections)
@@ -702,7 +891,12 @@ class CooperSession:
             perceived = pool.map(
                 _perceive_task,
                 [
-                    (i, observations[agent.name], inboxes[agent.name][0])
+                    (
+                        i,
+                        observations[agent.name],
+                        inboxes[agent.name][0],
+                        fuse_invalidations[agent.name],
+                    )
                     for i, agent in enumerate(self.agents)
                 ],
             )
@@ -730,34 +924,73 @@ class CooperSession:
 #: the world and agent stacks are shipped once per worker, not per task.
 _WORKER_WORLD: World | None = None
 _WORKER_AGENTS: list[CooperAgent] | None = None
+#: Worker-local temporal states, one per agent index.  Which worker ran an
+#: agent's previous task depends on scheduling, so these states hit or
+#: miss nondeterministically — which is fine: every temporal cache
+#: verifies content exactly, so worker-side state changes only speed,
+#: never results.  Invalidation *decisions* still arrive from the parent
+#: in the task payloads (as reason tuples) so hygiene matches the plan.
+_WORKER_TEMPORAL_CONFIG: TemporalConfig | None = None
+_WORKER_TEMPORAL: dict[int, TemporalState] = {}
 
 
-def _session_worker_init(world: World, agents: list[CooperAgent]) -> None:
+def _session_worker_init(
+    world: World,
+    agents: list[CooperAgent],
+    temporal_config: TemporalConfig | None = None,
+) -> None:
     """Worker warm-up: install the session's world and agent stacks."""
-    global _WORKER_WORLD, _WORKER_AGENTS
+    global _WORKER_WORLD, _WORKER_AGENTS, _WORKER_TEMPORAL_CONFIG
     _WORKER_WORLD = world
     _WORKER_AGENTS = agents
+    _WORKER_TEMPORAL_CONFIG = temporal_config
+    _WORKER_TEMPORAL.clear()
+
+
+def _worker_temporal(agent_index: int) -> TemporalState | None:
+    """This worker's temporal state for one agent (None — temporal off)."""
+    if _WORKER_TEMPORAL_CONFIG is None:
+        return None
+    state = _WORKER_TEMPORAL.get(agent_index)
+    if state is None:
+        state = TemporalState(_WORKER_TEMPORAL_CONFIG)
+        _WORKER_TEMPORAL[agent_index] = state
+    return state
 
 
 def _observe_build_task(
-    payload: tuple[int, float, int, SensorFaults | None],
+    payload: tuple[int, float, int, SensorFaults | None, tuple[str, ...]],
 ) -> tuple[RigObservation, bytes]:
     """Phase-1 worker task: one agent senses and serialises its package."""
-    agent_index, t, obs_seed, faults = payload
+    agent_index, t, obs_seed, faults, invalidations = payload
     agent = _WORKER_AGENTS[agent_index]
-    observation = agent.observe(_WORKER_WORLD, t, seed=obs_seed, faults=faults)
+    state = _worker_temporal(agent_index)
+    if state is not None:
+        for reason in invalidations:
+            state.invalidate(reason, scope="all")
+    observation = agent.observe(
+        _WORKER_WORLD,
+        t,
+        seed=obs_seed,
+        faults=faults,
+        scan_cache=None if state is None else state.scan,
+    )
     package = agent.build_package(_WORKER_WORLD, observation, t)
     return observation, package.serialize()
 
 
 def _perceive_task(
-    payload: tuple[int, RigObservation, list[bytes]],
+    payload: tuple[int, RigObservation, list[bytes], tuple[str, ...]],
 ) -> tuple[list[ExchangePackage], list[Detection]]:
     """Phase-3 worker task: one agent decodes, fuses and detects."""
-    agent_index, observation, package_payloads = payload
+    agent_index, observation, package_payloads, invalidations = payload
     agent = _WORKER_AGENTS[agent_index]
+    state = _worker_temporal(agent_index)
+    if state is not None:
+        for reason in invalidations:
+            state.invalidate(reason, scope="fuse")
     received = [ExchangePackage.deserialize(p) for p in package_payloads]
-    return received, agent.perceive(observation, received)
+    return received, agent.perceive(observation, received, temporal=state)
 
 
 def _fuse_task(payload: tuple[int, RigObservation, list[bytes]]):

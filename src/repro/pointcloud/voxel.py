@@ -8,14 +8,16 @@ encoder and, through coordinates, the sparse convolutional middle layers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.pointcloud.cloud import PointCloud
 from repro.profiling import PROFILER
+from repro.runtime.seeding import derive_seed
 
-__all__ = ["VoxelGridSpec", "VoxelGrid"]
+__all__ = ["VoxelGridSpec", "VoxelGrid", "VoxelDeltaCache"]
 
 
 @dataclass(frozen=True)
@@ -118,62 +120,143 @@ def voxelize(
     spec: VoxelGridSpec,
     seed: int = 0,
     dtype: np.dtype | None = None,
+    cache: "VoxelDeltaCache | None" = None,
 ) -> VoxelGrid:
     """Group a cloud into the sparse voxel grid described by ``spec``.
 
     Points outside ``spec.point_range`` are dropped.  When a voxel receives
     more than ``max_points_per_voxel`` points, a deterministic random
-    subset keyed by ``seed`` is kept (the paper lineage randomly samples;
-    we seed for repeatability).  Voxels at or under the cap keep their
-    points in stable scan order.
+    subset keyed by ``seed`` *and the voxel's linear index* is kept (the
+    paper lineage randomly samples; we seed for repeatability — and seed
+    per voxel, so one voxel's sample never depends on any other voxel's
+    contents).  Voxels at or under the cap keep their points in stable
+    scan order.
 
     ``dtype`` sets the storage dtype of the padded voxel tensor handed to
     the downstream kernels (default float32, the sensor dtype).  Grouping
     itself always runs on the raw float32 sensor data, so the choice
     cannot move a point between voxels.
+
+    ``cache`` (a :class:`VoxelDeltaCache`) enables the frame-delta fast
+    paths; the result is always bit-identical to an uncached call.
     """
     with PROFILER.stage("voxel.voxelize"):
-        return _voxelize(cloud, spec, seed, dtype)
+        return _voxelize(cloud, spec, seed, dtype, cache)
 
 
-def _voxelize(
-    cloud: PointCloud, spec: VoxelGridSpec, seed: int, dtype: np.dtype | None = None
-) -> VoxelGrid:
-    out_dtype = np.dtype(dtype) if dtype is not None else np.float32
-    data = cloud.data
+@dataclass
+class _VoxelFrame:
+    """One voxelised frame plus the grouping artifacts the delta tiers reuse.
+
+    ``inside`` is per *original* cloud row; ``linear`` is per inside row in
+    scan order; the remaining arrays are the cold path's grouping state.
+    """
+
+    data: np.ndarray
+    inside: np.ndarray
+    linear: np.ndarray
+    order: np.ndarray
+    group_ids: np.ndarray
+    positions: np.ndarray
+    keep: np.ndarray
+    grid: VoxelGrid
+
+
+def _assign_voxels(
+    data: np.ndarray, spec: VoxelGridSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row voxel assignment: ``(inside_mask, linear_of_inside_rows)``.
+
+    Every operation is elementwise per row, so the assignment of a row is
+    independent of every other row — the property the prefix-delta tier
+    relies on to reuse assignments of unchanged rows.
+    """
     origin = np.array(spec.point_range[:3], dtype=np.float32)
     size = np.array(spec.voxel_size, dtype=np.float32)
     upper = np.array(spec.point_range[3:], dtype=np.float32)
 
     inside = np.all((data[:, :3] >= origin) & (data[:, :3] < upper), axis=1)
-    data = data[inside]
-    if len(data) == 0:
-        return VoxelGrid(
-            spec,
-            np.zeros((0, 3), dtype=np.int32),
-            np.zeros((0, spec.max_points_per_voxel, 4), dtype=out_dtype),
-            np.zeros(0, dtype=np.int32),
-        )
-
-    coords_all = np.floor((data[:, :3] - origin) / size).astype(np.int32)
+    pts = data[inside]
+    if len(pts) == 0:
+        return inside, np.zeros(0, dtype=np.int64)
+    coords_all = np.floor((pts[:, :3] - origin) / size).astype(np.int32)
     grid_shape = spec.grid_shape
     np.clip(coords_all, 0, np.array(grid_shape) - 1, out=coords_all)
-
-    # Group points by voxel using a stable (radix) sort of linear indices.
     linear = (
         coords_all[:, 0].astype(np.int64) * (grid_shape[1] * grid_shape[2])
         + coords_all[:, 1] * grid_shape[2]
         + coords_all[:, 2]
     )
+    return inside, linear
+
+
+def _overflow_positions(
+    positions: np.ndarray,
+    start_idx: np.ndarray,
+    group_counts: np.ndarray,
+    unique_linear: np.ndarray,
+    t_max: int,
+    seed: int,
+) -> None:
+    """Re-draw slot permutations for overflowing voxels, in place.
+
+    Each overflowing voxel draws from its own RNG stream —
+    ``derive_seed(seed, "voxel-overflow", linear)`` — so the sample kept
+    in one voxel is a pure function of (seed, voxel, member count),
+    independent of what every other voxel received.  That locality is what
+    lets the delta tiers re-run the sampler for touched voxels only while
+    staying bit-identical to a full rebuild.
+    """
+    overflowing = np.nonzero(group_counts > t_max)[0]
+    for g in overflowing:
+        start, count = start_idx[g], group_counts[g]
+        rng = np.random.default_rng(
+            derive_seed(seed, "voxel-overflow", int(unique_linear[g]))
+        )
+        positions[start : start + count] = rng.permutation(count)
+
+
+def _compute_frame(
+    data: np.ndarray,
+    spec: VoxelGridSpec,
+    seed: int,
+    out_dtype: np.dtype,
+    inside: np.ndarray | None = None,
+    linear: np.ndarray | None = None,
+) -> _VoxelFrame:
+    """The cold grouping + scatter pipeline, returning the full frame state.
+
+    ``inside``/``linear`` may be supplied pre-computed (the prefix-delta
+    tier concatenates reused prefix assignments with fresh suffix ones);
+    they must equal what :func:`_assign_voxels` would produce.
+    """
+    if inside is None or linear is None:
+        inside, linear = _assign_voxels(data, spec)
+    data_in = data[inside]
+    t_max = spec.max_points_per_voxel
+    if len(data_in) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        grid = VoxelGrid(
+            spec,
+            np.zeros((0, 3), dtype=np.int32),
+            np.zeros((0, t_max, 4), dtype=out_dtype),
+            np.zeros(0, dtype=np.int32),
+        )
+        return _VoxelFrame(
+            data, inside, linear, empty, empty, empty,
+            np.zeros(0, dtype=bool), grid,
+        )
+
+    # Group points by voxel using a stable (radix) sort of linear indices.
     order = np.argsort(linear, kind="stable")
     linear_sorted = linear[order]
-    data_sorted = data[order]
+    data_sorted = data_in[order]
 
     unique_linear, start_idx, group_counts = np.unique(
         linear_sorted, return_index=True, return_counts=True
     )
+    grid_shape = spec.grid_shape
     num_voxels = len(unique_linear)
-    t_max = spec.max_points_per_voxel
     points = np.zeros((num_voxels, t_max, 4), dtype=out_dtype)
     counts = np.minimum(group_counts, t_max).astype(np.int32)
     # Decode voxel coordinates from the unique linear indices directly —
@@ -189,16 +272,183 @@ def _voxelize(
     # from a permutation and only slots below the cap survive.  Voxels at
     # or under the cap are untouched, so the common case stays in stable
     # scan order and pays nothing.
-    overflowing = np.nonzero(group_counts > t_max)[0]
-    if len(overflowing):
-        rng = np.random.default_rng(seed)
-        for g in overflowing:
-            start, count = start_idx[g], group_counts[g]
-            positions[start : start + count] = rng.permutation(count)
+    _overflow_positions(
+        positions, start_idx, group_counts, unique_linear, t_max, seed
+    )
 
     keep = positions < t_max
     points[group_ids[keep], positions[keep]] = data_sorted[keep]
-    return VoxelGrid(spec, coords, points, counts)
+    grid = VoxelGrid(spec, coords, points, counts)
+    return _VoxelFrame(
+        data, inside, linear, order, group_ids, positions, keep, grid
+    )
+
+
+class VoxelDeltaCache:
+    """Frame-delta memo for :func:`voxelize` (one previous frame).
+
+    Three tiers, each verified exactly so the result is bit-identical to a
+    cold rebuild at every tier:
+
+    1. **identical** — the input rows equal the previous frame's: return
+       the previous grid as-is.
+    2. **rescatter** — same rows count and identical point→voxel
+       assignments, but some feature values changed (e.g. reflectance
+       jitter): reuse the previous grouping wholesale and re-scatter only
+       the voxels containing changed points into a copy of the previous
+       padded tensor.
+    3. **prefix delta** — the new cloud shares a row prefix with the
+       previous one (e.g. the native scan unchanged, a peer package
+       dropped or recovered): reuse the prefix's per-row voxel
+       assignments and recompute only the suffix's, then regroup.  The
+       per-voxel overflow streams make the re-sampled subsets of touched
+       voxels equal what a full rebuild draws.
+
+    Anything else is a miss and falls through to the cold path.  The cache
+    key includes the spec, seed and output dtype; hit/miss totals are
+    mirrored into ``temporal.voxel_*`` profiler counters.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.rescatters = 0
+        self.patched = 0
+        self.misses = 0
+        self._key: tuple | None = None
+        self._frame: _VoxelFrame | None = None
+
+    def clear(self) -> None:
+        """Drop the stored frame (counters are preserved)."""
+        self._key = None
+        self._frame = None
+
+    def reset_stats(self) -> None:
+        """Zero the tier counters without dropping the stored frame."""
+        self.hits = 0
+        self.rescatters = 0
+        self.patched = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot for benchmark reports."""
+        return {
+            "hits": self.hits,
+            "rescatters": self.rescatters,
+            "patched": self.patched,
+            "misses": self.misses,
+        }
+
+    def fetch(
+        self,
+        data: np.ndarray,
+        spec: VoxelGridSpec,
+        seed: int,
+        out_dtype: np.dtype,
+    ) -> VoxelGrid | None:
+        """Serve ``data`` from a delta tier, or ``None`` on a miss."""
+        key = (spec, int(seed), out_dtype)
+        prev = self._frame
+        if prev is None or self._key != key:
+            return None
+        same_shape = data.shape == prev.data.shape
+        if same_shape and (data is prev.data or np.array_equal(data, prev.data)):
+            self.hits += 1
+            PROFILER.count("temporal.voxel_hits")
+            return prev.grid
+        if same_shape:
+            grid = self._rescatter(data, spec, out_dtype, prev)
+            if grid is not None:
+                return grid
+        return self._prefix_delta(data, spec, seed, out_dtype, prev)
+
+    def store(self, spec: VoxelGridSpec, seed: int, out_dtype, frame: _VoxelFrame) -> None:
+        """Install a cold-path frame as the new delta base (a miss)."""
+        self.misses += 1
+        PROFILER.count("temporal.voxel_misses")
+        self._key = (spec, int(seed), out_dtype)
+        self._frame = frame
+
+    def _rescatter(
+        self,
+        data: np.ndarray,
+        spec: VoxelGridSpec,
+        out_dtype: np.dtype,
+        prev: _VoxelFrame,
+    ) -> VoxelGrid | None:
+        """Tier 2: same assignments, changed values — rescatter touched voxels."""
+        inside, linear = _assign_voxels(data, spec)
+        if not (
+            np.array_equal(inside, prev.inside)
+            and np.array_equal(linear, prev.linear)
+        ):
+            return None
+        changed_in = np.any(data != prev.data, axis=1)[inside]
+        # Voxel groups holding at least one changed point; all of a touched
+        # voxel's kept members are re-scattered (the unchanged ones write
+        # back the same values), so the tensor equals a full rebuild's.
+        changed_sorted = changed_in[prev.order]
+        touched = np.unique(prev.group_ids[changed_sorted])
+        points = prev.grid.points.copy()
+        member = np.isin(prev.group_ids, touched) & prev.keep
+        data_in = data[inside]
+        points[prev.group_ids[member], prev.positions[member]] = data_in[
+            prev.order[member]
+        ]
+        grid = VoxelGrid(spec, prev.grid.coords, points, prev.grid.counts)
+        self.rescatters += 1
+        PROFILER.count("temporal.voxel_rescatters")
+        self._frame = dataclasses.replace(prev, data=data, grid=grid)
+        return grid
+
+    def _prefix_delta(
+        self,
+        data: np.ndarray,
+        spec: VoxelGridSpec,
+        seed: int,
+        out_dtype: np.dtype,
+        prev: _VoxelFrame,
+    ) -> VoxelGrid | None:
+        """Tier 3: shared row prefix — reuse its assignments, regroup the rest."""
+        m = min(len(data), len(prev.data))
+        if m == 0:
+            return None
+        diff = np.any(data[:m] != prev.data[:m], axis=1)
+        prefix = int(np.argmax(diff)) if diff.any() else m
+        # Below half the new cloud the reuse no longer pays for the
+        # bookkeeping; fall through to the cold path.
+        if prefix * 2 < len(data):
+            return None
+        prefix_inside = prev.inside[:prefix]
+        suffix_inside, suffix_linear = _assign_voxels(data[prefix:], spec)
+        inside = np.concatenate([prefix_inside, suffix_inside])
+        n_prefix_in = int(np.count_nonzero(prefix_inside))
+        linear = np.concatenate([prev.linear[:n_prefix_in], suffix_linear])
+        frame = _compute_frame(
+            data, spec, seed, out_dtype, inside=inside, linear=linear
+        )
+        self.patched += 1
+        PROFILER.count("temporal.voxel_patched")
+        self._frame = frame
+        return frame.grid
+
+
+def _voxelize(
+    cloud: PointCloud,
+    spec: VoxelGridSpec,
+    seed: int,
+    dtype: np.dtype | None = None,
+    cache: "VoxelDeltaCache | None" = None,
+) -> VoxelGrid:
+    out_dtype = np.dtype(dtype) if dtype is not None else np.float32
+    data = cloud.data
+    if cache is not None:
+        grid = cache.fetch(data, spec, seed, out_dtype)
+        if grid is not None:
+            return grid
+    frame = _compute_frame(data, spec, seed, out_dtype)
+    if cache is not None:
+        cache.store(spec, seed, out_dtype, frame)
+    return frame.grid
 
 
 # Re-export as a method-style helper for discoverability.

@@ -16,6 +16,7 @@ slab test on all rays at once.
 from __future__ import annotations
 
 import functools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,12 +25,14 @@ from repro.geometry.rotations import rotation_z
 from repro.geometry.transforms import Pose
 from repro.pointcloud.cloud import PointCloud
 from repro.profiling import PROFILER
+from repro.runtime.seeding import stable_hash
 from repro.scene.world import World
 
 __all__ = [
     "BeamPattern",
     "LidarModel",
     "LidarScan",
+    "ScanGeometryCache",
     "VLP_16",
     "HDL_32E",
     "HDL_64E",
@@ -144,7 +147,13 @@ class LidarModel:
         """The ``(N, 3)`` unit direction table in the sensor frame."""
         return _ray_direction_table(self.pattern).copy()
 
-    def scan(self, world: World, pose: Pose, seed: int = 0) -> LidarScan:
+    def scan(
+        self,
+        world: World,
+        pose: Pose,
+        seed: int = 0,
+        cache: "ScanGeometryCache | None" = None,
+    ) -> LidarScan:
         """Scan ``world`` from ``pose`` and return points in the sensor frame.
 
         Occlusion falls out of nearest-hit selection: an actor behind
@@ -152,11 +161,23 @@ class LidarModel:
         blind zones that motivate cooperative perception.  Range noise is
         clamped to ``[min_range, max_range]`` so returned points never
         violate the advertised range bounds.
+
+        ``cache`` (a :class:`ScanGeometryCache`) memoises the per-actor
+        raycast geometry across frames.  The cache is keyed by the exact
+        pose and beam pattern and verified per actor, so a cached scan is
+        bit-identical to an uncached one — including the noise streams,
+        which are drawn after geometry in both paths.
         """
         with PROFILER.stage("lidar.scan"):
-            return self._scan(world, pose, seed)
+            return self._scan(world, pose, seed, cache)
 
-    def _scan(self, world: World, pose: Pose, seed: int) -> LidarScan:
+    def _scan(
+        self,
+        world: World,
+        pose: Pose,
+        seed: int,
+        cache: "ScanGeometryCache | None" = None,
+    ) -> LidarScan:
         rng = np.random.default_rng(seed)
         directions_local = _ray_direction_table(self.pattern)
         to_world = pose.to_world()
@@ -166,9 +187,13 @@ class LidarModel:
 
         actors = list(world.actors)
         if actors:
-            t_hits = _ray_boxes_batch(
-                origin, directions, [a.box for a in actors]
-            )
+            boxes = [a.box for a in actors]
+            if cache is None:
+                t_hits = _ray_boxes_batch(origin, directions, boxes)
+            else:
+                t_hits = cache.rows(
+                    self.pattern, pose, origin, directions, boxes
+                )
             best_label = t_hits.argmin(axis=0)
             best_t = t_hits[best_label, np.arange(num_rays)]
         else:
@@ -219,15 +244,25 @@ class LidarModel:
         return LidarScan(cloud=cloud, labels=labels, pose=pose)
 
 
-@functools.lru_cache(maxsize=16)
 def _ray_direction_table(pattern: BeamPattern) -> np.ndarray:
     """The cached, read-only ``(N, 3)`` unit direction table of a pattern.
 
-    The table depends only on the (frozen, hashable) beam pattern, so the
-    trigonometry is paid once per pattern instead of once per scan.
+    Keyed by the pattern *contents* that determine the geometry — the
+    elevation table and azimuth step — not the pattern object or its full
+    hash, so two equal patterns (or a rebuilt rig) share one table and
+    renaming a sensor or changing ``max_range`` cannot force a recompute.
     """
-    elevations = np.deg2rad(np.array(pattern.elevations_deg))
-    steps = int(round(360.0 / pattern.azimuth_resolution_deg))
+    return _ray_direction_table_for(
+        pattern.elevations_deg, pattern.azimuth_resolution_deg
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def _ray_direction_table_for(
+    elevations_deg: tuple[float, ...], azimuth_resolution_deg: float
+) -> np.ndarray:
+    elevations = np.deg2rad(np.array(elevations_deg))
+    steps = int(round(360.0 / azimuth_resolution_deg))
     azimuths = np.linspace(-np.pi, np.pi, steps, endpoint=False)
     elev_grid, az_grid = np.meshgrid(elevations, azimuths, indexing="ij")
     cos_e = np.cos(elev_grid)
@@ -242,6 +277,143 @@ def _ray_direction_table(pattern: BeamPattern) -> np.ndarray:
     table = np.ascontiguousarray(directions.reshape(-1, 3))
     table.setflags(write=False)
     return table
+
+
+def _scan_pose_key(pattern: BeamPattern, pose: Pose) -> str:
+    """Exact text key of a (beam pattern, pose) raycast configuration.
+
+    Floats are rendered with ``float.hex`` so the key is lossless: two
+    poses produce the same key iff their raycast geometry is bit-equal.
+    """
+    values = (
+        *pose.position.tolist(),
+        pose.yaw,
+        pose.pitch,
+        pose.roll,
+        *pattern.elevations_deg,
+        pattern.azimuth_resolution_deg,
+    )
+    return ",".join(float(v).hex() for v in values)
+
+
+def _actor_geometry_key(box) -> bytes:
+    """Byte key of one actor's raycast-relevant geometry (its box)."""
+    return np.array(
+        [*box.center, box.length, box.width, box.height, box.yaw],
+        dtype=np.float64,
+    ).tobytes()
+
+
+@dataclass
+class _ScanCacheEntry:
+    key_text: str
+    actor_keys: tuple[bytes, ...]
+    t_rows: np.ndarray  # (A, N) hit distances, one row per actor
+
+
+class ScanGeometryCache:
+    """Static-geometry raycast memo for :meth:`LidarModel.scan`.
+
+    The expensive part of a scan is the per-actor slab test — an
+    ``(A, N)`` hit-distance matrix whose row *i* depends only on the pose,
+    the beam pattern and actor *i*'s box (every operation in
+    :func:`_ray_boxes_batch` is elementwise per box row).  Consecutive
+    frames of a (near-)static scene therefore recompute identical rows.
+
+    This cache stores the hit matrix per ``(pattern, pose)`` cell — keyed
+    with :func:`repro.runtime.stable_hash` over an exact text key, so keys
+    are PYTHONHASHSEED/process-independent, and verified against the
+    stored key text on every hit.  On a hit, only actors whose box
+    geometry changed since the cached frame are re-raycast and their rows
+    patched in place; static geometry is reused.  Because rows are
+    bit-exact regardless of how the actor batch is split, the assembled
+    matrix — and every downstream product, including the seeded noise
+    streams drawn after it — is bit-identical to a cold scan.
+
+    Hit/miss/recast totals are kept on the cache and mirrored into the
+    ``temporal.scan_*`` profiler counters when profiling is enabled.
+    """
+
+    def __init__(self, maxsize: int = 4) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.actors_recast = 0
+        self._entries: OrderedDict[tuple[int, int], _ScanCacheEntry] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved; see :meth:`reset_stats`)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/recast counters without dropping entries."""
+        self.hits = 0
+        self.misses = 0
+        self.actors_recast = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot for benchmark reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "actors_recast": self.actors_recast,
+            "entries": len(self._entries),
+        }
+
+    def rows(
+        self,
+        pattern: BeamPattern,
+        pose: Pose,
+        origin: np.ndarray,
+        directions: np.ndarray,
+        boxes: list,
+    ) -> np.ndarray:
+        """The ``(A, N)`` hit matrix for ``boxes``, reusing cached rows.
+
+        The returned array is owned by the cache and must be treated as
+        read-only by callers (the scan pipeline only reads it).
+        """
+        key_text = _scan_pose_key(pattern, pose)
+        key = (stable_hash(key_text), len(key_text))
+        actor_keys = tuple(_actor_geometry_key(b) for b in boxes)
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry.key_text == key_text
+            and len(entry.actor_keys) == len(actor_keys)
+        ):
+            self._entries.move_to_end(key)
+            changed = [
+                i
+                for i, (old, new) in enumerate(
+                    zip(entry.actor_keys, actor_keys)
+                )
+                if old != new
+            ]
+            if changed:
+                entry.t_rows[changed] = _ray_boxes_batch(
+                    origin, directions, [boxes[i] for i in changed]
+                )
+                entry.actor_keys = actor_keys
+                self.actors_recast += len(changed)
+                PROFILER.count("temporal.scan_actors_recast", len(changed))
+            self.hits += 1
+            PROFILER.count("temporal.scan_hits")
+            return entry.t_rows
+        self.misses += 1
+        PROFILER.count("temporal.scan_misses")
+        t_rows = _ray_boxes_batch(origin, directions, boxes)
+        self._entries[key] = _ScanCacheEntry(key_text, actor_keys, t_rows)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return t_rows
 
 
 def _ray_boxes_batch(

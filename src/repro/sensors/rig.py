@@ -69,6 +69,7 @@ class SensorRig:
         seed: int = 0,
         gps_skew: GpsSkew = GpsSkew.NONE,
         faults: SensorFaults | None = None,
+        scan_cache=None,
     ) -> RigObservation:
         """Scan the world and read the positioning sensors.
 
@@ -76,13 +77,15 @@ class SensorRig:
         ``gps_skew`` to run the Fig. 10 robustness protocols and
         ``faults`` to inject a resolved per-step fault state (LiDAR
         blackout, GPS dropout/bias, IMU yaw glitch).  ``faults=None`` is
-        byte-identical to the fault-free path.
+        byte-identical to the fault-free path.  ``scan_cache`` (a
+        :class:`repro.sensors.lidar.ScanGeometryCache`) reuses raycast
+        geometry across frames; scans are bit-identical with or without it.
         """
         blackout = faults is not None and faults.lidar_blackout
         if blackout:
             scan = _blackout_scan(true_pose)
         else:
-            scan = self.lidar.scan(world, true_pose, seed=seed)
+            scan = self.lidar.scan(world, true_pose, seed=seed, cache=scan_cache)
         gps_pose = self.gps.read(true_pose, seed=seed + 1, skew=gps_skew)
         imu_pose = self.imu.read(true_pose, seed=seed + 2)
         measured = Pose(

@@ -1,0 +1,173 @@
+"""Frame-delta (temporal) inference state — warm paths, cold-path bits.
+
+Cooper's OBU loop runs at sensor frame rate, and consecutive frames are
+nearly identical: a handful of moving actors against static geometry.
+This package carries the per-agent state that lets every stage exploit
+that delta:
+
+* **scan** — a :class:`repro.sensors.lidar.ScanGeometryCache`: the
+  per-actor raycast matrix is reused across frames for a repeated pose,
+  re-raycasting only actors whose geometry changed.
+* **voxel** — a :class:`repro.pointcloud.voxel.VoxelDeltaCache`: identical
+  clouds return the previous grid; same-assignment clouds rescatter only
+  touched voxels; shared-prefix clouds reuse the prefix's assignments.
+* **rulebook** — the previous frame's sparse-conv rulebook, patched by
+  active-site delta via :func:`repro.detection.nn.sparse.patch_rulebook`.
+* **detect memo** — the previous frame's post-NMS detections, returned
+  outright when the exact cloud recurs (the steady state of a stationary
+  scene re-detecting the same frame).
+
+**Determinism contract.**  Every cache is content-keyed and verified
+exactly (stored keys/arrays compared element-for-element), and every
+delta algorithm reproduces the cold path's operation order — so every
+warm-path output (detections, scores, logs) is bit-identical to a cold
+run, at any worker count, under any invalidation schedule.  Temporal
+state can only change *when* work is done, never *what* is computed.
+
+**Invalidation rules.**  The session invalidates an agent's state on
+LiDAR blackout frames and pose jumps (``scope="all"``: the scan cache is
+geometry-bound) and on circuit-breaker skips or stale-package fallbacks
+among its peers (``scope="fuse"``: only the fusion-side caches — voxel,
+rulebook, detect memo — see the inbox).  Because hits are verified
+exactly, invalidation is pure hygiene: skipping one can never corrupt a
+result, it only wastes a lookup.
+
+Profiler surfaces: ``temporal.scan_*``, ``temporal.voxel_*``,
+``temporal.rulebook_patched``, ``temporal.detect_*`` counters and the
+``temporal.rulebook_patch`` stage, mirrored from the per-state totals in
+:meth:`TemporalState.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pointcloud.voxel import VoxelDeltaCache
+from repro.profiling import PROFILER
+from repro.sensors.lidar import ScanGeometryCache
+
+__all__ = ["TemporalConfig", "TemporalState"]
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """Knobs of the frame-delta layer.
+
+    Attributes:
+        scan_cache_entries: pose cells the scan geometry cache retains.
+        detect_memo: memoise the previous frame's post-NMS detections.
+        voxel_delta: enable the incremental voxelisation tiers.
+        rulebook_delta: patch the previous frame's rulebook on cache miss.
+        max_rulebook_delta_fraction: largest active-site delta (as a
+            fraction of the new site count) worth patching; beyond it a
+            fresh build is cheaper.
+        pose_jump_m: measured-pose displacement per step above which the
+            session invalidates the agent's temporal state (a GPS glitch
+            or teleport, not frame-to-frame motion).
+    """
+
+    scan_cache_entries: int = 4
+    detect_memo: bool = True
+    voxel_delta: bool = True
+    rulebook_delta: bool = True
+    max_rulebook_delta_fraction: float = 0.5
+    pose_jump_m: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.scan_cache_entries < 1:
+            raise ValueError("scan_cache_entries must be at least 1")
+        if not 0.0 <= self.max_rulebook_delta_fraction <= 1.0:
+            raise ValueError("max_rulebook_delta_fraction must be in [0, 1]")
+        if self.pose_jump_m <= 0:
+            raise ValueError("pose_jump_m must be positive")
+
+
+class TemporalState:
+    """Per-agent frame-delta state threaded through scan → voxel → detect.
+
+    One instance belongs to one (agent, detector) stream of frames; the
+    session keeps one per agent and hands it to ``observe`` and
+    ``perceive``/``detect``.  All members are caches in the strict sense:
+    dropping the whole object (or calling :meth:`invalidate`) at any
+    moment changes nothing but speed.
+    """
+
+    def __init__(self, config: TemporalConfig | None = None) -> None:
+        self.config = config or TemporalConfig()
+        self.scan = ScanGeometryCache(maxsize=self.config.scan_cache_entries)
+        self.voxel = VoxelDeltaCache()
+        self._rulebooks: dict[tuple, object] = {}
+        self._detect_data: np.ndarray | None = None
+        self._detect_result: list | None = None
+        self.detect_hits = 0
+        self.detect_misses = 0
+        self.invalidations: dict[str, int] = {}
+
+    # -- rulebook handoff --------------------------------------------------
+    def previous_rulebook(self, kernel_size: int, grid_shape: tuple):
+        """The last stored rulebook for this (kernel, grid), if any."""
+        if not self.config.rulebook_delta:
+            return None
+        return self._rulebooks.get((kernel_size, grid_shape))
+
+    def store_rulebook(
+        self, kernel_size: int, grid_shape: tuple, rulebook
+    ) -> None:
+        """Remember this frame's rulebook as the next frame's patch base."""
+        self._rulebooks[(kernel_size, grid_shape)] = rulebook
+
+    # -- detect memo -------------------------------------------------------
+    def detect_recall(self, cloud) -> list | None:
+        """The previous frame's detections iff ``cloud`` recurs bit-exactly."""
+        if not self.config.detect_memo or self._detect_result is None:
+            return None
+        data = cloud.data
+        prev = self._detect_data
+        if data.shape == prev.shape and (
+            data is prev or np.array_equal(data, prev)
+        ):
+            self.detect_hits += 1
+            PROFILER.count("temporal.detect_hits")
+            return self._detect_result
+        self.detect_misses += 1
+        PROFILER.count("temporal.detect_misses")
+        return None
+
+    def detect_store(self, cloud, detections: list) -> None:
+        """Install this frame's (cloud, post-NMS detections) as the memo."""
+        if not self.config.detect_memo:
+            return
+        self._detect_data = cloud.data
+        self._detect_result = list(detections)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate(self, reason: str, scope: str = "all") -> None:
+        """Drop cached state; ``scope="fuse"`` keeps the scan cache.
+
+        Purely hygienic — every cache verifies its key exactly, so a
+        skipped (or spurious) invalidation can never change a result.
+        ``reason`` is tallied in :attr:`invalidations`; the *session*
+        counts its parent-side invalidation decisions separately so
+        log-relevant totals stay exact at any worker count.
+        """
+        if scope not in ("all", "fuse"):
+            raise ValueError("scope must be 'all' or 'fuse'")
+        if scope == "all":
+            self.scan.clear()
+        self.voxel.clear()
+        self._rulebooks.clear()
+        self._detect_data = None
+        self._detect_result = None
+        self.invalidations[reason] = self.invalidations.get(reason, 0) + 1
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot across every cache surface (for benchmarks)."""
+        return {
+            "scan": self.scan.stats(),
+            "voxel": self.voxel.stats(),
+            "detect": {"hits": self.detect_hits, "misses": self.detect_misses},
+            "invalidations": dict(self.invalidations),
+        }
