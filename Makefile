@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos serve-bench fleet-bench figures examples clean
+.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos serve-bench fleet-bench fleet-chaos figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,9 @@ serve-bench:
 
 fleet-bench:
 	python benchmarks/bench_serving.py --fleet-only
+
+fleet-chaos:
+	python benchmarks/bench_serving.py --resilience-only
 
 figures: bench
 	@ls -1 results/

@@ -28,14 +28,23 @@ workloads over the default scenario pool and writes the report to
   and lane-autoscaling points ride along, plus fleet determinism
   digests: the shard-tagged request log must hash identically across
   worker counts and across runs at fixed (seed, shards).
+* ``resilience`` — the no-cliff availability contract: seeded shard
+  crash/brownout injection (:class:`~repro.faults.serve.ShardFaultPlan`)
+  against the health-aware failover router.  Availability stays >= 0.9
+  with 1 of 4 shards dark, degrades step-bounded (no cliff) across the
+  crashed-shards and crash-rate sweeps, p99 stays under a fixed ceiling,
+  and the fleet log under the heaviest chaos hashes identically across
+  worker counts and runs.
 
-Runs three ways:
+Runs several ways:
 
 * ``pytest benchmarks/bench_serving.py`` — smoke-sized sweep.
 * ``python benchmarks/bench_serving.py [--smoke] [--seed N]
   [--workers N]`` — standalone; ``--smoke`` shrinks the grid for CI.
 * ``python benchmarks/bench_serving.py --fleet-only`` — regenerate just
   the ``fleet`` section and merge it into the existing report file.
+* ``python benchmarks/bench_serving.py --resilience-only`` — regenerate
+  just the ``resilience`` section (``make fleet-chaos``).
 """
 
 from __future__ import annotations
@@ -46,8 +55,10 @@ import json
 import pathlib
 
 from repro.detection.spod import SPOD
+from repro.faults.serve import ShardFaultEvent, ShardFaultPlan
 from repro.serve import (
     ClosedLoopSpec,
+    FailoverConfig,
     FleetConfig,
     FleetEngine,
     ScenarioPool,
@@ -75,6 +86,20 @@ FLEET_RATE_RPS = 480.0
 FLEET_NUM_CLIENTS = 48
 FLEET_SCALING_FLOOR_X4 = 3.5
 FLEET_SCALING_FLOOR_X2_SMOKE = 1.3
+
+# Resilience sweep: a moderate load on 4 shards (2 in smoke) so that the
+# surviving shards can absorb one crashed shard's clients — the no-cliff
+# contract is about *failover capacity*, not overload.  No ingress loss
+# here: availability must isolate the injected shard faults.
+RESILIENCE_NUM_SHARDS = 4
+RESILIENCE_RATE_RPS = 120.0
+RESILIENCE_NUM_CLIENTS = 24
+RESILIENCE_AVAILABILITY_FLOOR_1_DOWN = 0.9
+RESILIENCE_AVAILABILITY_FLOOR_SMOKE = 0.6
+RESILIENCE_CLIFF_STEP = 0.25
+RESILIENCE_CLIFF_STEP_SMOKE = 0.4
+RESILIENCE_P99_CEILING_MS = 500.0
+RESILIENCE_P99_CEILING_SMOKE_MS = 600.0
 
 
 def _spec(rate_rps: float, duration_ms: float, seed: int) -> WorkloadSpec:
@@ -173,6 +198,9 @@ def serving_sweep(
             "identical": digest == replay_digest,
         },
         "fleet": fleet_sweep(
+            smoke=smoke, seed=seed, detector=detector, workers=workers
+        ),
+        "resilience": resilience_sweep(
             smoke=smoke, seed=seed, detector=detector, workers=workers
         ),
     }
@@ -329,6 +357,221 @@ def fleet_sweep(
     }
 
 
+def resilience_sweep(
+    smoke: bool = False,
+    seed: int = 0,
+    detector: SPOD | None = None,
+    workers: int | None = None,
+) -> dict:
+    """Availability under injected shard faults — the no-cliff contract.
+
+    Three parts, all on the same moderate workload (survivor shards have
+    the capacity to absorb a downed shard's clients, so what the sweep
+    measures is the failover machinery, not raw overload):
+
+    * ``crashed_shards`` — 0, 1, 2 shards scripted down for the whole
+      window.  The resilient router (breakers + fallback chains +
+      seeded-backoff retries + hedges) must keep availability >= 0.9
+      with 1 of 4 shards dark, degrading step-bounded beyond that.
+    * ``crash_rate`` — stochastic seeded crash/brownout windows at
+      increasing rates; availability must degrade without a cliff and
+      p99 (end-to-end, retry delay included) stays bounded.
+    * ``determinism`` — the highest-chaos point re-served at workers 1
+      vs 4 and re-run: the shard-tagged fleet log must hash identically.
+    """
+    detector = detector or SPOD.pretrained()
+    pool = ScenarioPool.build(seed=seed, variants=1 if smoke else 2)
+    duration_ms = 1000.0 if smoke else 4000.0
+    num_shards = 2 if smoke else RESILIENCE_NUM_SHARDS
+    rate_rps = 60.0 if smoke else RESILIENCE_RATE_RPS
+    num_clients = 8 if smoke else RESILIENCE_NUM_CLIENTS
+
+    shard_config = ServeConfig(
+        max_batch_size=8,
+        max_wait_ms=25.0,
+        queue_capacity=QUEUE_CAPACITY,
+        brownout_enter_depth=24,
+        brownout_exit_depth=8,
+    )
+    failover = FailoverConfig(hedge_ms=25.0, cooldown_ms=250.0)
+    spec = WorkloadSpec(
+        duration_ms=duration_ms,
+        rate_rps=rate_rps,
+        num_clients=num_clients,
+        burst_factor=BURST_FACTOR,
+        seed=seed,
+    )
+    requests = generate_workload(spec, pool)
+
+    def run(plan: ShardFaultPlan, run_workers: int | None = workers):
+        config = FleetConfig(
+            num_shards=num_shards,
+            routing_seed=seed,
+            shard_config=shard_config,
+            shard_faults=plan,
+            failover=failover,
+        )
+        result = FleetEngine(detector, config, workers=run_workers).serve(
+            requests
+        )
+        return result, build_fleet_report(result, duration_ms)
+
+    def summarize(report: dict, **extra) -> dict:
+        return {
+            "offered": report["offered"],
+            "completed": report["completed"],
+            "availability": report["availability"],
+            "failed_shard_down": report["failed_shard_down"],
+            "shed_brownout": report["shed_brownout"],
+            "shed_deadline": report["shed_deadline"],
+            "rejected_queue_full": report["rejected_queue_full"],
+            "lost_ingress": report["lost_ingress"],
+            "p50_ms": report["latency_ms"]["p50"],
+            "p99_ms": report["latency_ms"]["p99"],
+            "routing": report.get("routing", {}),
+            **extra,
+        }
+
+    # Part 1: k shards scripted dark for the entire window.
+    crashed_sweep = []
+    crash_counts = [0, 1] if smoke else [0, 1, 2]
+    for crashed in crash_counts:
+        events = tuple(
+            ShardFaultEvent(
+                kind="crash",
+                start_ms=0.0,
+                duration_ms=duration_ms + 1000.0,
+                shard=shard,
+            )
+            for shard in range(crashed)
+        )
+        plan = ShardFaultPlan(seed=seed, horizon_ms=duration_ms, events=events)
+        _, report = run(plan)
+        crashed_sweep.append(summarize(report, crashed_shards=crashed))
+
+    # Part 2: stochastic seeded crash + brownout windows, rising rates.
+    rate_sweep = []
+    crash_rates = [0.0, 30.0] if smoke else [0.0, 2.0, 4.0, 8.0]
+    chaos_plan = None
+    for crash_rate in crash_rates:
+        plan = ShardFaultPlan(
+            seed=seed,
+            horizon_ms=duration_ms,
+            crash_rate_per_min=crash_rate,
+            crash_duration_ms=(300.0, 800.0),
+            brownout_rate_per_min=crash_rate / 2.0,
+            brownout_duration_ms=(300.0, 900.0),
+            brownout_factor=2.0,
+        )
+        chaos_plan = plan
+        _, report = run(plan)
+        rate_sweep.append(summarize(report, crash_rate_per_min=crash_rate))
+
+    # Part 3: determinism under the heaviest chaos — workers 1 vs 4 and
+    # a rerun must produce the identical shard-tagged log.
+    serial, _ = run(chaos_plan, run_workers=1)
+    parallel, _ = run(chaos_plan, run_workers=4)
+    rerun, _ = run(chaos_plan, run_workers=1)
+    determinism = {
+        "crash_rate_per_min": crash_rates[-1],
+        "log_sha256": serial.digest(),
+        "workers4_sha256": parallel.digest(),
+        "replay_sha256": rerun.digest(),
+        "identical_across_workers": serial.digest() == parallel.digest(),
+        "identical_across_runs": serial.digest() == rerun.digest(),
+    }
+
+    return {
+        "mode": "smoke" if smoke else "full",
+        "seed": seed,
+        "duration_ms": duration_ms,
+        "num_shards": num_shards,
+        "rate_rps": rate_rps,
+        "num_clients": num_clients,
+        "failover": {
+            "failure_threshold": failover.failure_threshold,
+            "cooldown_ms": failover.cooldown_ms,
+            "max_retries": failover.max_retries,
+            "retry_backoff_ms": failover.retry_backoff_ms,
+            "hedge_ms": failover.hedge_ms,
+        },
+        "crashed_shards": crashed_sweep,
+        "crash_rate": rate_sweep,
+        "determinism": determinism,
+    }
+
+
+def check_resilience_contract(resilience: dict) -> None:
+    """Raise when a resilience sweep violates the no-cliff contract."""
+    full = resilience["mode"] == "full"
+
+    def accounted(point: dict) -> int:
+        return (
+            point["completed"]
+            + point["shed_deadline"]
+            + point["rejected_queue_full"]
+            + point["lost_ingress"]
+            + point["failed_shard_down"]
+            + point["shed_brownout"]
+        )
+
+    p99_ceiling = (
+        RESILIENCE_P99_CEILING_MS if full else RESILIENCE_P99_CEILING_SMOKE_MS
+    )
+    for point in resilience["crashed_shards"] + resilience["crash_rate"]:
+        assert accounted(point) == point["offered"], (
+            f"resilience point {point}: {accounted(point)} accounted "
+            f"!= {point['offered']} offered"
+        )
+        assert point["p99_ms"] <= p99_ceiling, (
+            f"p99 {point['p99_ms']:.1f} ms blew past the "
+            f"{p99_ceiling:.0f} ms ceiling"
+        )
+
+    crashed = resilience["crashed_shards"]
+    assert crashed[0]["availability"] >= 0.95, (
+        "fault-free baseline availability should be near-perfect"
+    )
+    one_down = next(p for p in crashed if p["crashed_shards"] == 1)
+    floor = (
+        RESILIENCE_AVAILABILITY_FLOOR_1_DOWN
+        if full
+        else RESILIENCE_AVAILABILITY_FLOOR_SMOKE
+    )
+    assert one_down["availability"] >= floor, (
+        f"availability {one_down['availability']:.3f} with one shard down "
+        f"(floor {floor})"
+    )
+    if full:
+        assert one_down["routing"]["failovers"] > 0, (
+            "one shard dark but the router never failed over"
+        )
+        assert one_down["routing"]["moved_clients"] > 0, (
+            "one shard dark but no client moved"
+        )
+
+    # No cliff: each step of either sweep loses at most a bounded slice
+    # of availability.  Smoke serves 2 shards, so one crashed shard is a
+    # 50% capacity step — its bound is correspondingly looser.
+    cliff_step = RESILIENCE_CLIFF_STEP if full else RESILIENCE_CLIFF_STEP_SMOKE
+    for sweep_name in ("crashed_shards", "crash_rate"):
+        sweep = resilience[sweep_name]
+        for previous, current in zip(sweep, sweep[1:]):
+            drop = previous["availability"] - current["availability"]
+            assert drop <= cliff_step, (
+                f"{sweep_name}: availability fell {drop:.3f} in one step "
+                f"(cliff bound {cliff_step})"
+            )
+
+    determinism = resilience["determinism"]
+    assert determinism["identical_across_workers"], (
+        "fleet log under injected faults depends on the worker count"
+    )
+    assert determinism["identical_across_runs"], (
+        "fleet log under injected faults diverged between runs"
+    )
+
+
 def check_serving_contract(report: dict) -> None:
     """Raise when a run violates the serving claims."""
     sweep = report["load_sweep"]
@@ -338,6 +581,8 @@ def check_serving_contract(report: dict) -> None:
             + point["shed_deadline"]
             + point["rejected_queue_full"]
             + point["lost_ingress"]
+            + point["failed_shard_down"]
+            + point["shed_brownout"]
         )
         assert accounted == point["offered"], (
             f"rate {point['rate_rps']}: {accounted} accounted "
@@ -382,6 +627,7 @@ def check_serving_contract(report: dict) -> None:
     )
 
     check_fleet_contract(report["fleet"])
+    check_resilience_contract(report["resilience"])
 
 
 def check_fleet_contract(fleet: dict) -> None:
@@ -393,6 +639,8 @@ def check_fleet_contract(fleet: dict) -> None:
             + point["shed_deadline"]
             + point["rejected_queue_full"]
             + point["lost_ingress"]
+            + point["failed_shard_down"]
+            + point["shed_brownout"]
         )
         assert accounted == point["offered"], (
             f"{point['num_shards']} shards: {accounted} accounted "
@@ -487,6 +735,8 @@ def render_report(report: dict) -> str:
     )
     lines.append("")
     lines.append(render_fleet_section(report["fleet"]))
+    lines.append("")
+    lines.append(render_resilience_section(report["resilience"]))
     return "\n".join(lines)
 
 
@@ -534,6 +784,54 @@ def render_fleet_section(fleet: dict) -> str:
     return "\n".join(lines)
 
 
+def render_resilience_section(resilience: dict) -> str:
+    """Human-readable availability tables of a :func:`resilience_sweep`."""
+
+    def rows(points: list[dict], key: str) -> list[str]:
+        out = []
+        for point in points:
+            routing = point["routing"]
+            out.append(
+                f"{point[key]:>6} {point['offered']:8d} "
+                f"{point['completed']:6d} "
+                f"{point['availability'] * 100.0:6.1f} "
+                f"{point['failed_shard_down']:6d} "
+                f"{point['shed_brownout']:6d} "
+                f"{routing.get('retries', 0):5d} "
+                f"{routing.get('failovers', 0):5d} "
+                f"{point['p99_ms']:7.1f}"
+            )
+        return out
+
+    header = (
+        f"{'':>6s} {'offered':>8s} {'done':>6s} {'avail%':>6s} "
+        f"{'down':>6s} {'brown':>6s} {'retry':>5s} {'fover':>5s} "
+        f"{'p99':>7s}"
+    )
+    lines = [
+        f"resilience @ {resilience['rate_rps']:.0f} rps x "
+        f"{resilience['num_shards']} shards "
+        f"({resilience['duration_ms']:.0f} ms window):",
+        "crashed shards sweep:",
+        header,
+        *rows(resilience["crashed_shards"], "crashed_shards"),
+        "crash-rate sweep (crashes/min, brownouts at half rate):",
+        header,
+        *rows(resilience["crash_rate"], "crash_rate_per_min"),
+    ]
+    determinism = resilience["determinism"]
+    both = (
+        determinism["identical_across_workers"]
+        and determinism["identical_across_runs"]
+    )
+    lines.append(
+        f"chaos determinism @ {determinism['crash_rate_per_min']:.0f} "
+        f"crashes/min: {'identical' if both else 'DIVERGED'} across runs "
+        f"and worker counts ({determinism['log_sha256'][:12]})"
+    )
+    return "\n".join(lines)
+
+
 def write_report(report: dict) -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / REPORT_NAME
@@ -573,7 +871,32 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the fleet shard-scaling sweep and merge it into "
         "the existing report file",
     )
+    parser.add_argument(
+        "--resilience-only",
+        action="store_true",
+        help="run only the shard-fault resilience sweep and merge it "
+        "into the existing report file",
+    )
     args = parser.parse_args(argv)
+    if args.resilience_only:
+        resilience = resilience_sweep(
+            smoke=args.smoke,
+            seed=args.seed,
+            detector=SPOD.pretrained(),
+            workers=args.workers,
+        )
+        check_resilience_contract(resilience)
+        report_path = RESULTS_DIR / REPORT_NAME
+        report = (
+            json.loads(report_path.read_text())
+            if report_path.exists()
+            else {"mode": resilience["mode"], "seed": resilience["seed"]}
+        )
+        report["resilience"] = resilience
+        path = write_report(report)
+        print(render_resilience_section(resilience))
+        print(f"\nwrote {path}")
+        return 0
     if args.fleet_only:
         fleet = fleet_sweep(
             smoke=args.smoke,

@@ -264,19 +264,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lanes=args.lanes,
         max_lanes=args.autoscale_max_lanes,
     )
+    shard_faults = None
+    if args.shard_faults is not None:
+        from repro.faults.serve import ShardFaultPlan
+
+        shard_faults = ShardFaultPlan.from_spec(args.shard_faults, seed=args.seed)
     mode = "per-request" if args.per_request else f"batch<= {config.max_batch_size}"
     print(
         f"workload   : {rate:.0f} req/s x {seconds:.1f}s over "
         f"{args.clients} open + {args.closed_loop} closed-loop clients "
         f"(seed {args.seed}, {mode})"
     )
-    if args.shards > 1:
+    if shard_faults is not None:
+        print(f"faults     : {shard_faults.describe()}")
+    if args.shards > 1 or shard_faults is not None:
+        # Injected shard faults always go through the fleet path — the
+        # resilient router is what absorbs them, even at one shard.
         fleet = FleetEngine(
             detector=_detector(args),
             config=FleetConfig(
                 num_shards=args.shards,
                 routing_seed=args.routing_seed,
                 shard_config=config,
+                shard_faults=shard_faults,
             ),
             workers=args.workers,
         )
@@ -443,6 +453,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="L",
         help="enable per-shard lane autoscaling up to L lanes (0 = off)",
+    )
+    serve.add_argument(
+        "--shard-faults",
+        metavar="SPEC",
+        default=None,
+        help="inject seeded shard failures and serve through the "
+        "resilient fleet router: comma-separated key=value entries, "
+        "e.g. 'crash-rate=4,crash-ms=400,ingress-loss=0.1' "
+        "(keys: crash-rate, crash-ms, brownout-rate, brownout-ms, "
+        "brownout-factor, ingress-loss, horizon, seed; the *-ms keys "
+        "take a fixed value or a lo:hi range)",
     )
     serve.add_argument(
         "--smoke",

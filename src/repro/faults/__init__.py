@@ -33,7 +33,9 @@ from repro.faults.plan import (
     FaultKind,
     FaultPlan,
     SensorFaults,
+    parse_fault_spec,
 )
+from repro.faults.serve import ShardFaultEvent, ShardFaultPlan, ShardFaultView
 
 __all__ = [
     "BurstLossModel",
@@ -45,4 +47,8 @@ __all__ = [
     "FaultPlan",
     "SensorFaults",
     "NO_SENSOR_FAULTS",
+    "parse_fault_spec",
+    "ShardFaultEvent",
+    "ShardFaultPlan",
+    "ShardFaultView",
 ]

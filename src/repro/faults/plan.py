@@ -32,7 +32,43 @@ __all__ = [
     "SensorFaults",
     "NO_SENSOR_FAULTS",
     "FaultPlan",
+    "parse_fault_spec",
 ]
+
+
+def parse_fault_spec(
+    spec: str, valid_keys: tuple[str, ...], presets: tuple[str, ...] = ()
+) -> tuple[str | None, list[tuple[str, str]]]:
+    """Parse a CLI fault spec into ``(preset, [(key, raw_value), ...])``.
+
+    Shared by every fault-plan parser (:meth:`FaultPlan.from_spec`,
+    :meth:`repro.faults.serve.ShardFaultPlan.from_spec`) so the spec
+    grammar — an optional leading preset name followed by comma-separated
+    ``key=value`` entries — and its error messages stay uniform.  Unknown
+    keys and presets are rejected with an error that lists the valid
+    choices, so a typo on the command line points straight at the fix.
+    """
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    preset = None
+    if parts and "=" not in parts[0]:
+        preset = parts.pop(0)
+        if preset not in presets:
+            raise ValueError(
+                f"unknown fault preset {preset!r} "
+                f"(expected one of {sorted(presets)})"
+            )
+    entries: list[tuple[str, str]] = []
+    for part in parts:
+        key, _, raw = part.partition("=")
+        if not raw:
+            raise ValueError(f"malformed fault spec entry {part!r}")
+        if key not in valid_keys:
+            raise ValueError(
+                f"unknown fault spec key {key!r} "
+                f"(valid keys: {', '.join(sorted(valid_keys))})"
+            )
+        entries.append((key, raw))
+    return preset, entries
 
 
 class FaultKind(enum.Enum):
@@ -333,22 +369,19 @@ class FaultPlan:
         Keys: ``loss`` (target long-run channel loss), ``jitter`` (ms),
         ``spike`` (probability), ``gps-dropout``, ``gps-drift`` (m/step),
         ``imu-glitch`` (probability), ``lidar-blackout`` (probability),
-        ``seed``.
+        ``seed``.  Unknown keys are rejected with the valid set listed.
         """
-        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        valid_keys = (
+            "loss", "jitter", "spike", "gps-dropout", "gps-drift",
+            "imu-glitch", "lidar-blackout", "seed",
+        )
+        preset, entries = parse_fault_spec(
+            spec, valid_keys, presets=tuple(_PRESETS)
+        )
         kwargs: dict = {"seed": seed}
-        if parts and "=" not in parts[0]:
-            preset = parts.pop(0)
-            if preset not in _PRESETS:
-                raise ValueError(
-                    f"unknown fault preset {preset!r} "
-                    f"(expected one of {sorted(_PRESETS)})"
-                )
+        if preset is not None:
             kwargs.update(_PRESETS[preset])
-        for part in parts:
-            key, _, raw = part.partition("=")
-            if not raw:
-                raise ValueError(f"malformed fault spec entry {part!r}")
+        for key, raw in entries:
             value = float(raw)
             if key == "loss":
                 kwargs["burst"] = BurstLossModel.for_target_loss(value)
@@ -368,8 +401,6 @@ class FaultPlan:
                 kwargs["lidar_blackout_prob"] = value
             elif key == "seed":
                 kwargs["seed"] = int(value)
-            else:
-                raise ValueError(f"unknown fault spec key {key!r}")
         return cls(**kwargs)
 
     def describe(self) -> str:

@@ -1,0 +1,359 @@
+"""Seeded shard-failure injection for the serving fleet.
+
+PR 3 chaos-tests the perception *session* loop; this module does the
+same for the serving tier (:mod:`repro.serve`).  A
+:class:`ShardFaultPlan` is a complete seeded failure schedule for a
+fleet of engine shards:
+
+* **Crash/restart windows** — each shard crashes at seeded exponential
+  intervals and stays down for a seeded duration.  A crash is total:
+  queued requests are lost, in-flight batches die mid-service, and
+  arrivals during the window are refused.
+* **Brownout windows** — intervals where a shard still serves but its
+  service times inflate by :attr:`ShardFaultPlan.brownout_factor`
+  (thermal throttling, a noisy neighbour, a failing accelerator).
+* **Gilbert-Elliott ingress drop** — the client→shard link loses
+  request attempts in bursts, driven by the same two-state chain the
+  DSRC exchange channel uses (:class:`~repro.faults.models.
+  BurstLossModel`).
+
+Everything is a pure function of ``(plan.seed, shard, virtual-time)``
+via CRC-32 seed derivation (:func:`repro.runtime.derive_seed`): the
+window lists are computed once per shard from a derived RNG stream, and
+per-attempt ingress drops hash the ``(shard, request, attempt)``
+triple.  The same plan therefore produces the same failure schedule in
+every process and at every worker count — the precondition for the
+fleet determinism contract to survive fault injection.
+
+Like :class:`~repro.faults.plan.FaultPlan`, the plan never touches
+serving objects; it only answers questions.  A :class:`ShardFaultView`
+binds the plan to one shard index so a single
+:class:`~repro.serve.engine.ServingEngine` can consume its own slice of
+the schedule without knowing the fleet exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.models import BurstLossModel
+from repro.faults.plan import parse_fault_spec
+from repro.runtime import derive_seed
+
+__all__ = ["ShardFaultEvent", "ShardFaultPlan", "ShardFaultView"]
+
+#: Windows shorter than this are dropped — a zero-length window would
+#: make "down at t" ambiguous at its own boundary.
+_MIN_WINDOW_MS = 1e-6
+
+
+@dataclass(frozen=True)
+class ShardFaultEvent:
+    """One scripted shard fault: a pinned crash or brownout window.
+
+    Attributes:
+        kind: ``"crash"`` or ``"brownout"``.
+        start_ms: virtual start of the window.
+        duration_ms: window length.
+        shard: shard index, or ``-1`` for every shard.
+    """
+
+    kind: str
+    start_ms: float
+    duration_ms: float
+    shard: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "brownout"):
+            raise ValueError(
+                f"shard fault kind must be 'crash' or 'brownout', "
+                f"got {self.kind!r}"
+            )
+        if self.start_ms < 0:
+            raise ValueError("start_ms must be non-negative")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+
+    def applies(self, shard: int) -> bool:
+        """Does this event hit ``shard``?"""
+        return self.shard in (-1, shard)
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """A complete seeded failure schedule for a serving fleet.
+
+    Attributes:
+        seed: base seed every stochastic window derives from.
+        horizon_ms: schedule length — windows are generated over
+            ``[0, horizon_ms)``; queries past the horizon see no
+            stochastic faults (scripted events still apply).
+        crash_rate_per_min: expected crashes per shard per virtual
+            minute (exponential inter-crash gaps).
+        crash_duration_ms: ``(min, max)`` of the seeded uniform
+            crash-window length.
+        brownout_rate_per_min: expected brownouts per shard per minute.
+        brownout_duration_ms: ``(min, max)`` brownout-window length.
+        brownout_factor: service-time multiplier inside a brownout
+            window (>= 1).
+        ingress_burst: Gilbert-Elliott model of the client→shard link
+            (None — no ingress loss).
+        events: scripted windows on top of the stochastic schedule.
+    """
+
+    seed: int = 0
+    horizon_ms: float = 60_000.0
+    crash_rate_per_min: float = 0.0
+    crash_duration_ms: tuple[float, float] = (200.0, 600.0)
+    brownout_rate_per_min: float = 0.0
+    brownout_duration_ms: tuple[float, float] = (300.0, 1200.0)
+    brownout_factor: float = 2.5
+    ingress_burst: BurstLossModel | None = None
+    events: tuple[ShardFaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.horizon_ms <= 0:
+            raise ValueError("horizon_ms must be positive")
+        if self.crash_rate_per_min < 0 or self.brownout_rate_per_min < 0:
+            raise ValueError("fault rates must be non-negative")
+        for name in ("crash_duration_ms", "brownout_duration_ms"):
+            lo, hi = getattr(self, name)
+            if not 0 < lo <= hi:
+                raise ValueError(f"{name} must satisfy 0 < min <= max")
+        if self.brownout_factor < 1.0:
+            raise ValueError("brownout_factor must be >= 1")
+        object.__setattr__(self, "events", tuple(self.events))
+        # Per-shard window cache: windows are pure functions of
+        # (seed, shard), so memoising them is observationally invisible.
+        object.__setattr__(self, "_window_cache", {})
+
+    # -- window generation -------------------------------------------------
+    def _stochastic_windows(
+        self, shard: int, label: str, rate_per_min: float,
+        duration_range: tuple[float, float],
+    ) -> list[tuple[float, float]]:
+        """Seeded exponential-gap windows over ``[0, horizon_ms)``."""
+        if rate_per_min <= 0:
+            return []
+        rng = np.random.default_rng(derive_seed(self.seed, label, shard))
+        mean_gap_ms = 60_000.0 / rate_per_min
+        lo, hi = duration_range
+        windows: list[tuple[float, float]] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mean_gap_ms))
+            if t >= self.horizon_ms:
+                return windows
+            duration = lo + (hi - lo) * float(rng.random())
+            windows.append((t, t + duration))
+            t += duration
+
+    def _windows(self, shard: int, kind: str) -> tuple[tuple[float, float], ...]:
+        """Merged (stochastic + scripted) sorted disjoint windows."""
+        cache = self._window_cache
+        key = (shard, kind)
+        if key in cache:
+            return cache[key]
+        if kind == "crash":
+            windows = self._stochastic_windows(
+                shard, "shard-crash", self.crash_rate_per_min,
+                self.crash_duration_ms,
+            )
+        else:
+            windows = self._stochastic_windows(
+                shard, "shard-brownout", self.brownout_rate_per_min,
+                self.brownout_duration_ms,
+            )
+        windows += [
+            (event.start_ms, event.start_ms + event.duration_ms)
+            for event in self.events
+            if event.kind == kind and event.applies(shard)
+        ]
+        windows.sort()
+        # Coalesce overlaps so "the window containing t" is unique.
+        merged: list[tuple[float, float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            elif end - start > _MIN_WINDOW_MS:
+                merged.append((start, end))
+        cache[key] = tuple(merged)
+        return cache[key]
+
+    def crash_windows(self, shard: int) -> tuple[tuple[float, float], ...]:
+        """Sorted disjoint ``[start, end)`` crash windows of one shard."""
+        return self._windows(shard, "crash")
+
+    def brownout_windows(self, shard: int) -> tuple[tuple[float, float], ...]:
+        """Sorted disjoint ``[start, end)`` brownout windows of one shard."""
+        return self._windows(shard, "brownout")
+
+    # -- queries -----------------------------------------------------------
+    def is_down(self, shard: int, t_ms: float) -> bool:
+        """Is ``shard`` inside a crash window at ``t_ms``?
+
+        Windows are start-inclusive, end-exclusive: a shard that crashes
+        at ``t`` refuses the arrival at exactly ``t``, and the first
+        arrival at the restart instant is served.
+        """
+        for start, end in self.crash_windows(shard):
+            if start <= t_ms < end:
+                return True
+            if start > t_ms:
+                return False
+        return False
+
+    def down_until(self, shard: int, t_ms: float) -> float | None:
+        """End of the crash window covering ``t_ms`` (None when up)."""
+        for start, end in self.crash_windows(shard):
+            if start <= t_ms < end:
+                return end
+            if start > t_ms:
+                return None
+        return None
+
+    def service_factor(self, shard: int, t_ms: float) -> float:
+        """Service-time multiplier of one dispatch starting at ``t_ms``."""
+        for start, end in self.brownout_windows(shard):
+            if start <= t_ms < end:
+                return self.brownout_factor
+            if start > t_ms:
+                break
+        return 1.0
+
+    def ingress_dropped(
+        self, shard: int, request_id: int, attempt: int, t_ms: float
+    ) -> bool:
+        """Is one delivery attempt lost on the client→shard link?
+
+        The link's Gilbert-Elliott chain advances one transition per
+        virtual second (the exchange channel's cadence); the attempt's
+        fate is a pure hash of ``(seed, shard, request_id, attempt)``,
+        so retries of the same request face fresh, deterministic draws.
+        """
+        if self.ingress_burst is None:
+            return False
+        state = self.ingress_burst.state_at(
+            derive_seed(self.seed, "shard-link", shard),
+            int(t_ms // 1000.0),
+        )
+        rate = self.ingress_burst.loss_rate(state)
+        if rate <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "shard-ingress", shard, request_id, attempt)
+        )
+        return bool(rng.random() < rate)
+
+    def view(self, shard: int) -> "ShardFaultView":
+        """This plan's schedule as seen by one shard."""
+        return ShardFaultView(plan=self, shard=shard)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def none(cls) -> "ShardFaultPlan":
+        """The empty plan: no shard ever fails."""
+        return cls()
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "ShardFaultPlan":
+        """Parse a CLI shard-fault spec.
+
+        Comma-separated ``key=value`` entries (no presets), e.g.
+        ``"crash-rate=2,crash-ms=400,ingress-loss=0.1"``.
+
+        Keys: ``crash-rate`` / ``brownout-rate`` (windows per shard per
+        minute), ``crash-ms`` / ``brownout-ms`` (window length — a fixed
+        value or a ``lo:hi`` range to sample from),
+        ``brownout-factor`` (service-time multiplier), ``ingress-loss``
+        (target long-run client→shard loss), ``horizon`` (schedule
+        length, ms), ``seed``.  Unknown keys are rejected with the valid
+        set listed — the same contract as
+        :meth:`~repro.faults.plan.FaultPlan.from_spec`, via the shared
+        :func:`~repro.faults.plan.parse_fault_spec` parser.
+        """
+        valid_keys = (
+            "crash-rate", "crash-ms", "brownout-rate", "brownout-ms",
+            "brownout-factor", "ingress-loss", "horizon", "seed",
+        )
+        _, entries = parse_fault_spec(spec, valid_keys)
+
+        def duration(raw: str) -> tuple[float, float]:
+            lo, _, hi = raw.partition(":")
+            return (float(lo), float(hi)) if hi else (float(lo), float(lo))
+
+        kwargs: dict = {"seed": seed}
+        for key, raw in entries:
+            if key == "crash-ms":
+                kwargs["crash_duration_ms"] = duration(raw)
+                continue
+            if key == "brownout-ms":
+                kwargs["brownout_duration_ms"] = duration(raw)
+                continue
+            value = float(raw)
+            if key == "crash-rate":
+                kwargs["crash_rate_per_min"] = value
+            elif key == "brownout-rate":
+                kwargs["brownout_rate_per_min"] = value
+            elif key == "brownout-factor":
+                kwargs["brownout_factor"] = value
+            elif key == "ingress-loss":
+                kwargs["ingress_burst"] = BurstLossModel.for_target_loss(value)
+            elif key == "horizon":
+                kwargs["horizon_ms"] = value
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        bits = []
+        if self.crash_rate_per_min > 0:
+            lo, hi = self.crash_duration_ms
+            bits.append(
+                f"crashes {self.crash_rate_per_min:g}/min "
+                f"({lo:g}-{hi:g} ms)"
+            )
+        if self.brownout_rate_per_min > 0:
+            bits.append(
+                f"brownouts {self.brownout_rate_per_min:g}/min "
+                f"x{self.brownout_factor:g}"
+            )
+        if self.ingress_burst is not None:
+            bits.append(
+                f"ingress loss ~{self.ingress_burst.expected_loss_rate:.2f}"
+            )
+        if self.events:
+            bits.append(f"{len(self.events)} scripted window(s)")
+        return "; ".join(bits) if bits else "no shard faults"
+
+
+@dataclass(frozen=True)
+class ShardFaultView:
+    """One shard's slice of a :class:`ShardFaultPlan`.
+
+    The :class:`~repro.serve.engine.ServingEngine` consumes this — it
+    never sees the fleet-wide plan, so a standalone engine can be
+    chaos-tested with exactly the machinery the fleet uses.
+    """
+
+    plan: ShardFaultPlan
+    shard: int = 0
+
+    def crash_windows(self) -> tuple[tuple[float, float], ...]:
+        """Sorted disjoint crash windows of this shard."""
+        return self.plan.crash_windows(self.shard)
+
+    def is_down(self, t_ms: float) -> bool:
+        """Is this shard down at ``t_ms``?"""
+        return self.plan.is_down(self.shard, t_ms)
+
+    def down_until(self, t_ms: float) -> float | None:
+        """End of the crash window covering ``t_ms`` (None when up)."""
+        return self.plan.down_until(self.shard, t_ms)
+
+    def service_factor(self, t_ms: float) -> float:
+        """Service-time multiplier of a dispatch starting at ``t_ms``."""
+        return self.plan.service_factor(self.shard, t_ms)

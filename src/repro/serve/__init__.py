@@ -28,16 +28,28 @@ and, at fleet scale, shards that engine behind a deterministic router.
 * :mod:`~repro.serve.metrics` — p50/p95/p99 latency, throughput, shed
   rates, batch occupancy; fleet-wide + per-shard aggregation.
 
+Resilience (PR 8): a seeded
+:class:`~repro.faults.serve.ShardFaultPlan` injects shard crash/restart
+windows, brownout service inflation, and bursty ingress drop; the fleet
+router answers with a health-aware failover pass
+(:func:`~repro.serve.fleet.fallback_chain` + per-shard breakers),
+seeded-backoff retries and deduplicated hedges
+(:class:`~repro.serve.fleet.FailoverConfig`), and the engine degrades
+hysteretically under queue pressure (brownout shedding + a shrunken
+batching window).
+
 Determinism contract: the request log of
 :meth:`~repro.serve.engine.ServingEngine.serve` (and the shard-tagged
 fleet log of :meth:`~repro.serve.fleet.FleetEngine.serve`) is a pure
 function of ``(seed, workload spec, engine config)`` — bit-identical at
-any worker count — because every scheduling decision runs on the virtual
+any worker count, **including under injected shard faults** — because
+every scheduling and routing decision runs parent-side on the virtual
 clock, and the work fanned out to workers is pure.
 """
 
 from __future__ import annotations
 
+from repro.faults.serve import ShardFaultEvent, ShardFaultPlan, ShardFaultView
 from repro.serve.engine import (
     BatchRecord,
     ServeConfig,
@@ -46,9 +58,11 @@ from repro.serve.engine import (
     ServingEngine,
 )
 from repro.serve.fleet import (
+    FailoverConfig,
     FleetConfig,
     FleetEngine,
     FleetResult,
+    fallback_chain,
     hash_bucket,
     route_bucket,
     route_client,
@@ -87,6 +101,7 @@ __all__ = [
     "CLOSED_LOOP_ID_STRIDE",
     "ClosedLoopClient",
     "ClosedLoopSpec",
+    "FailoverConfig",
     "FleetConfig",
     "FleetEngine",
     "FleetResult",
@@ -100,10 +115,14 @@ __all__ = [
     "ServeResult",
     "ServiceModel",
     "ServingEngine",
+    "ShardFaultEvent",
+    "ShardFaultPlan",
+    "ShardFaultView",
     "WorkloadSpec",
     "apply_ingress_loss",
     "build_fleet_report",
     "build_report",
+    "fallback_chain",
     "generate_workload",
     "hash_bucket",
     "make_closed_loop_clients",

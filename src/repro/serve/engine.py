@@ -60,6 +60,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.detection.spod import SPOD
+from repro.faults.serve import ShardFaultView
 from repro.fusion.align import merge_packages
 from repro.fusion.package import ExchangePackage
 from repro.geometry.transforms import Pose
@@ -103,6 +104,14 @@ class ServiceModel:
     roi_base_ms: float = 2.0
     roi_per_request_ms: float = 1.0
     roi_per_kpoint_ms: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "batch_base_ms", "per_request_ms", "per_kpoint_ms",
+            "roi_base_ms", "roi_per_request_ms", "roi_per_kpoint_ms",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
 
     def batch_ms(
         self, service_class: str, num_requests: int, total_points: int
@@ -148,6 +157,18 @@ class ServeConfig:
             lane is retired (when autoscaling).
         shed_deadlines: shed requests that provably cannot meet their
             deadline instead of serving them late.
+        brownout_enter_depth: queue depth at or above which the engine
+            enters *brownout* degradation — shedding low-priority
+            arrivals and shrinking the batching window — until depth
+            falls back to ``brownout_exit_depth`` (hysteresis).  0
+            disables brownout.
+        brownout_exit_depth: queue depth at or below which a brownout
+            ends; must be below ``brownout_enter_depth``.
+        brownout_wait_factor: multiplier on ``max_wait_ms`` while in
+            brownout (a shrunken batching window drains the queue at
+            lower latency, trading batching efficiency for headroom).
+        brownout_shed_priority: arrivals with priority at or below this
+            are shed (``SHED_BROWNOUT``) while in brownout.
         service_model: the virtual cost model.
     """
 
@@ -159,6 +180,10 @@ class ServeConfig:
     scale_up_depth: int = 12
     scale_down_depth: int = 2
     shed_deadlines: bool = True
+    brownout_enter_depth: int = 0
+    brownout_exit_depth: int = 2
+    brownout_wait_factor: float = 0.25
+    brownout_shed_priority: int = 0
     service_model: ServiceModel = field(default_factory=ServiceModel)
 
     def __post_init__(self) -> None:
@@ -172,8 +197,23 @@ class ServeConfig:
             raise ValueError("lanes must be at least 1")
         if self.max_lanes and self.max_lanes < self.lanes:
             raise ValueError("max_lanes must be 0 (off) or >= lanes")
-        if self.max_lanes and self.scale_up_depth <= self.scale_down_depth:
+        if self.scale_up_depth < 1:
+            raise ValueError("scale_up_depth must be at least 1")
+        if self.scale_down_depth < 0:
+            raise ValueError("scale_down_depth must be non-negative")
+        if self.scale_up_depth <= self.scale_down_depth:
             raise ValueError("scale_up_depth must exceed scale_down_depth")
+        if self.brownout_enter_depth < 0:
+            raise ValueError("brownout_enter_depth must be non-negative")
+        if self.brownout_enter_depth:
+            if self.brownout_exit_depth < 0:
+                raise ValueError("brownout_exit_depth must be non-negative")
+            if self.brownout_exit_depth >= self.brownout_enter_depth:
+                raise ValueError(
+                    "brownout_enter_depth must exceed brownout_exit_depth"
+                )
+        if not 0 < self.brownout_wait_factor <= 1:
+            raise ValueError("brownout_wait_factor must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -221,6 +261,9 @@ class ServeResult:
         lane_events: autoscaling decisions (virtual-clock, deterministic;
             part of the log).
         max_lanes_used: high-water mark of concurrently active lanes.
+        fault_events: injected-fault and brownout transitions on the
+            virtual clock (crashes, killed batches, brownout
+            enter/exit); deterministic, part of the log.
     """
 
     records: list[RequestRecord]
@@ -231,13 +274,15 @@ class ServeResult:
     service_wall_seconds: float
     lane_events: list[dict] = field(default_factory=list)
     max_lanes_used: int = 1
+    fault_events: list[dict] = field(default_factory=list)
 
     def log(self) -> list[dict]:
-        """Per-request + per-batch + lane-event determinism log."""
+        """Per-request + per-batch + lane/fault-event determinism log."""
         return (
             [record.log_entry() for record in self.records]
             + [batch.log_entry() for batch in self.batches]
             + [dict(event, entry="lane") for event in self.lane_events]
+            + [dict(event, entry="fault") for event in self.fault_events]
         )
 
     def log_json(self) -> str:
@@ -324,6 +369,7 @@ class ServingEngine:
         requests: list[PerceptionRequest],
         lost: list[PerceptionRequest] = (),
         closed_loop: list = (),
+        faults: ShardFaultView | None = None,
     ) -> ServeResult:
         """Serve one workload trace (plus closed-loop clients) to completion.
 
@@ -333,7 +379,13 @@ class ServingEngine:
         enter the queue but are recorded (``LOST_INGRESS``) so the log
         accounts for every offered request.  ``closed_loop`` clients
         issue their first request themselves and re-issue only after the
-        previous one reached a terminal state.
+        previous one reached a terminal state.  ``faults`` injects this
+        engine's slice of a :class:`~repro.faults.serve.ShardFaultPlan`:
+        crash windows fail queued and in-flight work
+        (``FAILED_SHARD_DOWN``) and refuse arrivals until restart, and
+        brownout windows inflate virtual service times — all pure
+        functions of the plan, so the log stays bit-identical at any
+        worker count.
         """
         wall_start = time.perf_counter()
         arrivals = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
@@ -357,6 +409,8 @@ class ServingEngine:
             queue=BoundedPriorityQueue(self.config.queue_capacity),
             lanes=[0.0] * self.config.lanes,
             max_lanes_used=self.config.lanes,
+            fault_view=faults,
+            crash_windows=faults.crash_windows() if faults else (),
         )
         pool: WorkerPool | None = None
         try:
@@ -380,12 +434,15 @@ class ServingEngine:
             service_wall_seconds=service_wall,
             lane_events=state.lane_events,
             max_lanes_used=state.max_lanes_used,
+            fault_events=state.fault_events,
         )
         counts = result.counts()
         PROFILER.count("serve.offered", counts["offered"])
         PROFILER.count("serve.completed", counts["completed"])
         PROFILER.count("serve.shed_deadline", counts["shed_deadline"])
         PROFILER.count("serve.rejected_queue_full", counts["rejected_queue_full"])
+        PROFILER.count("serve.failed_shard_down", counts["failed_shard_down"])
+        PROFILER.count("serve.shed_brownout", counts["shed_brownout"])
         PROFILER.count("serve.batches", len(batches))
         return result
 
@@ -401,7 +458,10 @@ class ServingEngine:
         service_wall = 0.0
         while True:
             t_now = min(state.lanes)
+            if self._process_crashes(state, t_now):
+                continue  # lanes moved past a crash window; re-evaluate
             self._admit_until(state, t_now)
+            self._update_brownout(state, t_now)
             self._autoscale(state, t_now)
             lane = min(range(len(state.lanes)), key=lambda i: (state.lanes[i], i))
             t_free = state.lanes[lane]
@@ -409,10 +469,17 @@ class ServingEngine:
                 next_ms = state.source.peek_ms()
                 if next_ms is None:
                     break
-                # Idle server: jump the clock to the next arrival.
+                # Idle server: jump the clock to the next arrival,
+                # keeping the crash schedule in sync with the jump.
+                self._process_crashes(state, next_ms)
                 self._admit_until(state, next_ms)
                 continue
             dispatch_ms = self._dispatch_time(state, t_free)
+            crash_ms = self._next_crash_ms(state)
+            if crash_ms is not None and crash_ms <= dispatch_ms + 1e-9:
+                # The shard dies before this batch would start.
+                self._process_crashes(state, dispatch_ms)
+                continue
             batch, shed, service_class, group = self._drain_batch(
                 state, dispatch_ms
             )
@@ -424,9 +491,18 @@ class ServingEngine:
                 state.source.notify(request, dispatch_ms, completed=False)
             if not batch:
                 continue  # the whole candidate set was shed; lane still free
+            service_ms = self._service_ms(state, batch, service_class, dispatch_ms)
+            if crash_ms is not None and crash_ms < dispatch_ms + service_ms - 1e-9:
+                # Mid-batch crash: the in-flight work dies with the
+                # shard.  No real compute runs, no batch record exists,
+                # and no stale lane timer survives — _process_crashes
+                # pushes every lane past the restart instant.
+                self._kill_batch(state, batch, dispatch_ms, crash_ms)
+                self._process_crashes(state, crash_ms)
+                continue
             batch_record = self._execute_batch(
                 state, batch, len(batches), lane, dispatch_ms,
-                service_class, group, pool,
+                service_class, group, service_ms, pool,
             )
             batches.append(batch_record)
             service_wall += batch_record.wall_seconds
@@ -435,6 +511,126 @@ class ServingEngine:
             for request in batch:
                 state.source.notify(request, complete_ms, completed=True)
         return batches, service_wall
+
+    def _service_ms(
+        self,
+        state: "_LoopState",
+        batch: list[PerceptionRequest],
+        service_class: str,
+        dispatch_ms: float,
+    ) -> float:
+        """Virtual service time of one dispatch, brownout-inflated."""
+        model = self.config.service_model
+        total_points = sum(request.num_points for request in batch)
+        service_ms = model.batch_ms(service_class, len(batch), total_points)
+        if state.fault_view is not None:
+            service_ms *= state.fault_view.service_factor(dispatch_ms)
+        return service_ms
+
+    def _next_crash_ms(self, state: "_LoopState") -> float | None:
+        """Start of the next unprocessed crash window (None when clear)."""
+        if state.crash_idx >= len(state.crash_windows):
+            return None
+        return state.crash_windows[state.crash_idx][0]
+
+    def _process_crashes(self, state: "_LoopState", upto_ms: float) -> bool:
+        """Apply every crash window starting at or before ``upto_ms``.
+
+        Each crash admits the arrivals that made it in before the window
+        opened, fails everything queued at the crash instant
+        (``FAILED_SHARD_DOWN``), and pushes every lane past the restart,
+        so no batch can be scheduled inside a down window and no timer
+        anchored to a flushed request survives.  Returns True when any
+        window was applied (the caller's clock view is stale).
+        """
+        applied = False
+        while True:
+            crash_ms = self._next_crash_ms(state)
+            if crash_ms is None or crash_ms > upto_ms + 1e-9:
+                return applied
+            start, end = state.crash_windows[state.crash_idx]
+            state.crash_idx += 1
+            applied = True
+            self._admit_until(state, start)
+            flushed = 0
+            survivors: list[PerceptionRequest] = []
+            while len(state.queue) > 0:
+                request = state.queue.pop_matching(lambda _request: True, 1)[0]
+                if request.arrival_ms >= start:
+                    # Admitted ahead of the crash by a look-ahead scan;
+                    # it arrives after the restart and survives.
+                    survivors.append(request)
+                    continue
+                record = state.records[request.request_id]
+                record.status = RequestStatus.FAILED_SHARD_DOWN
+                record.decided_ms = start
+                record.queue_ms = start - request.arrival_ms
+                state.source.notify(request, start, completed=False)
+                flushed += 1
+            for request in survivors:
+                state.queue.offer(request)
+            for index in range(len(state.lanes)):
+                state.lanes[index] = max(state.lanes[index], end)
+            state.fault_events.append(
+                {
+                    "t_ms": round(start, 6),
+                    "action": "crash",
+                    "until_ms": round(end, 6),
+                    "flushed": flushed,
+                }
+            )
+            PROFILER.count("serve.shard_crashes")
+
+    def _kill_batch(
+        self,
+        state: "_LoopState",
+        batch: list[PerceptionRequest],
+        dispatch_ms: float,
+        crash_ms: float,
+    ) -> None:
+        """Fail one in-flight batch killed by a mid-service crash."""
+        for request in batch:
+            record = state.records[request.request_id]
+            record.status = RequestStatus.FAILED_SHARD_DOWN
+            record.decided_ms = crash_ms
+            record.dispatch_ms = dispatch_ms
+            record.queue_ms = dispatch_ms - request.arrival_ms
+            state.source.notify(request, crash_ms, completed=False)
+        state.fault_events.append(
+            {
+                "t_ms": round(crash_ms, 6),
+                "action": "batch_killed",
+                "dispatch_ms": round(dispatch_ms, 6),
+                "size": len(batch),
+            }
+        )
+        PROFILER.count("serve.batches_killed")
+
+    def _update_brownout(self, state: "_LoopState", t_ms: float) -> None:
+        """Hysteretic brownout transitions from queue depth."""
+        cfg = self.config
+        if cfg.brownout_enter_depth <= 0:
+            return
+        depth = len(state.queue)
+        if not state.brownout and depth >= cfg.brownout_enter_depth:
+            state.brownout = True
+            state.fault_events.append(
+                {
+                    "t_ms": round(t_ms, 6),
+                    "action": "brownout_enter",
+                    "depth": depth,
+                }
+            )
+            PROFILER.count("serve.brownout_enter")
+        elif state.brownout and depth <= cfg.brownout_exit_depth:
+            state.brownout = False
+            state.fault_events.append(
+                {
+                    "t_ms": round(t_ms, 6),
+                    "action": "brownout_exit",
+                    "depth": depth,
+                }
+            )
 
     def _admit_until(self, state: "_LoopState", t_ms: float) -> None:
         """Admit (or refuse) every arrival up to virtual time ``t_ms``.
@@ -452,6 +648,26 @@ class ServingEngine:
                 state.records[request.request_id] = RequestRecord.for_request(
                     request
                 )
+            if state.fault_view is not None and state.fault_view.is_down(
+                request.arrival_ms
+            ):
+                # The shard is inside a crash window: the arrival is
+                # refused at the (dead) ingress.
+                record = state.records[request.request_id]
+                record.status = RequestStatus.FAILED_SHARD_DOWN
+                record.decided_ms = request.arrival_ms
+                state.source.notify(request, request.arrival_ms, completed=False)
+                continue
+            if (
+                state.brownout
+                and request.priority <= self.config.brownout_shed_priority
+            ):
+                record = state.records[request.request_id]
+                record.status = RequestStatus.SHED_BROWNOUT
+                record.decided_ms = request.arrival_ms
+                state.source.notify(request, request.arrival_ms, completed=False)
+                PROFILER.count("serve.shed_brownout_arrivals")
+                continue
             admitted, displaced = state.queue.offer(request)
             loser = displaced if admitted else request
             if loser is not None:
@@ -507,10 +723,15 @@ class ServingEngine:
         queued.
         """
         cfg = self.config
+        wait_ms = cfg.max_wait_ms
+        if state.brownout:
+            # Brownout: shrink the batching window so queued work drains
+            # sooner at the cost of smaller batches.
+            wait_ms *= cfg.brownout_wait_factor
         while True:
             if len(state.queue) >= cfg.max_batch_size:
                 return t_free
-            window_close = state.queue.oldest_arrival_ms() + cfg.max_wait_ms
+            window_close = state.queue.oldest_arrival_ms() + wait_ms
             if window_close <= t_free:
                 return t_free
             next_ms = state.source.peek_ms()
@@ -560,12 +781,15 @@ class ServingEngine:
         dispatch_ms: float,
         service_class: str,
         group: str,
+        service_ms: float,
         pool: WorkerPool | None,
     ) -> BatchRecord:
-        """Run one dispatch's real compute and fill its records."""
-        model = self.config.service_model
+        """Run one dispatch's real compute and fill its records.
+
+        ``service_ms`` is precomputed by the caller (via
+        :meth:`_service_ms`) so brownout inflation is already applied.
+        """
         total_points = sum(request.num_points for request in batch)
-        service_ms = model.batch_ms(service_class, len(batch), total_points)
         complete_ms = dispatch_ms + service_ms
 
         wall_start = time.perf_counter()
@@ -741,6 +965,11 @@ class _LoopState:
     lanes: list[float]
     lane_events: list[dict] = field(default_factory=list)
     max_lanes_used: int = 1
+    fault_view: ShardFaultView | None = None
+    crash_windows: tuple[tuple[float, float], ...] = ()
+    crash_idx: int = 0
+    brownout: bool = False
+    fault_events: list[dict] = field(default_factory=list)
 
 
 def _fuse_payload_task(

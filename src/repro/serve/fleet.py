@@ -33,31 +33,49 @@ still exposing per-shard breakdowns.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.detection.spod import SPOD
+from repro.faults.serve import ShardFaultPlan
 from repro.profiling import PROFILER
 from repro.runtime import (
     WorkerPool,
+    derive_seed,
     fork_available,
     resolve_workers,
     stable_hash,
 )
 from repro.serve.engine import ServeConfig, ServeResult, ServingEngine
-from repro.serve.requests import PerceptionRequest
+from repro.serve.requests import PerceptionRequest, RequestRecord, RequestStatus
 
 __all__ = [
     "hash_bucket",
     "route_bucket",
     "route_client",
+    "fallback_chain",
+    "FailoverConfig",
     "FleetConfig",
     "FleetResult",
     "FleetEngine",
 ]
 
 _BUCKETS = 2**32
+
+
+def _avalanche(h: int) -> int:
+    """Murmur3-style 32-bit finalizer (spreads every input bit)."""
+    h %= _BUCKETS
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) % _BUCKETS
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) % _BUCKETS
+    h ^= h >> 16
+    return h
 
 
 def hash_bucket(routing_seed: int, client: str) -> int:
@@ -71,13 +89,7 @@ def hash_bucket(routing_seed: int, client: str) -> int:
     spreads every input bit across the whole word while staying a pure
     integer function.
     """
-    h = stable_hash(f"fleet-route:{routing_seed}:{client}") % _BUCKETS
-    h ^= h >> 16
-    h = (h * 0x85EBCA6B) % _BUCKETS
-    h ^= h >> 13
-    h = (h * 0xC2B2AE35) % _BUCKETS
-    h ^= h >> 16
-    return h
+    return _avalanche(stable_hash(f"fleet-route:{routing_seed}:{client}"))
 
 
 def route_bucket(bucket: int, num_shards: int) -> int:
@@ -111,6 +123,75 @@ def route_client(routing_seed: int, client: str, num_shards: int) -> int:
     return route_bucket(hash_bucket(routing_seed, client), num_shards)
 
 
+def fallback_chain(bucket: int, num_shards: int) -> tuple[int, ...]:
+    """The bucket's failover order over the shards (a permutation).
+
+    ``chain[0]`` is exactly :func:`route_bucket` — the healthy-fleet
+    assignment is untouched.  Each further level re-avalanches the bucket
+    and jump-hashes it into the shards not yet chosen, so:
+
+    * a downed shard's clients spread roughly uniformly over the
+      survivors (no thundering herd onto one neighbour), and
+    * clients whose primary is healthy never move — failover moves
+      *only* the downed shard's clients, and they return the moment it
+      recovers (the chain is stateless, preference order is fixed).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    remaining = list(range(num_shards))
+    chain: list[int] = []
+    state = bucket % _BUCKETS
+    while remaining:
+        chain.append(remaining.pop(route_bucket(state, len(remaining))))
+        state = _avalanche((state + 0x9E3779B9) % _BUCKETS)
+    return tuple(chain)
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """Retry / hedging / circuit-breaker knobs of the resilient router.
+
+    Attributes:
+        failure_threshold: consecutive delivery failures that open a
+            shard's breaker (failed shards stop receiving first-choice
+            traffic until the cooldown expires).
+        cooldown_ms: how long an open breaker deflects traffic before
+            the shard is probed again.
+        max_retries: delivery retries per request beyond the first
+            attempt (all capped by the request's deadline).
+        retry_backoff_ms: base of the seeded exponential backoff —
+            retry ``k`` waits ``retry_backoff_ms * 2^k`` inflated by up
+            to ``retry_jitter``.
+        retry_jitter: uniform jitter fraction on each backoff (seeded,
+            deterministic; decorrelates retry storms).
+        hedge_ms: arm a hedged duplicate this long after a request's
+            first delivery failure (0 disables).  The duplicate races
+            the retries; whichever delivers first wins and the loser is
+            deduplicated deterministically.
+    """
+
+    failure_threshold: int = 1
+    cooldown_ms: float = 1000.0
+    max_retries: int = 2
+    retry_backoff_ms: float = 20.0
+    retry_jitter: float = 0.5
+    hedge_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown_ms <= 0:
+            raise ValueError("cooldown_ms must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be non-negative")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
+        if self.hedge_ms < 0:
+            raise ValueError("hedge_ms must be non-negative (0 disables)")
+
+
 @dataclass(frozen=True)
 class FleetConfig:
     """Fleet topology and routing knobs.
@@ -122,15 +203,67 @@ class FleetConfig:
         shard_config: the :class:`ServeConfig` every shard runs (shards
             are homogeneous by design — capacity scales by count, the
             per-shard knobs stay comparable across fleet sizes).
+        shard_faults: injected shard-failure schedule
+            (:class:`~repro.faults.serve.ShardFaultPlan`); None serves
+            fair-weather and keeps the routing path byte-identical to
+            the fault-free fleet.
+        failover: resilient-router knobs (used when ``shard_faults`` is
+            set).
     """
 
     num_shards: int = 2
     routing_seed: int = 0
     shard_config: ServeConfig = field(default_factory=ServeConfig)
+    shard_faults: ShardFaultPlan | None = None
+    failover: FailoverConfig = field(default_factory=FailoverConfig)
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+
+
+@dataclass
+class _ShardBreaker:
+    """Per-shard circuit breaker on the virtual clock.
+
+    Modeled on the session loop's per-peer ``PeerHealth`` breaker
+    (:mod:`repro.fusion.agent`): consecutive delivery failures open it
+    for a cooldown, during which the router prefers the next shard in
+    each client's fallback chain.
+    """
+
+    consecutive_failures: int = 0
+    open_until_ms: float = -1.0
+
+    def is_open(self, t_ms: float) -> bool:
+        return t_ms < self.open_until_ms
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until_ms = -1.0
+
+    def record_failure(
+        self, t_ms: float, threshold: int, cooldown_ms: float
+    ) -> None:
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= threshold:
+            self.open_until_ms = t_ms + cooldown_ms
+
+
+@dataclass
+class _RouteState:
+    """The resilient router's in-flight view of one request."""
+
+    request: PerceptionRequest
+    chain: tuple[int, ...]
+    outstanding: int = 0
+    attempts_made: int = 0
+    retries_scheduled: int = 0
+    hedged: bool = False
+    delivered: bool = False
+    served_shard: int = -1
+    delivered_ms: float = -1.0
+    tried: set = field(default_factory=set)
 
 
 @dataclass
@@ -144,6 +277,12 @@ class FleetResult:
         wall_seconds: real time of the whole fleet serve call.
         shard_profiles: per-shard profiler snapshots (empty dicts when
             profiling is disabled).
+        unrouted_records: requests the resilient router could not place
+            on any shard before their deadline (``FAILED_SHARD_DOWN``,
+            decided parent-side; empty without injected faults).
+        routing: resilient-router statistics — retries, failovers,
+            hedges issued/cancelled, moved clients, unrouted count
+            (empty without injected faults).
     """
 
     shard_results: list[ServeResult]
@@ -151,6 +290,8 @@ class FleetResult:
     config: FleetConfig
     wall_seconds: float
     shard_profiles: list[dict] = field(default_factory=list)
+    unrouted_records: list[RequestRecord] = field(default_factory=list)
+    routing: dict = field(default_factory=dict)
 
     def shard_clients(self) -> list[list[str]]:
         """Clients per shard (sorted), shard order."""
@@ -169,9 +310,18 @@ class FleetResult:
         resources, not fleet-wide ones), wall clocks sum.
         """
         records = sorted(
-            (r for result in self.shard_results for r in result.records),
+            (
+                r
+                for result in self.shard_results
+                for r in result.records
+            ),
             key=lambda record: record.request_id,
         )
+        if self.unrouted_records:
+            records = sorted(
+                records + list(self.unrouted_records),
+                key=lambda record: record.request_id,
+            )
         batches = [b for result in self.shard_results for b in result.batches]
         return ServeResult(
             records=records,
@@ -206,6 +356,12 @@ class FleetResult:
         for shard, result in enumerate(self.shard_results):
             for entry in result.log():
                 entries.append(dict(entry, shard=shard))
+        for record in self.unrouted_records:
+            entries.append(dict(record.log_entry(), shard=-1))
+        if self.routing and any(self.routing.values()):
+            # Elided when every stat is zero so a quiet fault plan stays
+            # byte-identical to the fault-free fleet log.
+            entries.append(dict(self.routing, entry="routing", shard=-1))
         return entries
 
     def log_json(self) -> str:
@@ -270,10 +426,22 @@ class FleetEngine:
         slice exactly as a standalone engine would.  With ``workers > 1``
         shards run in parallel processes — the request log is unaffected
         because shards share no scheduling state.
+
+        With :attr:`FleetConfig.shard_faults` set, open-loop requests go
+        through the resilient router instead of the static partition:
+        health-aware failover down each client's fallback chain, seeded
+        exponential-backoff retries and optional hedged duplicates, all
+        decided parent-side on the virtual clock, so the shard-tagged
+        log stays bit-identical at any worker count under injected
+        faults.  Closed-loop clients stay pinned to their home shard (a
+        control loop is a stateful conversation, not a retryable
+        datagram); the engine-side fault machinery fails their requests
+        fast during down windows and the loop's own backoff takes over.
         """
         wall_start = time.perf_counter()
         seed = self.config.routing_seed
         num_shards = self.config.num_shards
+        plan = self.config.shard_faults
         assignments: dict[str, int] = {}
 
         def shard_of(client: str) -> int:
@@ -290,8 +458,16 @@ class FleetEngine:
             [] for _ in range(num_shards)
         ]
         shard_loops: list[list] = [[] for _ in range(num_shards)]
-        for request in requests:
-            shard_requests[shard_of(request.client)].append(request)
+        unrouted_records: list[RequestRecord] = []
+        routing_stats: dict = {}
+        patch: dict[int, tuple[int, int, float]] = {}
+        if plan is None:
+            for request in requests:
+                shard_requests[shard_of(request.client)].append(request)
+        else:
+            unrouted_records, routing_stats, patch = self._route_resilient(
+                requests, shard_requests, shard_of
+            )
         for request in lost:
             shard_lost[shard_of(request.client)].append(request)
         for client in closed_loop:
@@ -303,6 +479,7 @@ class FleetEngine:
                 shard_requests[shard],
                 shard_lost[shard],
                 shard_loops[shard],
+                plan.view(shard) if plan is not None else None,
             )
             for shard in range(num_shards)
         ]
@@ -328,13 +505,190 @@ class FleetEngine:
                 shard_results.append(result)
                 shard_profiles.append(profile)
 
+        if patch:
+            # Stamp the router's journey onto the delivered records —
+            # parent-side, after serving, so worker layout cannot matter.
+            # The arrival is restored to the client's true arrival and
+            # the retry/hedge delay folded into the latency, so fleet
+            # percentiles are end-to-end honest under faults.
+            for result in shard_results:
+                for record in result.records:
+                    journey = patch.get(record.request_id)
+                    if journey is None:
+                        continue
+                    record.attempts, record.failovers, delay = journey
+                    if delay > 0:
+                        record.arrival_ms -= delay
+                        if record.latency_ms >= 0:
+                            record.latency_ms += delay
+
         return FleetResult(
             shard_results=shard_results,
             assignments=assignments,
             config=self.config,
             wall_seconds=time.perf_counter() - wall_start,
             shard_profiles=shard_profiles,
+            unrouted_records=unrouted_records,
+            routing=routing_stats,
         )
+
+    def _route_resilient(
+        self,
+        requests: list[PerceptionRequest],
+        shard_requests: list[list[PerceptionRequest]],
+        shard_of,
+    ) -> tuple[list[RequestRecord], dict, dict[int, tuple[int, int, float]]]:
+        """Place every open-loop request on a live shard (or fail it).
+
+        A single parent-side pass over a virtual-time event heap.  Each
+        request starts with one delivery attempt at its arrival; a
+        failed attempt (target down, or the Gilbert-Elliott link ate it)
+        opens/bumps the target's breaker, schedules a seeded
+        exponential-backoff retry, and — once per request, when hedging
+        is enabled — arms a hedged duplicate.  Every event re-picks the
+        first shard in the client's :func:`fallback_chain` whose breaker
+        is closed, so traffic drains away from failing shards after
+        ``failure_threshold`` failures and returns after the cooldown.
+        A request whose retries and hedge are exhausted (or deadline-
+        capped) becomes a parent-side ``FAILED_SHARD_DOWN`` record.
+
+        Everything — event order, backoff jitter, link drops — is a pure
+        function of ``(plan.seed, request ids, virtual time)``; no shard
+        state is read, so the pass is identical at any worker count.
+
+        Appends delivered requests (arrival re-stamped to delivery time)
+        to ``shard_requests`` in place; returns ``(unrouted_records,
+        stats, {request_id: (attempts, failovers, delay_ms)})``.
+        """
+        plan = self.config.shard_faults
+        failover = self.config.failover
+        num_shards = self.config.num_shards
+        breakers = [_ShardBreaker() for _ in range(num_shards)]
+        chains: dict[str, tuple[int, ...]] = {}
+        states: dict[int, _RouteState] = {}
+        heap: list[tuple[float, int, int, str]] = []
+        seq = 0
+        stats = {
+            "retries": 0,
+            "failovers": 0,
+            "hedges_issued": 0,
+            "hedges_cancelled": 0,
+            "unrouted": 0,
+            "moved_clients": 0,
+        }
+        unrouted: list[RequestRecord] = []
+
+        for request in requests:
+            client = request.client
+            shard_of(client)  # pin the primary assignment
+            chain = chains.get(client)
+            if chain is None:
+                chain = fallback_chain(
+                    hash_bucket(self.config.routing_seed, client), num_shards
+                )
+                chains[client] = chain
+            state = _RouteState(request=request, chain=chain, outstanding=1)
+            states[request.request_id] = state
+            heapq.heappush(
+                heap, (request.arrival_ms, request.request_id, seq, "attempt")
+            )
+            seq += 1
+
+        while heap:
+            t_ms, request_id, _, kind = heapq.heappop(heap)
+            state = states[request_id]
+            state.outstanding -= 1
+            if state.delivered:
+                if kind == "hedge":
+                    stats["hedges_cancelled"] += 1
+                continue
+            target = next(
+                (s for s in state.chain if not breakers[s].is_open(t_ms)),
+                state.chain[0],
+            )
+            attempt = state.attempts_made
+            state.attempts_made += 1
+            state.tried.add(target)
+            failed = plan.is_down(target, t_ms) or plan.ingress_dropped(
+                target, request_id, attempt, t_ms
+            )
+            if not failed:
+                breakers[target].record_success()
+                state.delivered = True
+                state.served_shard = target
+                state.delivered_ms = t_ms
+                request = state.request
+                if t_ms != request.arrival_ms:
+                    request = replace(request, arrival_ms=t_ms)
+                shard_requests[target].append(request)
+                if target != state.chain[0]:
+                    stats["failovers"] += 1
+                continue
+            breakers[target].record_failure(
+                t_ms, failover.failure_threshold, failover.cooldown_ms
+            )
+            deadline = state.request.deadline_ms
+            if kind == "attempt":
+                k = state.retries_scheduled
+                if k < failover.max_retries:
+                    jitter = float(
+                        np.random.default_rng(
+                            derive_seed(plan.seed, "fleet-retry", request_id, k)
+                        ).random()
+                    )
+                    delay = (
+                        failover.retry_backoff_ms
+                        * (2.0**k)
+                        * (1.0 + failover.retry_jitter * jitter)
+                    )
+                    t_next = t_ms + delay
+                    if t_next < deadline - 1e-9:
+                        state.retries_scheduled += 1
+                        state.outstanding += 1
+                        stats["retries"] += 1
+                        heapq.heappush(
+                            heap, (t_next, request_id, seq, "attempt")
+                        )
+                        seq += 1
+                if failover.hedge_ms > 0 and not state.hedged:
+                    t_hedge = t_ms + failover.hedge_ms
+                    if t_hedge < deadline - 1e-9:
+                        state.hedged = True
+                        state.outstanding += 1
+                        stats["hedges_issued"] += 1
+                        heapq.heappush(
+                            heap, (t_hedge, request_id, seq, "hedge")
+                        )
+                        seq += 1
+            if state.outstanding == 0:
+                record = RequestRecord.for_request(state.request)
+                record.status = RequestStatus.FAILED_SHARD_DOWN
+                record.decided_ms = t_ms
+                record.attempts = state.attempts_made
+                record.failovers = max(0, len(state.tried) - 1)
+                unrouted.append(record)
+                stats["unrouted"] += 1
+
+        unrouted.sort(key=lambda record: record.request_id)
+        moved = {
+            state.request.client
+            for state in states.values()
+            if state.delivered and state.served_shard != state.chain[0]
+        }
+        stats["moved_clients"] = len(moved)
+        patch = {
+            request_id: (
+                state.attempts_made,
+                state.chain.index(state.served_shard),
+                state.delivered_ms - state.request.arrival_ms,
+            )
+            for request_id, state in states.items()
+            if state.delivered
+        }
+        PROFILER.count("fleet.route_retries", stats["retries"])
+        PROFILER.count("fleet.route_failovers", stats["failovers"])
+        PROFILER.count("fleet.route_unrouted", stats["unrouted"])
+        return unrouted, stats, patch
 
 
 def _serve_shard_task(payload) -> tuple[ServeResult, dict]:
@@ -349,17 +703,19 @@ def _serve_shard_task(payload) -> tuple[ServeResult, dict]:
     snapshot (which the pool merges into the parent) equals ambient +
     shard, again exactly once.
     """
-    engine, shard_requests, shard_lost, shard_loops = payload
+    engine, shard_requests, shard_lost, shard_loops, fault_view = payload
     if not PROFILER.enabled:
         result = engine.serve(
-            shard_requests, lost=shard_lost, closed_loop=shard_loops
+            shard_requests, lost=shard_lost, closed_loop=shard_loops,
+            faults=fault_view,
         )
         return result, {}
     ambient = PROFILER.snapshot()
     PROFILER.reset()
     try:
         result = engine.serve(
-            shard_requests, lost=shard_lost, closed_loop=shard_loops
+            shard_requests, lost=shard_lost, closed_loop=shard_loops,
+            faults=fault_view,
         )
         shard_profile = PROFILER.snapshot()
     finally:

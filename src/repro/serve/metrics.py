@@ -106,6 +106,11 @@ def build_report(result: ServeResult, duration_ms: float) -> dict:
         "shed_deadline": counts["shed_deadline"],
         "rejected_queue_full": counts["rejected_queue_full"],
         "lost_ingress": counts["lost_ingress"],
+        "failed_shard_down": counts["failed_shard_down"],
+        "shed_brownout": counts["shed_brownout"],
+        "availability": (
+            completed / counts["offered"] if counts["offered"] else 1.0
+        ),
         "offered_rps": counts["offered"] / duration_s,
         "throughput_rps": completed / duration_s,
         "shed_rate": (
@@ -168,6 +173,14 @@ def build_fleet_report(fleet_result, duration_ms: float) -> dict:
     merged["clients_per_shard"] = [
         len(clients) for clients in fleet_result.shard_clients()
     ]
+    routing = getattr(fleet_result, "routing", None)
+    if routing:
+        merged["routing"] = dict(routing)
+    fault_events = sum(
+        len(result.fault_events) for result in fleet_result.shard_results
+    )
+    if fault_events:
+        merged["shard_fault_events"] = fault_events
     return merged
 
 
@@ -198,6 +211,12 @@ def render_report(report: dict) -> str:
             f"lanes      : peak {report['max_lanes_used']} "
             f"({report['lane_scale_events']} scale events)"
         )
+    if report.get("failed_shard_down") or report.get("shed_brownout"):
+        lines.append(
+            f"resilience : {report['failed_shard_down']} shard-down "
+            f"failures, {report['shed_brownout']} brownout sheds, "
+            f"availability {report['availability'] * 100.0:.1f}%"
+        )
     return "\n".join(lines)
 
 
@@ -208,6 +227,16 @@ def render_fleet_report(report: dict) -> str:
         f"{report['clients_per_shard']}",
         render_report(report),
     ]
+    if report.get("routing"):
+        routing = report["routing"]
+        lines.append(
+            f"routing    : {routing['retries']} retries, "
+            f"{routing['failovers']} failovers, "
+            f"{routing['moved_clients']} moved clients, "
+            f"{routing['hedges_issued']} hedges "
+            f"({routing['hedges_cancelled']} deduped), "
+            f"{routing['unrouted']} unrouted"
+        )
     for index, shard in enumerate(report["shards"]):
         lines.append(
             f"  shard {index}: offered {shard['offered']:5d}  "

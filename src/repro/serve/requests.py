@@ -64,6 +64,8 @@ class RequestStatus(enum.Enum):
     SHED_DEADLINE = "shed_deadline"
     REJECTED_QUEUE_FULL = "rejected_queue_full"
     LOST_INGRESS = "lost_ingress"
+    FAILED_SHARD_DOWN = "failed_shard_down"
+    SHED_BROWNOUT = "shed_brownout"
 
 
 @dataclass(frozen=True)
@@ -153,6 +155,9 @@ class RequestRecord:
         batch_size: how many requests shared that dispatch.
         num_results: detections returned (detect kinds) or reply points
             (ROI_ANSWER).
+        attempts: delivery attempts the router made (1 without faults).
+        failovers: how many times the request moved past its primary
+            shard in the fallback chain (0 = served at home).
         wall_service_seconds: measured wall-clock share of its batch's
             real compute (observability only — never in the log).
     """
@@ -174,6 +179,8 @@ class RequestRecord:
     batch_id: int = -1
     batch_size: int = 0
     num_results: int = 0
+    attempts: int = 1
+    failovers: int = 0
     wall_service_seconds: float = field(default=0.0, repr=False)
 
     @classmethod
@@ -215,4 +222,6 @@ class RequestRecord:
             "batch_id": self.batch_id,
             "batch_size": self.batch_size,
             "num_results": self.num_results,
+            "attempts": self.attempts,
+            "failovers": self.failovers,
         }

@@ -157,6 +157,23 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan.from_spec("loss=0.2,frobnicate=1")
 
+    def test_from_spec_unknown_key_lists_valid_keys(self):
+        # Regression: the rejection must name the offending key AND the
+        # full valid set, so a CLI typo is self-diagnosing.  The shard
+        # fault parser shares the contract via parse_fault_spec.
+        from repro.faults.serve import ShardFaultPlan
+
+        with pytest.raises(ValueError, match=r"'frobnicate'.*valid keys"):
+            FaultPlan.from_spec("loss=0.2,frobnicate=1")
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.from_spec("frobnicate=1")
+        for key in ("loss", "jitter", "gps-dropout", "lidar-blackout"):
+            assert key in str(excinfo.value)
+        with pytest.raises(ValueError) as excinfo:
+            ShardFaultPlan.from_spec("crash-rate=2,warp-core=1")
+        for key in ("crash-rate", "brownout-rate", "ingress-loss"):
+            assert key in str(excinfo.value)
+
     def test_invalid_probabilities(self):
         with pytest.raises(ValueError):
             FaultPlan(gps_dropout_prob=1.5)

@@ -551,6 +551,47 @@ class TestBatchingWindow:
                 assert record.dispatch_ms >= record.arrival_ms
 
 
+class TestConfigValidation:
+    """Degenerate config values fail loudly at construction (PR 8)."""
+
+    def test_scale_depths_validated_without_autoscaling(self):
+        # Regression: before PR 8 the scale-depth sanity checks only ran
+        # when max_lanes was set, so a fixed-lane config could silently
+        # carry an inverted hysteresis band.
+        with pytest.raises(ValueError, match="scale_up_depth"):
+            ServeConfig(scale_up_depth=1, scale_down_depth=5)
+        with pytest.raises(ValueError, match="scale_up_depth"):
+            ServeConfig(scale_up_depth=0)
+        with pytest.raises(ValueError, match="scale_down_depth"):
+            ServeConfig(scale_down_depth=-1)
+
+    def test_service_model_rejects_negative_times(self):
+        from repro.serve import ServiceModel
+
+        with pytest.raises(ValueError):
+            ServiceModel(batch_base_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServiceModel(roi_per_kpoint_ms=-0.5)
+
+    def test_brownout_band_validated(self):
+        with pytest.raises(ValueError, match="brownout_exit_depth"):
+            ServeConfig(brownout_enter_depth=4, brownout_exit_depth=4)
+        with pytest.raises(ValueError, match="brownout_wait_factor"):
+            ServeConfig(
+                brownout_enter_depth=4,
+                brownout_exit_depth=1,
+                brownout_wait_factor=0.0,
+            )
+        with pytest.raises(ValueError, match="brownout_wait_factor"):
+            ServeConfig(
+                brownout_enter_depth=4,
+                brownout_exit_depth=1,
+                brownout_wait_factor=1.5,
+            )
+        # Disabled brownout (enter depth 0) skips the band check.
+        ServeConfig(brownout_enter_depth=0, brownout_exit_depth=9)
+
+
 class TestAutoscaling:
     def test_config_validation(self):
         with pytest.raises(ValueError, match="max_lanes"):
