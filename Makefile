@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos serve-bench fleet-bench fleet-chaos figures examples clean
+.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos bench-fusion-frontier serve-bench fleet-bench fleet-chaos figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,6 +20,9 @@ bench-incremental:
 
 chaos:
 	python benchmarks/bench_robustness_chaos.py
+
+bench-fusion-frontier:
+	python benchmarks/bench_fusion_frontier.py
 
 serve-bench:
 	python benchmarks/bench_serving.py

@@ -1,0 +1,149 @@
+"""Recall-vs-bandwidth frontier bench — the fusion-level anchor.
+
+Runs :func:`repro.eval.frontier.fusion_frontier`: every fusion level
+(raw / ROI / feature / confidence-gated) on the Fig. 4 KITTI cases plus
+the chaos-session determinism + bandwidth-ledger checks, and writes the
+report to ``results/BENCH_fusion.json``.  Track that file across commits
+to see whether a change moved the frontier.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_fusion_frontier.py`` — smoke-sized frontier
+  alongside the figure benchmarks.
+* ``python benchmarks/bench_fusion_frontier.py [--smoke] [--seed N]
+  [--workers A B]`` — standalone; ``--smoke`` shrinks the case set and
+  session length for CI.
+
+The bench asserts the frontier contract: feature-level exchange costs at
+least 10x fewer bytes per frame than raw with mean recall within 2
+points, the confidence-gated mode is strictly cheaper than ungated
+feature exchange, and every session mode's logs are bit-identical at
+both worker counts (clean and under a chaos fault plan).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.detection.spod import SPOD
+from repro.eval.frontier import fusion_frontier
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPORT_NAME = "BENCH_fusion.json"
+
+
+def render_report(report: dict) -> str:
+    """Human-readable frontier tables of a :func:`fusion_frontier` report."""
+    lines = [f"fusion frontier  (mode: {report['mode']})"]
+    lines.append(
+        f"{'mode':>8s} {'bytes/frame':>12s} {'recall':>8s}"
+    )
+    for mode, stats in report["frontier"].items():
+        lines.append(
+            f"{mode:>8s} {stats['mean_bytes_per_frame']:12.0f} "
+            f"{stats['mean_recall']:8.3f}"
+        )
+    lines.append(f"{'case':>24s} {'mode':>8s} {'bytes':>9s} {'recall':>8s}")
+    for row in report["cases"]:
+        for mode, stats in row["modes"].items():
+            lines.append(
+                f"{row['case']:>24s} {mode:>8s} {stats['bytes']:9d} "
+                f"{stats['recall']:8.3f}"
+            )
+    contract = report["contract"]
+    lines.append(
+        f"feature vs raw: {contract['feature_vs_raw_bytes_ratio']:.1f}x "
+        f"fewer bytes, recall drop "
+        f"{contract['feature_recall_drop_points']:+.2f} points"
+    )
+    for section in ("determinism", "determinism_chaos"):
+        for mode, entry in report[section].items():
+            tag = "chaos" if section.endswith("chaos") else "clean"
+            lines.append(
+                f"determinism[{tag}] {mode}: workers {entry['worker_counts']}"
+                f" identical={entry['identical']} "
+                f"bytes/frame={entry['comm']['bytes_per_frame']:.0f}"
+            )
+    return "\n".join(lines)
+
+
+def check_frontier_contract(report: dict) -> None:
+    """Raise when the report violates the frontier claims."""
+    contract = report["contract"]
+    assert contract["feature_vs_raw_bytes_ratio"] >= 10.0, (
+        f"feature-level exchange saves only "
+        f"{contract['feature_vs_raw_bytes_ratio']:.1f}x over raw (need 10x)"
+    )
+    assert contract["feature_recall_drop_points"] <= 2.0, (
+        f"feature-level recall dropped "
+        f"{contract['feature_recall_drop_points']:.2f} points vs raw"
+    )
+    assert contract["gated_below_feature_bytes"], (
+        "confidence-gated mode is not cheaper than ungated feature exchange"
+    )
+    assert contract["gated_below_feature_every_case"], (
+        "confidence-gated mode exceeded feature-level bytes on some case"
+    )
+    for section in ("determinism", "determinism_chaos"):
+        for mode, entry in report[section].items():
+            assert entry["identical"], (
+                f"{mode} session logs differ across worker counts "
+                f"({section}): {entry['digests']}"
+            )
+    # The ledger must be non-trivial wherever the channel was clean.
+    for mode, entry in report["determinism"].items():
+        assert entry["comm"]["total_bytes"] > 0, f"{mode} ledger is empty"
+    gated = report["determinism"]["gated"]["comm"]["by_kind"]
+    assert gated.get("request", 0) > 0, "gated session recorded no requests"
+
+
+def write_report(report: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / REPORT_NAME
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_bench_fusion_frontier(detector, results_dir):
+    report = fusion_frontier(smoke=True, detector=detector)
+    report["mode"] = "pytest-smoke"
+    check_frontier_contract(report)
+    path = write_report(report)
+    print(f"\n=== {REPORT_NAME} ===\n{render_report(report)}\n")
+    assert path.exists()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the case set and session length (CI smoke run)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs=2,
+        default=(1, 4),
+        metavar=("A", "B"),
+        help="the two worker counts the determinism contract compares",
+    )
+    args = parser.parse_args(argv)
+    report = fusion_frontier(
+        smoke=args.smoke,
+        seed=args.seed,
+        detector=SPOD.pretrained(),
+        worker_counts=tuple(args.workers),
+    )
+    check_frontier_contract(report)
+    path = write_report(report)
+    print(render_report(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

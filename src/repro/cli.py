@@ -10,6 +10,8 @@ regenerates the paper's experiments from a terminal:
 * ``drift``    — Fig. 10: GPS skew robustness.
 * ``network``  — Figs. 11-12: ROI volumes vs DSRC capacity.
 * ``chaos``    — beyond-paper: recall under injected channel/sensor faults.
+* ``frontier`` — beyond-paper: recall-vs-bandwidth frontier across fusion
+  levels (raw / ROI / feature / confidence-gated).
 * ``serve``    — beyond-paper: the deterministic perception serving engine
   under a seeded open-loop workload.
 """
@@ -213,6 +215,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.eval.frontier import fusion_frontier
+
+    report = fusion_frontier(
+        smoke=args.smoke, seed=args.seed, detector=_detector(args)
+    )
+    print("recall-vs-bandwidth frontier (Fig. 4 KITTI cases):")
+    print(f"{'mode':>8s} {'bytes/frame':>12s} {'recall':>8s}")
+    for mode, stats in report["frontier"].items():
+        print(
+            f"{mode:>8s} {stats['mean_bytes_per_frame']:12.0f} "
+            f"{stats['mean_recall']:8.3f}"
+        )
+    contract = report["contract"]
+    print(
+        f"\nfeature vs raw: {contract['feature_vs_raw_bytes_ratio']:.1f}x "
+        f"fewer bytes/frame, recall drop "
+        f"{contract['feature_recall_drop_points']:+.2f} points"
+    )
+    print(
+        "gated < feature bytes: "
+        f"{'yes' if contract['gated_below_feature_every_case'] else 'NO'}"
+    )
+    print("\nsession determinism + bandwidth ledger (chaos scenario):")
+    for section, tag in (
+        ("determinism", "clean"),
+        ("determinism_chaos", "chaos"),
+    ):
+        for mode, entry in report[section].items():
+            print(
+                f"  [{tag}] {mode:8s} workers {entry['worker_counts']} "
+                f"identical={'yes' if entry['identical'] else 'NO'} "
+                f"bytes/frame={entry['comm']['bytes_per_frame']:.0f} "
+                f"recall={entry['recall']:.3f}"
+            )
+    print(
+        "\ncontract: "
+        f"{'OK' if contract['all_modes_deterministic'] else 'VIOLATED'}"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         ClosedLoopSpec,
@@ -374,6 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=6.0,
         help="session length for --faults runs (default 6.0)",
     )
+    frontier = sub.add_parser(
+        "frontier",
+        help="recall-vs-bandwidth frontier across fusion levels "
+        "(raw / roi / feature / confidence-gated)",
+    )
+    frontier.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the case set and session length (CI smoke run)",
+    )
     serve = sub.add_parser(
         "serve",
         help="run the deterministic perception serving engine under a "
@@ -481,6 +535,7 @@ _HANDLERS = {
     "drift": _cmd_drift,
     "network": _cmd_network,
     "chaos": _cmd_chaos,
+    "frontier": _cmd_frontier,
     "serve": _cmd_serve,
 }
 

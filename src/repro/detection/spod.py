@@ -202,7 +202,8 @@ class SPOD:
 
     # -- network forward ---------------------------------------------------
     def forward_features(
-        self, cloud: PointCloud, inference: bool = False, temporal=None
+        self, cloud: PointCloud, inference: bool = False, temporal=None,
+        tap: bool = False,
     ):
         """Preprocess + voxelize + VFE + middle; return tensors up to BEV.
 
@@ -213,6 +214,14 @@ class SPOD:
         :class:`repro.temporal.TemporalState`) enables the frame-delta fast
         paths through voxelisation and rulebook construction; outputs are
         bit-identical with or without it.
+
+        With ``tap=True`` the returned dict additionally exposes the
+        sparse tensors the fusion layer taps: ``"vfe"`` (the VFE's output)
+        and ``"middle"`` (the convolutional block's sparse output, i.e.
+        exactly what ``"bev"`` densifies).  This is the feature-level
+        exchange surface of :mod:`repro.fusion.feature` — per-voxel
+        features plus their grid coordinates, orders of magnitude smaller
+        than the raw cloud.
         """
         cfg = self.config
         with PROFILER.stage("spod.preprocess"):
@@ -242,10 +251,13 @@ class SPOD:
             if not used.all():
                 channel_mask = used
         with PROFILER.stage("spod.middle"):
-            bev = self.middle(
-                sparse, channel_mask=channel_mask, temporal=temporal
-            )
-        return {"pre": pre, "grid": grid, "bev": bev}
+            middle = self.middle.forward_sparse(sparse, temporal=temporal)
+            bev = self.middle.to_dense(middle, channel_mask=channel_mask)
+        tensors = {"pre": pre, "grid": grid, "bev": bev}
+        if tap:
+            tensors["vfe"] = sparse
+            tensors["middle"] = middle
+        return tensors
 
     def rpn_apply(self, bev: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """The RPN head pass, profiled; ``bev`` may batch several maps."""

@@ -35,6 +35,12 @@ from repro.eval.chaos import (
     stale_fallback_comparison,
     chaos_sweep,
 )
+from repro.eval.frontier import (
+    FRONTIER_MODES,
+    case_frontier,
+    fusion_frontier,
+    session_determinism,
+)
 from repro.eval.reporting import (
     render_detection_grid,
     render_case_summary,
@@ -68,6 +74,10 @@ __all__ = [
     "gps_error_sweep",
     "stale_fallback_comparison",
     "chaos_sweep",
+    "FRONTIER_MODES",
+    "case_frontier",
+    "fusion_frontier",
+    "session_determinism",
     "render_detection_grid",
     "render_case_summary",
     "render_cdf_table",

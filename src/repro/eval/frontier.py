@@ -1,0 +1,383 @@
+"""Recall-vs-bandwidth frontier across fusion levels.
+
+The paper's raw-cloud exchange buys its recall with hundreds of
+kilobytes per frame; this module measures what each cheaper exchange
+level gives up.  Four points span the frontier:
+
+* ``raw`` — full-frame exchange packages (the paper's Cooper),
+* ``roi`` — FRONT_SECTOR-cropped packages (the Fig. 11 category-2 diet),
+* ``feature`` — F-Cooper-style voxel-feature packages, maxout-fused,
+* ``gated`` — Where2comm-style confidence-gated feature packages (the
+  receiver broadcasts where it is already confident; senders ship only
+  the rest).
+
+:func:`fusion_frontier` evaluates every mode on the Fig. 4 KITTI cases
+(bytes on the wire vs recall against visible ground truth) and then runs
+the chaos-scenario :class:`~repro.fusion.agent.CooperSession` in each
+session mode at two worker counts, hashing the canonical logs — the
+determinism contract — and reading the per-frame bandwidth ledger from
+:attr:`CooperSession.comm`.  ``benchmarks/bench_fusion_frontier.py``
+writes the report to ``results/BENCH_fusion.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.datasets.base import CooperativeCase
+from repro.datasets.synthetic_kitti import kitti_cases
+from repro.detection.spod import SPOD
+from repro.eval.chaos import build_chaos_session, session_recall
+from repro.eval.matching import match_detections
+from repro.faults import FaultPlan
+from repro.fusion.align import merge_packages
+from repro.fusion.feature import (
+    FeatureFusionConfig,
+    FeaturePackage,
+    build_feature_package,
+    build_request,
+    perceive_features,
+    rpn_confidence,
+)
+from repro.fusion.package import ExchangePackage
+from repro.network.roi_policy import RoiCategory, RoiPolicy, extract_roi
+from repro.runtime import fork_available
+
+__all__ = [
+    "FRONTIER_MODES",
+    "case_frontier",
+    "fusion_frontier",
+    "session_determinism",
+]
+
+#: The frontier's exchange levels, cheapest-last.
+FRONTIER_MODES = ("raw", "roi", "feature", "gated")
+
+#: Session fusion modes exercised by the determinism section ("roi" is a
+#: packaging policy of the raw mode, not a separate session mode).
+_SESSION_MODES = ("raw", "feature", "gated")
+
+
+def _visible_ground_truth(
+    case: CooperativeCase, detector: SPOD, max_eval_range: float
+) -> list:
+    """Ground-truth boxes the receiver could possibly be scored on."""
+    r = detector.config.voxel_spec.point_range
+    return [
+        b
+        for b in case.ground_truth_in(case.receiver)
+        if r[0] <= b.center[0] <= r[3]
+        and r[1] <= b.center[1] <= r[4]
+        and float(np.hypot(*b.center[:2])) <= max_eval_range
+    ]
+
+
+def _sender_tap(detector: SPOD, cloud) -> tuple[np.ndarray, np.ndarray, dict | None]:
+    """(coords, features, tap) for one observer; empty arrays if no points."""
+    if len(cloud) == 0:
+        return (
+            np.zeros((0, 3), dtype=np.int64),
+            np.zeros((0, 4), dtype=np.float64),
+            None,
+        )
+    tap = detector.forward_features(cloud, tap=True)
+    return (
+        np.asarray(tap["grid"].coords),
+        np.asarray(tap["middle"].features, dtype=np.float64),
+        tap,
+    )
+
+
+def _feature_exchange(
+    case: CooperativeCase,
+    detector: SPOD,
+    config: FeatureFusionConfig,
+    gated: bool,
+) -> tuple[list[FeaturePackage], int]:
+    """Build (and roundtrip) every sender's feature package for one case.
+
+    Returns the deserialized packages the receiver fuses plus the total
+    bytes on the wire — gated mode includes the receiver's confidence
+    request, exactly the messages the session ledger would record.
+    """
+    spec = detector.config.voxel_spec
+    receiver_pose = case.receiver_measured_pose()
+    total_bytes = 0
+    requests = ()
+    if gated:
+        coords, _features, tap = _sender_tap(
+            detector, case.cloud_of(case.receiver)
+        )
+        if tap is None:
+            heat = np.zeros(tuple(spec.grid_shape[:2]), dtype=np.float64)
+        else:
+            heat = rpn_confidence(detector, tap["bev"])
+        request = build_request(
+            heat, receiver_pose, case.receiver, config=config
+        )
+        requests = (request,)
+        total_bytes += request.size_bytes()
+    packages: list[FeaturePackage] = []
+    for name, obs in case.observations.items():
+        if name == case.receiver:
+            continue
+        coords, features, tap = _sender_tap(detector, obs.scan.cloud)
+        heat = None
+        if gated and tap is not None:
+            heat = rpn_confidence(detector, tap["bev"])
+        elif gated:
+            heat = np.zeros(tuple(spec.grid_shape[:2]), dtype=np.float64)
+        package = build_feature_package(
+            spec,
+            coords,
+            features,
+            obs.measured_pose,
+            name,
+            heat=heat,
+            requests=requests,
+            config=config,
+        )
+        payload = package.serialize()
+        total_bytes += len(payload)
+        packages.append(FeaturePackage.deserialize(payload))
+    return packages, total_bytes
+
+
+def case_frontier(
+    case: CooperativeCase,
+    detector: SPOD,
+    config: FeatureFusionConfig | None = None,
+    gate_distance: float = 2.5,
+    max_eval_range: float = 60.0,
+) -> dict:
+    """Evaluate every frontier mode on one cooperative case.
+
+    Each mode's ``bytes`` is what one exchange round puts on the air for
+    this case; ``recall`` matches the receiver's detections against the
+    ground-truth cars visible from its true pose.
+    """
+    config = config or FeatureFusionConfig()
+    visible = _visible_ground_truth(case, detector, max_eval_range)
+    threshold = detector.config.detection_threshold
+    receiver_cloud = case.cloud_of(case.receiver)
+    receiver_pose = case.receiver_measured_pose()
+
+    modes: dict[str, dict] = {}
+
+    def score(detections, total_bytes: int) -> dict:
+        reported = [d for d in detections if d.score >= threshold]
+        match = match_detections(reported, visible, gate_distance)
+        return {
+            "bytes": int(total_bytes),
+            "matched": int(match.num_matched),
+            "detections": len(reported),
+            "recall": (
+                match.num_matched / len(visible) if visible else 0.0
+            ),
+        }
+
+    # raw: the paper's full-frame exchange.
+    raw_packages = case.packages_for_receiver()
+    raw_bytes = sum(p.size_bytes() for p in raw_packages)
+    merged = merge_packages(receiver_cloud, raw_packages, receiver_pose)
+    modes["raw"] = score(detector.detect_all(merged), raw_bytes)
+
+    # roi: FRONT_SECTOR crop before packaging (Fig. 11 category 2).
+    policy = RoiPolicy(category=RoiCategory.FRONT_SECTOR)
+    roi_packages = [
+        ExchangePackage(
+            cloud=extract_roi(obs.scan.cloud, policy),
+            pose=obs.measured_pose,
+            sender=name,
+        )
+        for name, obs in case.observations.items()
+        if name != case.receiver
+    ]
+    roi_bytes = sum(p.size_bytes() for p in roi_packages)
+    roi_merged = merge_packages(receiver_cloud, roi_packages, receiver_pose)
+    modes["roi"] = score(detector.detect_all(roi_merged), roi_bytes)
+
+    # feature / gated: voxel-feature exchange through the real wire format.
+    for mode, gated in (("feature", False), ("gated", True)):
+        packages, total_bytes = _feature_exchange(
+            case, detector, config, gated
+        )
+        detections = perceive_features(
+            detector, receiver_cloud, receiver_pose, packages
+        )
+        modes[mode] = score(detections, total_bytes)
+
+    return {
+        "case": case.name,
+        "scenario": case.scenario,
+        "visible": len(visible),
+        "modes": modes,
+    }
+
+
+def _canonical_session_logs(logs) -> bytes:
+    """Project session logs onto the bit-exact primitives tests compare."""
+    projected = []
+    for name in sorted(logs):
+        for step in logs[name]:
+            projected.append(
+                (
+                    name,
+                    step.time,
+                    step.sent_bits,
+                    tuple(step.delivered),
+                    step.stale_count,
+                    tuple(
+                        (p.sender, len(p.serialize()))
+                        for p in step.received_packages
+                    ),
+                    step.observation.scan.cloud.data.tobytes(),
+                    tuple(
+                        (d.box.center.tobytes(), float(d.score), d.label)
+                        for d in step.detections
+                    ),
+                )
+            )
+    return repr(projected).encode()
+
+
+def session_determinism(
+    mode: str,
+    detector: SPOD | None = None,
+    duration_seconds: float = 4.0,
+    seed: int = 3,
+    worker_counts: tuple[int, int] = (1, 4),
+    faults: FaultPlan | None = None,
+) -> dict:
+    """Run the chaos session in one fusion mode at two worker counts.
+
+    Returns the two canonical-log digests (which must be equal — the
+    determinism contract), the bandwidth-ledger summary and the pooled
+    session recall.  Falls back to two single-process runs when fork is
+    unavailable (the parallel path needs it), noting so in the result.
+    """
+    forkable = fork_available()
+    counts = worker_counts if forkable else (1, 1)
+    digests = []
+    summary = None
+    recall = None
+    for workers in counts:
+        session = build_chaos_session(detector=detector, faults=faults)
+        session.fusion_mode = mode
+        logs = session.run(
+            duration_seconds=duration_seconds,
+            period_seconds=1.0,
+            seed=seed,
+            workers=workers,
+        )
+        digests.append(
+            hashlib.sha256(_canonical_session_logs(logs)).hexdigest()
+        )
+        summary = session.comm.summary()
+        recall = session_recall(session, logs).recall
+    return {
+        "mode": mode,
+        "worker_counts": list(counts),
+        "fork_available": forkable,
+        "digests": digests,
+        "identical": digests[0] == digests[-1],
+        "recall": recall,
+        "comm": summary,
+    }
+
+
+def fusion_frontier(
+    smoke: bool = False,
+    seed: int = 0,
+    detector: SPOD | None = None,
+    worker_counts: tuple[int, int] = (1, 4),
+    config: FeatureFusionConfig | None = None,
+) -> dict:
+    """The full frontier report (the ``BENCH_fusion.json`` payload).
+
+    Case section: every frontier mode on the Fig. 4 KITTI cases (all
+    four, or the first two in ``smoke`` mode).  Determinism section: the
+    chaos session in every session fusion mode — clean and under a
+    chaos fault plan — hashed at two worker counts, with the bandwidth
+    ledger each run recorded.
+    """
+    detector = detector or SPOD.pretrained()
+    config = config or FeatureFusionConfig()
+    cases = kitti_cases(seed=seed)
+    if smoke:
+        cases = cases[:2]
+    case_rows = [case_frontier(case, detector, config) for case in cases]
+
+    def mean(values: list[float]) -> float:
+        return float(np.mean(values)) if values else 0.0
+
+    frontier = {
+        mode: {
+            "mean_bytes_per_frame": mean(
+                [row["modes"][mode]["bytes"] for row in case_rows]
+            ),
+            "mean_recall": mean(
+                [row["modes"][mode]["recall"] for row in case_rows]
+            ),
+        }
+        for mode in FRONTIER_MODES
+    }
+
+    duration = 2.0 if smoke else 4.0
+    determinism = {
+        mode: session_determinism(
+            mode,
+            detector=detector,
+            duration_seconds=duration,
+            seed=seed + 3,
+            worker_counts=worker_counts,
+        )
+        for mode in _SESSION_MODES
+    }
+    chaos = {
+        mode: session_determinism(
+            mode,
+            detector=detector,
+            duration_seconds=duration,
+            seed=seed + 3,
+            worker_counts=worker_counts,
+            faults=FaultPlan.chaos(seed + 2),
+        )
+        for mode in _SESSION_MODES
+    }
+
+    raw_bytes = frontier["raw"]["mean_bytes_per_frame"]
+    feature_bytes = frontier["feature"]["mean_bytes_per_frame"]
+    gated_bytes = frontier["gated"]["mean_bytes_per_frame"]
+    contract = {
+        "feature_vs_raw_bytes_ratio": (
+            raw_bytes / feature_bytes if feature_bytes else float("inf")
+        ),
+        "feature_recall_drop_points": 100.0
+        * (frontier["raw"]["mean_recall"] - frontier["feature"]["mean_recall"]),
+        "gated_below_feature_bytes": bool(gated_bytes < feature_bytes),
+        "gated_below_feature_every_case": all(
+            row["modes"]["gated"]["bytes"] < row["modes"]["feature"]["bytes"]
+            for row in case_rows
+        ),
+        "all_modes_deterministic": all(
+            entry["identical"]
+            for section in (determinism, chaos)
+            for entry in section.values()
+        ),
+    }
+
+    return {
+        "bench": "fusion_frontier",
+        "mode": "smoke" if smoke else "full",
+        "seed": seed,
+        "gate_distance": 2.5,
+        "max_eval_range": 60.0,
+        "cases": case_rows,
+        "frontier": frontier,
+        "determinism": determinism,
+        "determinism_chaos": chaos,
+        "contract": contract,
+    }

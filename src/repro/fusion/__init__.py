@@ -21,11 +21,37 @@ from repro.fusion.baselines import (
     feature_level_fusion,
 )
 from repro.fusion.temporal import merge_timeline
-from repro.fusion.agent import AgentStep, CooperAgent, CooperSession
+from repro.fusion.feature import (
+    ConfidenceRequest,
+    FeatureFusionConfig,
+    FeaturePackage,
+    FusedFeatures,
+    build_feature_package,
+    build_request,
+    fuse_feature_packages,
+    perceive_features,
+    rpn_confidence,
+)
+from repro.fusion.agent import (
+    FUSION_MODES,
+    AgentStep,
+    CooperAgent,
+    CooperSession,
+)
 from repro.fusion.diagnostics import AlignmentReport, alignment_residual, validate_package
 
 __all__ = [
     "ExchangePackage",
+    "ConfidenceRequest",
+    "FeatureFusionConfig",
+    "FeaturePackage",
+    "FusedFeatures",
+    "build_feature_package",
+    "build_request",
+    "fuse_feature_packages",
+    "perceive_features",
+    "rpn_confidence",
+    "FUSION_MODES",
     "alignment_transform",
     "align_package",
     "merge_packages",

@@ -42,11 +42,26 @@ from repro.detection.spod import SPOD
 from repro.faults.plan import FaultPlan, SensorFaults
 from repro.fusion.align import package_intrinsically_sane, pose_delta_plausible
 from repro.fusion.cooper import Cooper
+from repro.fusion.feature import (
+    ConfidenceRequest,
+    FeatureFusionConfig,
+    FeaturePackage,
+    build_feature_package,
+    build_request,
+    decode_evidence,
+    decode_fused,
+    feature_bev,
+    feature_package_intrinsically_sane,
+    fuse_feature_packages,
+    rpn_confidence,
+)
 from repro.fusion.package import ExchangePackage
 from repro.fusion.temporal import StalePackageCache
+from repro.network.comm import CommRecorder
 from repro.network.dsrc import DsrcChannel
 from repro.network.messages import MessageFramer
 from repro.network.roi_policy import RoiPolicy, extract_roi
+from repro.network.scheduler import Demand, SharedChannelScheduler
 from repro.profiling import PROFILER
 from repro.runtime import WorkerPool, fork_available, resolve_workers, stable_hash
 from repro.scene.trajectories import Trajectory
@@ -58,9 +73,15 @@ __all__ = [
     "AgentStep",
     "CooperAgent",
     "CooperSession",
+    "FUSION_MODES",
     "PeerHealth",
     "ResilienceConfig",
 ]
+
+#: Session fusion modes: raw-cloud merge (the paper's low-level fusion;
+#: ROI policies make it the "roi" point of the frontier), F-Cooper style
+#: feature-map exchange, and Where2comm style confidence-gated features.
+FUSION_MODES = ("raw", "feature", "gated")
 
 
 def _observe_seed(session_seed: int, step_index: int, agent_index: int) -> int:
@@ -88,7 +109,8 @@ class AgentStep:
         observation: the agent's own sensing this period.
         sent_bits: size of the package it broadcast.
         received_packages: decoded packages that reached the merge (fresh
-            deliveries plus any stale-cache fallbacks).
+            deliveries plus any stale-cache fallbacks).  In the feature
+            fusion modes these are :class:`FeaturePackage` instances.
         delivered: per-peer channel outcome for this period's broadcasts
             (False covers loss, deadline drops, blackouts and circuit-
             breaker skips — the fresh package did not arrive).
@@ -194,7 +216,7 @@ class _Broadcast:
 
     delivered: bool
     payload: bytes | None = None
-    package: ExchangePackage | None = None
+    package: "ExchangePackage | FeaturePackage | None" = None
     intrinsically_sane: bool = True
     breaker_skipped: bool = False
 
@@ -301,6 +323,26 @@ class CooperSession:
             circuit-breaker/stale-fallback events, with every
             invalidation decision made parent-side.
         temporal_config: knobs for the temporal layer (None — defaults).
+        fusion_mode: what crosses the wire each period — ``"raw"``
+            (exchange packages of points; an agent's :class:`RoiPolicy`
+            decides how much cloud), ``"feature"`` (F-Cooper style
+            :class:`FeaturePackage` broadcasts, fused by elementwise
+            maxout on the receiver grid), or ``"gated"`` (Where2comm
+            style: every agent additionally broadcasts a small
+            :class:`ConfidenceRequest` and senders ship only foreground
+            features some requester is missing).  The feature modes are
+            incompatible with ``temporal`` (the frame-delta caches track
+            raw merged clouds).
+        feature_config: gating thresholds for the feature modes.
+        scheduler: optional :class:`SharedChannelScheduler` admitting
+            every period's broadcasts against one shared channel budget
+            before the per-link DSRC model runs.  Deferred broadcasts are
+            dropped for the period (the next period's package supersedes
+            them — freshest-only) and counted as ``scheduler_deferrals``.
+        comm: the per-frame bandwidth ledger, re-created by every
+            :meth:`run`.  Records every message actually put on the air
+            (packages and confidence requests), parent-side only, so the
+            ledger is bit-identical at any worker count.
         degradation: per-run degradation event counts, populated by
             :meth:`run` (also mirrored into ``PROFILER`` counters under
             ``session.*`` when profiling is enabled).
@@ -315,6 +357,12 @@ class CooperSession:
     batch_detection: bool = True
     temporal: bool = False
     temporal_config: TemporalConfig | None = None
+    fusion_mode: str = "raw"
+    feature_config: FeatureFusionConfig = field(
+        default_factory=FeatureFusionConfig
+    )
+    scheduler: SharedChannelScheduler | None = None
+    comm: CommRecorder = field(default_factory=CommRecorder, repr=False)
     degradation: dict[str, int] = field(
         default_factory=dict, init=False, repr=False
     )
@@ -353,6 +401,17 @@ class CooperSession:
         """
         if period_seconds <= 0:
             raise ValueError("period_seconds must be positive")
+        if self.fusion_mode not in FUSION_MODES:
+            raise ValueError(
+                f"fusion_mode must be one of {FUSION_MODES}, "
+                f"got {self.fusion_mode!r}"
+            )
+        if self.temporal and self.fusion_mode != "raw":
+            raise ValueError(
+                "temporal frame-delta state requires fusion_mode='raw' "
+                "(the caches track raw merged clouds)"
+            )
+        self.comm = CommRecorder()
         self.degradation = {}
         self._health = {}
         self._stale_cache = StalePackageCache(
@@ -376,7 +435,10 @@ class CooperSession:
         if workers <= 1 or len(self.agents) <= 1 or not fork_available():
             for step_index, t in enumerate(times):
                 with PROFILER.stage("session.step"):
-                    self._step(logs, float(t), step_index, seed)
+                    if self.fusion_mode == "raw":
+                        self._step(logs, float(t), step_index, seed)
+                    else:
+                        self._step_features(logs, float(t), step_index, seed)
             return logs
         # One pool for the whole session: workers warm up once and serve
         # every step's two fan-out phases.  Chunk size 1 keeps each
@@ -389,7 +451,14 @@ class CooperSession:
         ) as pool:
             for step_index, t in enumerate(times):
                 with PROFILER.stage("session.step"):
-                    self._step_parallel(pool, logs, float(t), step_index, seed)
+                    if self.fusion_mode == "raw":
+                        self._step_parallel(
+                            pool, logs, float(t), step_index, seed
+                        )
+                    else:
+                        self._step_features(
+                            logs, float(t), step_index, seed, pool=pool
+                        )
         return logs
 
     # -- batched detection -------------------------------------------------
@@ -557,6 +626,50 @@ class CooperSession:
         return reasons
 
     # -- exchange (parent-side in both execution paths) -------------------
+    def _deserialize_package(self, data: bytes):
+        """Decode one wire payload per the session's fusion mode."""
+        if self.fusion_mode == "raw":
+            return ExchangePackage.deserialize(data)
+        return FeaturePackage.deserialize(data)
+
+    def _package_intrinsically_sane(self, package) -> bool:
+        """The receiver-independent sanity verdict for either wire format."""
+        if isinstance(package, FeaturePackage):
+            return feature_package_intrinsically_sane(package)
+        return package_intrinsically_sane(
+            package, self.resilience.max_point_range_m
+        )
+
+    def _admitted_senders(
+        self, wire: dict[str, tuple[bytes, int]], step_index: int
+    ) -> set[str] | None:
+        """Shared-channel admission for this step's broadcasts (or None).
+
+        Senders whose circuit breaker is open never reach the channel and
+        therefore never compete for capacity.  Deferred demands are
+        dropped rather than retransmitted later: the sender's next-period
+        package supersedes this one (freshest-only), so the scheduler's
+        backlog is cleared after each admission round.
+        """
+        if self.scheduler is None:
+            return None
+        resilience = self.resilience
+        demands = [
+            Demand(sender=agent.name, bits=wire[agent.name][1])
+            for agent in self.agents
+            if not (
+                resilience.breaker_threshold > 0
+                and self._health.setdefault(
+                    agent.name, PeerHealth()
+                ).is_open(step_index)
+            )
+        ]
+        report = self.scheduler.schedule_second(demands)
+        self.scheduler.drop_backlog()
+        if report.deferred:
+            self._count("scheduler_deferrals", len(report.deferred))
+        return {demand.sender for demand in report.delivered}
+
     def _broadcast_outcomes(
         self,
         wire: dict[str, tuple[bytes, int]],
@@ -565,14 +678,19 @@ class CooperSession:
     ) -> dict[str, _Broadcast]:
         """Decide every sender's broadcast fate for one step.
 
-        The shared DSRC channel, the fault plan's per-link conditions and
-        the circuit breaker all act here, in the parent, in agent order —
-        the single ordering both execution paths share, which is what
-        keeps fault schedules and health state identical at any worker
-        count.  Delivered packages are decoded once for the
-        receiver-independent sanity checks and cached for fallback.
+        The shared DSRC channel, the optional shared-channel scheduler,
+        the fault plan's per-link conditions and the circuit breaker all
+        act here, in the parent, in agent order — the single ordering
+        both execution paths share, which is what keeps fault schedules
+        and health state identical at any worker count.  Delivered
+        packages are decoded once for the receiver-independent sanity
+        checks and cached for fallback.  Every transmission that reaches
+        the air is entered into the :attr:`comm` ledger.
         """
         resilience = self.resilience
+        self.comm.note_frame(step_index)
+        kind = "cloud" if self.fusion_mode == "raw" else "features"
+        admitted = self._admitted_senders(wire, step_index)
         outcomes: dict[str, _Broadcast] = {}
         for agent in self.agents:
             sender = agent.name
@@ -588,6 +706,16 @@ class CooperSession:
                 outcomes[sender] = _Broadcast(
                     delivered=False, breaker_skipped=True
                 )
+                continue
+            if admitted is not None and sender not in admitted:
+                # Deferred by the shared-channel scheduler: never reached
+                # the air this period, so nothing enters the ledger.
+                health.record_failure(
+                    step_index,
+                    resilience.breaker_threshold,
+                    resilience.breaker_cooldown_steps,
+                )
+                outcomes[sender] = _Broadcast(delivered=False)
                 continue
             if conditions is not None and conditions.blackout:
                 self._count("channel_blackouts")
@@ -606,6 +734,10 @@ class CooperSession:
                     conditions.extra_latency_ms if conditions else 0.0
                 ),
             )
+            self.comm.record(
+                step_index, sender, kind, len(payload),
+                delivered=report.delivered,
+            )
             if report.timed_out:
                 self._count("deadline_drops")
             if not report.delivered:
@@ -619,9 +751,10 @@ class CooperSession:
             health.record_success()
             frames = self.framer.fragment(payload)
             data = MessageFramer.reassemble(frames)
-            package = ExchangePackage.deserialize(data)
-            sane = not resilience.sanity_gate or package_intrinsically_sane(
-                package, resilience.max_point_range_m
+            package = self._deserialize_package(data)
+            sane = (
+                not resilience.sanity_gate
+                or self._package_intrinsically_sane(package)
             )
             if sane and resilience.sanity_gate:
                 # Pose-jump check against the peer's own last delivery: a
@@ -919,6 +1052,299 @@ class CooperSession:
                 )
             )
 
+    # -- feature-level execution path --------------------------------------
+    def _build_feature_wire(
+        self,
+        observations: dict[str, RigObservation],
+        taps: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray | None]],
+        t: float,
+        step_index: int,
+    ) -> dict[str, tuple[bytes, int]]:
+        """Phase-2 packaging: confidence requests, then one package each.
+
+        Runs in the parent in agent order.  In gated mode every agent
+        first broadcasts its confidence request (a tiny control message,
+        entered into the ledger but exempt from scheduler admission the
+        way safety beacons are), then each sender packages the union of
+        what the other requesters still want.  An agent whose LiDAR
+        produced no points this step ships an empty package and — gated —
+        an all-clear request, so the wire schedule never depends on
+        sensor faults.
+        """
+        gated = self.fusion_mode == "gated"
+        requests: dict[str, ConfidenceRequest] = {}
+        if gated:
+            for agent in self.agents:
+                name = agent.name
+                coords, features, heat = taps[name]
+                if heat is None:
+                    nx, ny = agent.cooper.detector.config.voxel_spec.grid_shape[:2]
+                    heat = np.zeros((nx, ny), dtype=np.float64)
+                request = build_request(
+                    heat,
+                    observations[name].measured_pose,
+                    name,
+                    timestamp=t,
+                    config=self.feature_config,
+                )
+                requests[name] = request
+                self.comm.record(
+                    step_index, name, "request", request.size_bytes()
+                )
+        wire: dict[str, tuple[bytes, int]] = {}
+        for agent in self.agents:
+            name = agent.name
+            spec = agent.cooper.detector.config.voxel_spec
+            coords, features, heat = taps[name]
+            if gated and heat is None:
+                nx, ny = spec.grid_shape[:2]
+                heat = np.zeros((nx, ny), dtype=np.float64)
+            package = build_feature_package(
+                spec,
+                coords,
+                features,
+                observations[name].measured_pose,
+                name,
+                timestamp=t,
+                heat=heat,
+                requests=(
+                    tuple(
+                        requests[peer.name]
+                        for peer in self.agents
+                        if peer.name != name
+                    )
+                    if gated
+                    else ()
+                ),
+                config=self.feature_config,
+            )
+            payload = package.serialize()
+            wire[name] = (payload, len(payload) * 8)
+        return wire
+
+    def _detect_fused(
+        self,
+        fused: list[tuple[list[FeaturePackage], np.ndarray | None, object]],
+    ) -> list[list[Detection]]:
+        """RPN + analytic decode over every agent's fused feature map.
+
+        Always runs in the parent, in both execution paths.  The RPN
+        treats batch rows independently, so batching through the shared
+        detector produces the same per-agent output as separate passes —
+        logs cannot depend on whether detectors were interchangeable.
+        Agents with no BEV map this step (empty scan, or nothing fused)
+        detect nothing.
+        """
+        detections: list[list[Detection]] = [[] for _ in self.agents]
+        live = [i for i, (_r, bev, _e) in enumerate(fused) if bev is not None]
+        if not live:
+            return detections
+        with PROFILER.stage("cooper.detect"):
+            if self._shared_detector is not None:
+                detector = self._shared_detector
+                batch = np.concatenate([fused[i][1] for i in live], axis=0)
+                cls_logits, reg = detector.rpn_apply(batch)
+                for row, i in enumerate(live):
+                    detections[i] = decode_fused(
+                        detector,
+                        cls_logits[row : row + 1],
+                        reg[row : row + 1],
+                        fused[i][2],
+                    )
+            else:
+                for i in live:
+                    detector = self.agents[i].cooper.detector
+                    cls_logits, reg = detector.rpn_apply(fused[i][1])
+                    detections[i] = decode_fused(
+                        detector, cls_logits, reg, fused[i][2]
+                    )
+        return detections
+
+    def _step_features(
+        self,
+        logs: dict[str, list[AgentStep]],
+        t: float,
+        step_index: int,
+        seed: int,
+        pool: WorkerPool | None = None,
+    ) -> None:
+        """One exchange period at feature level (both execution paths).
+
+        The phase layout mirrors the raw path exactly.  Phase 1: every
+        agent senses and runs its detector up to the feature tap (plus
+        the cheap RPN confidence map in gated mode) — inline, or one
+        worker task per agent.  Phase 2 (always parent-side): confidence
+        requests and feature packages are built in agent order, the
+        shared channel/scheduler/fault/breaker machinery decides each
+        broadcast's fate, and every transmission lands in the
+        :attr:`comm` ledger.  Phase 3: each receiver aligns and
+        maxout-fuses its inbox onto its own grid — inline the phase-1
+        tap is reused; a worker recomputes it (a pure function of the
+        observation, so the result is identical) because sparse tensors
+        stay worker-local.  Detection over the fused maps then runs in
+        the parent, batched when detectors are interchangeable.  Seeds
+        and every stateful decision match the inline path, so logs are
+        bit-identical at any worker count.
+        """
+        gated = self.fusion_mode == "gated"
+        faults_by_agent = {
+            agent.name: self._resolve_sensor_faults(step_index, agent.name)
+            for agent in self.agents
+        }
+        observations: dict[str, RigObservation] = {}
+        lite: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray | None]] = {}
+        taps: dict[str, dict | None] = {}
+        if pool is None:
+            for i, agent in enumerate(self.agents):
+                observation = agent.observe(
+                    self.world,
+                    t,
+                    seed=_observe_seed(seed, step_index, i),
+                    faults=faults_by_agent[agent.name],
+                )
+                observations[agent.name] = observation
+                tapped = _tap_features(
+                    agent.cooper.detector, observation.scan.cloud, gated
+                )
+                taps[agent.name] = None if tapped is None else tapped[0]
+                lite[agent.name] = _lite_tap(tapped)
+        else:
+            built = pool.map(
+                _observe_tap_task,
+                [
+                    (
+                        i,
+                        t,
+                        _observe_seed(seed, step_index, i),
+                        faults_by_agent[agent.name],
+                        gated,
+                    )
+                    for i, agent in enumerate(self.agents)
+                ],
+            )
+            for agent, (observation, coords, features, heat) in zip(
+                self.agents, built
+            ):
+                observations[agent.name] = observation
+                lite[agent.name] = (coords, features, heat)
+        self._detect_pose_jumps(observations)
+
+        wire = self._build_feature_wire(observations, lite, t, step_index)
+        outcomes = self._broadcast_outcomes(wire, step_index, seed)
+        inboxes: dict[str, tuple[list[bytes], list[bool], int]] = {
+            agent.name: self._receiver_inbox(
+                agent.name,
+                observations[agent.name].measured_pose,
+                outcomes,
+                step_index,
+            )
+            for agent in self.agents
+        }
+
+        if pool is None:
+            fused = [
+                _fuse_features_one(
+                    agent.cooper.detector,
+                    observations[agent.name],
+                    taps[agent.name],
+                    inboxes[agent.name][0],
+                )
+                for agent in self.agents
+            ]
+        else:
+            fused = pool.map(
+                _feature_fuse_task,
+                [
+                    (i, observations[agent.name], inboxes[agent.name][0])
+                    for i, agent in enumerate(self.agents)
+                ],
+            )
+        detections_by_agent = self._detect_fused(fused)
+        for agent, detections, (received, _bev, _evidence) in zip(
+            self.agents, detections_by_agent, fused
+        ):
+            name = agent.name
+            _payloads, delivered_flags, stale = inboxes[name]
+            fresh = len(received) - stale
+            PROFILER.count("session.packages_received", fresh)
+            PROFILER.count(
+                "session.packages_lost", len(delivered_flags) - fresh
+            )
+            logs[name].append(
+                AgentStep(
+                    time=t,
+                    observation=observations[name],
+                    sent_bits=wire[name][1],
+                    received_packages=received,
+                    delivered=delivered_flags,
+                    stale_count=stale,
+                    detections=detections,
+                )
+            )
+
+
+def _tap_features(
+    detector: SPOD, cloud, want_heat: bool
+) -> tuple[dict, np.ndarray | None] | None:
+    """Run one agent's feature tap (and optional confidence map).
+
+    Returns ``None`` for an empty scan — there is no ground model to
+    decode against, matching the raw path's empty-cloud behaviour.
+    """
+    if len(cloud) == 0:
+        return None
+    tap = detector.forward_features(cloud, tap=True)
+    heat = rpn_confidence(detector, tap["bev"]) if want_heat else None
+    return tap, heat
+
+
+def _lite_tap(
+    tapped: tuple[dict, np.ndarray | None] | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Reduce a tap to the arrays the packaging stage ships to the parent."""
+    if tapped is None:
+        return (
+            np.zeros((0, 3), dtype=np.int64),
+            np.zeros((0, 4), dtype=np.float64),
+            None,
+        )
+    tap, heat = tapped
+    return (
+        np.asarray(tap["grid"].coords),
+        np.asarray(tap["middle"].features, dtype=np.float64),
+        heat,
+    )
+
+
+def _fuse_features_one(
+    detector: SPOD,
+    observation: RigObservation,
+    tap: dict | None,
+    payloads: list[bytes],
+) -> tuple[list[FeaturePackage], np.ndarray | None, object]:
+    """Decode + align + maxout-fuse one receiver's feature inbox.
+
+    Returns ``(received, bev, evidence)``; ``bev`` is ``None`` when the
+    agent has no tap (empty scan) or nothing fused, which the detection
+    stage maps to zero detections.
+    """
+    received = [FeaturePackage.deserialize(p) for p in payloads]
+    if tap is None:
+        return received, None, None
+    spec = detector.config.voxel_spec
+    fused = fuse_feature_packages(
+        spec,
+        np.asarray(tap["grid"].coords),
+        np.asarray(tap["middle"].features, dtype=np.float64),
+        received,
+        observation.measured_pose,
+    )
+    if len(fused.coords) == 0:
+        return received, None, None
+    bev = feature_bev(detector, fused)
+    evidence = decode_evidence(tap["pre"], fused.proxy_xyz)
+    return received, bev, evidence
+
 
 #: Session state installed in each worker by :func:`_session_worker_init`;
 #: the world and agent stacks are shipped once per worker, not per task.
@@ -1007,3 +1433,42 @@ def _fuse_task(payload: tuple[int, RigObservation, list[bytes]]):
         observation.scan.cloud, observation.measured_pose, received
     )
     return received, merged
+
+
+def _observe_tap_task(
+    payload: tuple[int, float, int, SensorFaults | None, bool],
+) -> tuple[RigObservation, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Phase-1 worker task (feature modes): sense + feature tap (+ heat).
+
+    Ships back only the arrays the parent's packaging stage needs — the
+    sparse tensors and preprocess result stay worker-local and are
+    recomputed by the phase-3 task, which is a pure function of the
+    observation.
+    """
+    agent_index, t, obs_seed, faults, want_heat = payload
+    agent = _WORKER_AGENTS[agent_index]
+    observation = agent.observe(
+        _WORKER_WORLD, t, seed=obs_seed, faults=faults
+    )
+    tapped = _tap_features(
+        agent.cooper.detector, observation.scan.cloud, want_heat
+    )
+    coords, features, heat = _lite_tap(tapped)
+    return observation, coords, features, heat
+
+
+def _feature_fuse_task(
+    payload: tuple[int, RigObservation, list[bytes]],
+) -> tuple[list[FeaturePackage], np.ndarray | None, object]:
+    """Phase-3 worker task (feature modes): re-tap, decode and fuse.
+
+    The tap is recomputed from the observation (deterministic), the
+    inbox payloads are decoded and fused, and the dense BEV + decode
+    evidence ship back for the parent's detection pass.
+    """
+    agent_index, observation, package_payloads = payload
+    agent = _WORKER_AGENTS[agent_index]
+    detector = agent.cooper.detector
+    tapped = _tap_features(detector, observation.scan.cloud, want_heat=False)
+    tap = None if tapped is None else tapped[0]
+    return _fuse_features_one(detector, observation, tap, package_payloads)

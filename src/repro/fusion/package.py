@@ -23,14 +23,36 @@ from repro.pointcloud.cloud import PointCloud
 from repro.pointcloud.compression import (
     CompressionSpec,
     compress_cloud,
+    compressed_size_bytes,
     decompress_cloud,
 )
 from repro.profiling import PROFILER
 
-__all__ = ["ExchangePackage"]
+__all__ = ["ExchangePackage", "SENDER_FIELD_BYTES", "encode_sender"]
 
 _POSE_STRUCT = struct.Struct("<6d")
 _META_STRUCT = struct.Struct("<16sBd")
+
+#: Width of the fixed sender-name field in every wire format.
+SENDER_FIELD_BYTES = 16
+
+
+def encode_sender(sender: str) -> bytes:
+    """Encode a sender name into the fixed 16-byte wire field.
+
+    Raises :class:`ValueError` when the UTF-8 encoding exceeds the field —
+    silently truncating would corrupt the name (and could split a
+    multi-byte character, making the receiver's decode raise or return a
+    *different* sender, which poisons per-peer state like circuit breakers
+    and stale caches that key on the name).
+    """
+    encoded = sender.encode("utf-8")
+    if len(encoded) > SENDER_FIELD_BYTES:
+        raise ValueError(
+            f"sender name {sender!r} is {len(encoded)} UTF-8 bytes; the "
+            f"wire format's sender field holds at most {SENDER_FIELD_BYTES}"
+        )
+    return encoded.ljust(SENDER_FIELD_BYTES, b"\0")
 
 
 @dataclass(frozen=True)
@@ -55,11 +77,12 @@ class ExchangePackage:
     def __post_init__(self) -> None:
         if self.beam_count < 1:
             raise ValueError("beam_count must be positive")
+        encode_sender(self.sender)  # fail fast on an over-long name
 
     def serialize(self, spec: CompressionSpec | None = None) -> bytes:
         """Encode to the wire format: metadata + pose + compressed cloud."""
         with PROFILER.stage("package.serialize"):
-            sender_bytes = self.sender.encode("utf-8")[:16].ljust(16, b"\0")
+            sender_bytes = encode_sender(self.sender)
             meta = _META_STRUCT.pack(
                 sender_bytes, self.beam_count, self.timestamp
             )
@@ -93,8 +116,20 @@ class ExchangePackage:
             )
 
     def size_bytes(self, spec: CompressionSpec | None = None) -> int:
-        """Wire size of this package in bytes."""
-        return len(self.serialize(spec))
+        """Wire size of this package in bytes, computed analytically.
+
+        Every wire section has a fixed or arithmetically determined size
+        (metadata struct + pose struct + codec header + quantised
+        payload), so the size never requires actually serialising —
+        which matters to the schedulers and bandwidth ledgers that query
+        sizes every frame for every sender.  Guaranteed equal to
+        ``len(self.serialize(spec))``.
+        """
+        return (
+            _META_STRUCT.size
+            + _POSE_STRUCT.size
+            + compressed_size_bytes(len(self.cloud), spec)
+        )
 
     def size_megabits(self, spec: CompressionSpec | None = None) -> float:
         """Wire size in megabits — the unit of the paper's Fig. 12."""

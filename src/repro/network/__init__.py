@@ -13,6 +13,7 @@ from repro.network.roi_policy import RoiCategory, RoiPolicy, extract_roi
 from repro.network.simulator import ExchangeSimulator, ExchangeTrace
 from repro.network.demand import RoiRequest, answer_request, fuse_reply, weak_regions
 from repro.network.scheduler import Demand, ScheduleReport, SharedChannelScheduler
+from repro.network.comm import CommRecord, CommRecorder
 
 __all__ = [
     "DsrcChannel",
@@ -31,4 +32,6 @@ __all__ = [
     "Demand",
     "ScheduleReport",
     "SharedChannelScheduler",
+    "CommRecord",
+    "CommRecorder",
 ]

@@ -1,0 +1,114 @@
+"""Per-frame bandwidth ledger for cooperative exchange.
+
+Every fusion mode claims a bytes/frame figure; this module makes those
+figures *honest* by recording every message a session actually puts on
+the air — raw-cloud packages, ROI crops, feature packages and the gated
+mode's confidence requests alike — with its step, sender, kind, size and
+delivery outcome.  The ledger is populated parent-side by
+:class:`repro.fusion.agent.CooperSession`, so it is bit-identical at any
+worker count, and it is what the recall-vs-bandwidth frontier bench
+reads its x-axis from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CommRecord", "CommRecorder"]
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One message put on the air.
+
+    Attributes:
+        step: session step (exchange period) index.
+        sender: transmitting vehicle.
+        receiver: intended receiver (``"*"`` for a broadcast).
+        kind: message class — ``"cloud"`` (raw/ROI exchange packages),
+            ``"features"`` (feature packages), ``"request"`` (confidence
+            requests).
+        payload_bytes: wire size of one transmitted copy.
+        delivered: whether the message cleared the channel.
+    """
+
+    step: int
+    sender: str
+    receiver: str
+    kind: str
+    payload_bytes: int
+    delivered: bool
+
+
+@dataclass
+class CommRecorder:
+    """Accumulates :class:`CommRecord` rows and reduces them to a ledger.
+
+    Messages that were never transmitted (circuit-breaker skips, channel
+    blackouts, scheduler deferrals) are *not* recorded — the ledger
+    counts airtime actually spent.  Retransmission copies are visible in
+    the profiler's ``dsrc.total_bits`` counter, not here; the ledger
+    charges one copy per transmission.
+    """
+
+    records: list[CommRecord] = field(default_factory=list)
+    frames: int = 0
+
+    def note_frame(self, step: int) -> None:
+        """Tell the ledger a frame happened (even if nothing was sent)."""
+        self.frames = max(self.frames, step + 1)
+
+    def record(
+        self,
+        step: int,
+        sender: str,
+        kind: str,
+        payload_bytes: int,
+        delivered: bool = True,
+        receiver: str = "*",
+    ) -> None:
+        """Append one transmission to the ledger."""
+        self.note_frame(step)
+        self.records.append(
+            CommRecord(step, sender, receiver, kind, payload_bytes, delivered)
+        )
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        """Bytes put on the air (optionally for one message kind)."""
+        return sum(
+            r.payload_bytes
+            for r in self.records
+            if kind is None or r.kind == kind
+        )
+
+    def delivered_bytes(self, kind: str | None = None) -> int:
+        """Bytes that also cleared the channel."""
+        return sum(
+            r.payload_bytes
+            for r in self.records
+            if r.delivered and (kind is None or r.kind == kind)
+        )
+
+    def by_kind(self) -> dict[str, int]:
+        """Total transmitted bytes per message kind."""
+        totals: dict[str, int] = {}
+        for r in self.records:
+            totals[r.kind] = totals.get(r.kind, 0) + r.payload_bytes
+        return totals
+
+    def bytes_per_frame(self, kind: str | None = None) -> float:
+        """Mean transmitted bytes per session frame — the honest figure."""
+        if self.frames == 0:
+            return 0.0
+        return self.total_bytes(kind) / self.frames
+
+    def summary(self) -> dict:
+        """JSON-ready reduction of the ledger."""
+        return {
+            "frames": self.frames,
+            "messages": len(self.records),
+            "total_bytes": self.total_bytes(),
+            "delivered_bytes": self.delivered_bytes(),
+            "bytes_per_frame": self.bytes_per_frame(),
+            "by_kind": self.by_kind(),
+        }

@@ -52,10 +52,53 @@ class TestExchangePackage:
             package.size_bytes() * 8 / 1e6
         )
 
-    def test_long_sender_truncated(self):
-        package = package_at(0, 0, 0, sender="x" * 40)
+    def test_long_sender_rejected(self):
+        # 40 ASCII chars overflow the 16-byte wire field: fail fast at
+        # construction instead of silently truncating on the wire.
+        with pytest.raises(ValueError, match="16"):
+            package_at(0, 0, 0, sender="x" * 40)
+
+    def test_multibyte_sender_rejected_not_split(self):
+        # 9 x 'ü' is 9 characters but 18 UTF-8 bytes; the old truncation
+        # could split a multi-byte character mid-sequence.
+        with pytest.raises(ValueError, match="UTF-8"):
+            package_at(0, 0, 0, sender="ü" * 9)
+
+    def test_sixteen_byte_sender_accepted(self):
+        package = package_at(0, 0, 0, sender="x" * 16)
         decoded = ExchangePackage.deserialize(package.serialize())
         assert decoded.sender == "x" * 16
+
+    @given(
+        sender=st.text(min_size=1, max_size=16).filter(
+            lambda s: 0 < len(s.encode("utf-8")) <= 16
+            and "\0" not in s
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sender_roundtrip_property(self, sender):
+        package = package_at(0, 0, 0, sender=sender)
+        decoded = ExchangePackage.deserialize(package.serialize())
+        assert decoded.sender == sender
+
+    @pytest.mark.parametrize("count", [0, 1, 1000])
+    @pytest.mark.parametrize("coordinate_bits", [8, 16, 32])
+    @pytest.mark.parametrize("reflectance_bits", [0, 8])
+    def test_size_bytes_matches_serialized_length(
+        self, count, coordinate_bits, reflectance_bits
+    ):
+        spec = CompressionSpec(
+            coordinate_bits=coordinate_bits, reflectance_bits=reflectance_bits
+        )
+        cloud = PointCloud(
+            np.random.default_rng(7).normal(size=(count, 4)).astype(np.float32)
+        )
+        package = package_at(0, 0, 0, cloud=cloud)
+        assert package.size_bytes(spec) == len(package.serialize(spec))
+
+    def test_size_bytes_default_spec_matches_serialized_length(self):
+        package = package_at(0, 0, 0)
+        assert package.size_bytes() == len(package.serialize())
 
     def test_invalid_beam_count(self):
         with pytest.raises(ValueError):
