@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos bench-fusion-frontier serve-bench fleet-bench fleet-chaos figures examples clean
+.PHONY: install test bench bench-parallel bench-detect bench-incremental chaos bench-fusion-frontier serve-bench fleet-bench fleet-chaos scenario-fuzz figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,9 @@ fleet-bench:
 
 fleet-chaos:
 	python benchmarks/bench_serving.py --resilience-only
+
+scenario-fuzz:
+	python benchmarks/bench_scenario_fuzz.py
 
 figures: bench
 	@ls -1 results/

@@ -1,0 +1,163 @@
+"""Scenario-fuzz bench — the mass-generation and recall-contract anchor.
+
+Fans seeded scenario sweeps from every generative family in
+:mod:`repro.scenario.families` over the worker pool, evaluates each
+family's recall contracts (fusion-never-hurts on occlusion families,
+monotone-recall-in-beam-count, no-crash under chaos fault plans) on an
+evenly-sampled subset, and writes the report to
+``results/BENCH_scenarios.json``: per-family scenario counts, contract
+verdicts, drop ledgers, and the worker-count determinism digests (the
+compile sweep re-run at workers 1 vs 4 must produce identical
+fingerprint digests).
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_scenario_fuzz.py`` — smoke-sized sweeps.
+* ``python benchmarks/bench_scenario_fuzz.py [--smoke] [--count N]
+  [--workers N]`` — standalone; ``--smoke`` shrinks the sweep for CI,
+  the full run compiles 1000 scenarios per family.
+
+The bench asserts the scenario contract: every family's contracts pass,
+every determinism digest pair matches, and every compiled scenario
+actually contains detection targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+from repro.detection.spod import SPOD
+from repro.scenario.fuzz import fuzz_report
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPORT_NAME = "BENCH_scenarios.json"
+
+#: Families the bench sweeps (alphabetical, so the report is stable).
+BENCH_FAMILIES = (
+    "convoy",
+    "highway_merge",
+    "mixed_fleet_intersection",
+    "occluded_pedestrian",
+    "roundabout",
+)
+
+
+def build_report(
+    smoke: bool = False,
+    count: int | None = None,
+    seed: int = 0,
+    workers: int | None = None,
+    detector: SPOD | None = None,
+) -> dict:
+    """Fuzz every bench family and assemble the report payload."""
+    if count is None:
+        count = 50 if smoke else 1000
+    sample = 4 if smoke else 12
+    report = fuzz_report(
+        BENCH_FAMILIES,
+        count=count,
+        base_seed=seed,
+        workers=workers,
+        detector=detector,
+        sample=sample,
+        worker_counts=(1, 4),
+    )
+    report["mode"] = "smoke" if smoke else "full"
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable per-family table of a :func:`build_report` payload."""
+    lines = [
+        f"{'family':26s} {'count':>6s} {'tgt/scn':>8s} {'dropped':>8s} "
+        f"{'contracts':>30s} {'det':>4s}"
+    ]
+    for name, entry in sorted(report["families"].items()):
+        verdicts = " ".join(
+            f"{cname}:{'OK' if c['passed'] else 'FAIL'}"
+            for cname, c in sorted(entry["contracts"].items())
+        )
+        det = "OK" if entry["determinism"]["bit_identical"] else "FAIL"
+        lines.append(
+            f"{name:26s} {entry['count']:6d} {entry['targets_mean']:8.1f} "
+            f"{entry['dropped_total']:8d} {verdicts:>30s} {det:>4s}"
+        )
+    lines.append(f"overall: {'PASSED' if report['passed'] else 'VIOLATED'}")
+    return "\n".join(lines)
+
+
+def check_scenario_contract(report: dict) -> None:
+    """Raise when a family violates its contracts or determinism."""
+    for name, entry in report["families"].items():
+        for cname, contract in entry["contracts"].items():
+            assert contract["passed"], (
+                f"{name}: contract {cname} violated "
+                f"({contract['violations']} of {contract['checked']} "
+                f"sampled scenarios): {contract['detail'][:3]}"
+            )
+        assert entry["determinism"]["bit_identical"], (
+            f"{name}: compile sweep digests differ across worker counts: "
+            f"{entry['determinism']['digests']}"
+        )
+        assert entry["targets_mean"] > 0.0, (
+            f"{name}: compiled scenarios contain no detection targets"
+        )
+    assert report["passed"]
+
+
+def write_report(report: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / REPORT_NAME
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_bench_scenario_fuzz(detector, results_dir):
+    report = build_report(smoke=True, detector=detector)
+    report["mode"] = "pytest-smoke"
+    check_scenario_contract(report)
+    path = write_report(report)
+    print(f"\n=== {REPORT_NAME} ===\n{render_report(report)}\n")
+    assert path.exists()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the sweep and contract sample (CI smoke run)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="scenarios per family (default: 1000, or 50 with --smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fuzz base seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweeps (results identical at any "
+        "count)",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(
+        smoke=args.smoke,
+        count=args.count,
+        seed=args.seed,
+        workers=args.workers,
+        detector=SPOD.pretrained(),
+    )
+    check_scenario_contract(report)
+    path = write_report(report)
+    print(render_report(report))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

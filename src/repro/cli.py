@@ -14,6 +14,8 @@ regenerates the paper's experiments from a terminal:
   levels (raw / ROI / feature / confidence-gated).
 * ``serve``    — beyond-paper: the deterministic perception serving engine
   under a seeded open-loop workload.
+* ``scenarios`` — beyond-paper: seeded scenario-family sweeps from the
+  declarative DSL, with per-family recall contracts.
 """
 
 from __future__ import annotations
@@ -346,6 +348,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenario.families import FAMILIES, family
+    from repro.scenario.fuzz import fuzz_family
+
+    if args.family is not None:
+        family(args.family)  # fail fast with the valid set on a typo
+        names = (args.family,)
+    else:
+        names = tuple(sorted(FAMILIES))
+    count = args.count if args.count is not None else (25 if args.smoke else 200)
+    sample = args.sample if args.sample is not None else (4 if args.smoke else 12)
+    detector = _detector(args) if args.contracts else None
+    contracts = None if args.contracts else ()
+    failed = False
+    for name in names:
+        report = fuzz_family(
+            name,
+            count,
+            base_seed=args.seed,
+            workers=args.workers,
+            detector=detector,
+            contracts=contracts,
+            sample=sample,
+        )
+        print(
+            f"{name:26s} {report.count:5d} scenarios  "
+            f"digest {report.digest[:12]}  "
+            f"targets/scene {report.targets_mean:.1f}  "
+            f"dropped {report.dropped_total}"
+        )
+        for contract in report.contracts:
+            verdict = "OK" if contract.passed else "VIOLATED"
+            print(
+                f"  {contract.name:20s} checked {contract.checked:3d}  "
+                f"{verdict}"
+            )
+            for violation in contract.violations[:3]:
+                print(f"    {violation}")
+            if contract.minimal is not None:
+                print(
+                    f"    minimal failing seed {contract.minimal['seed']}: "
+                    f"{contract.minimal['actors']}"
+                )
+        failed = failed or not report.passed
+    if failed:
+        print("\ncontract VIOLATED (see details above)")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -524,6 +576,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shrink the workload and pool (CI smoke run)",
     )
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="compile seeded scenario-family sweeps (repro.scenario) and "
+        "optionally assert the per-family recall contracts",
+    )
+    scenarios.add_argument(
+        "--family",
+        default=None,
+        help="one scenario family (default: every family in "
+        "repro.scenario.families.FAMILIES)",
+    )
+    scenarios.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="scenarios per family (default: 200, or 25 with --smoke)",
+    )
+    scenarios.add_argument(
+        "--contracts",
+        action="store_true",
+        help="run each family's recall contracts (fusion-never-hurts, "
+        "monotone-beam, no-crash-under-chaos) on a sampled subset; "
+        "exit 1 on any violation",
+    )
+    scenarios.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="scenarios per family to run detection contracts on "
+        "(default: 12, or 4 with --smoke)",
+    )
+    scenarios.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the sweep and contract sample (CI smoke run)",
+    )
     return parser
 
 
@@ -537,6 +625,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "frontier": _cmd_frontier,
     "serve": _cmd_serve,
+    "scenarios": _cmd_scenarios,
 }
 
 

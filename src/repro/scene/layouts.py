@@ -15,18 +15,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.transforms import Pose
+from repro.scenario.placement import scatter_cars
 from repro.scene.objects import (
-    Actor,
     make_building,
-    make_car,
     make_tree,
     make_truck,
-    sample_car_dimensions,
 )
 from repro.scene.world import World
 
 __all__ = [
     "Layout",
+    "scatter_cars",
     "t_junction",
     "stop_sign",
     "left_turn",
@@ -53,8 +52,14 @@ class Layout:
     viewpoints: dict[str, Pose] = field(default_factory=dict)
 
     def viewpoint(self, name: str) -> Pose:
-        """Look up one observer pose."""
-        return self.viewpoints[name]
+        """Look up one observer pose, failing fast with the valid set."""
+        try:
+            return self.viewpoints[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown viewpoint {name!r} in layout {self.name!r} "
+                f"(valid viewpoints: {', '.join(sorted(self.viewpoints))})"
+            ) from None
 
 
 _SENSOR_HEIGHT = 1.73  # KITTI velodyne mounting height
@@ -64,28 +69,10 @@ def _pose(x: float, y: float, yaw: float = 0.0) -> Pose:
     return Pose(np.array([x, y, _SENSOR_HEIGHT]), yaw=yaw)
 
 
-def _scatter_cars(
-    rng: np.random.Generator,
-    slots: list[tuple[float, float, float]],
-    prefix: str,
-) -> list[Actor]:
-    """Instantiate cars with sampled dimensions at the given (x, y, yaw)."""
-    cars = []
-    for i, (x, y, yaw) in enumerate(slots):
-        length, width, height = sample_car_dimensions(rng)
-        jitter = rng.normal(0.0, 0.15, size=2)
-        cars.append(
-            make_car(
-                x + jitter[0],
-                y + jitter[1],
-                yaw + rng.normal(0.0, 0.03),
-                length,
-                width,
-                height,
-                name=f"{prefix}-{i}",
-            )
-        )
-    return cars
+# The slot scatter now lives in repro.scenario.placement (shared with the
+# scenario DSL's collision-checked sampler); the alias keeps the builders
+# below and external callers on the same draw sequence as ever.
+_scatter_cars = scatter_cars
 
 
 def t_junction(seed: int = 0) -> Layout:
